@@ -1,0 +1,115 @@
+// Microbenchmarks for the Figure 8 full-text path index that drives context
+// discovery (§5), including the A4 ablation: reading per-path occurrence
+// counts from the document-store-side dictionary (the paper's chosen design)
+// vs. from per-term path postings (the rejected design that duplicates
+// counts across posting lists).
+
+#include <benchmark/benchmark.h>
+
+#include "data/generators.h"
+#include "store/document_store.h"
+#include "summary/context_summary.h"
+#include "text/inverted_index.h"
+
+namespace {
+
+struct Fixture {
+  seda::store::DocumentStore store;
+  std::unique_ptr<seda::text::InvertedIndex> index;
+
+  Fixture() {
+    seda::data::WorldFactbookGenerator::Options options;
+    options.scale = 0.2;
+    seda::data::WorldFactbookGenerator(options).Populate(&store);
+    index = std::make_unique<seda::text::InvertedIndex>(&store);
+  }
+};
+
+Fixture& GetFixture() {
+  static Fixture* fixture = new Fixture();
+  return *fixture;
+}
+
+void BM_ProbeSimpleKeyword(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  auto expr = seda::text::ParseTextExpr("china").value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.index->EvaluatePaths(*expr));
+  }
+}
+BENCHMARK(BM_ProbeSimpleKeyword);
+
+void BM_ProbePhrase(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  auto expr = seda::text::ParseTextExpr("\"united states\"").value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.index->EvaluatePaths(*expr));
+  }
+}
+BENCHMARK(BM_ProbePhrase);
+
+void BM_ProbeBoolean(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  auto expr = seda::text::ParseTextExpr("(china OR canada) AND NOT mexico").value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.index->EvaluatePaths(*expr));
+  }
+}
+BENCHMARK(BM_ProbeBoolean);
+
+void BM_ProbeTagConstrained(benchmark::State& state) {
+  // §5: "If the context of the query term is only a tag name ... we use the
+  // tag name in conjunction with the search query to probe the index."
+  Fixture& f = GetFixture();
+  auto query =
+      seda::query::ParseQuery(R"((trade_country, "united states"))").value();
+  seda::summary::ContextSummaryGenerator generator(f.index.get());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(generator.GenerateBucket(query.terms[0]));
+  }
+}
+BENCHMARK(BM_ProbeTagConstrained);
+
+// A4 ablation, layout 1 (paper's choice): counts live in the path dictionary
+// (document store side); one lookup per distinct path.
+void BM_CountsFromDictionary(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  auto expr = seda::text::ParseTextExpr("united").value();
+  auto paths = f.index->EvaluatePaths(*expr);
+  for (auto _ : state) {
+    uint64_t total = 0;
+    for (auto p : paths) total += f.store.paths().DocCount(p);
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_CountsFromDictionary);
+
+// A4 ablation, layout 2 (rejected): per-(term, path) counts inside the
+// posting lists — no store access, but the counts are duplicated per term.
+void BM_CountsFromPostings(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  auto expr = seda::text::ParseTextExpr("united").value();
+  auto paths = f.index->EvaluatePaths(*expr);
+  for (auto _ : state) {
+    uint64_t total = 0;
+    for (auto p : paths) total += f.index->TermPathCount("united", p);
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_CountsFromPostings);
+
+void BM_FullContextSummaryQuery1(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  auto query = seda::query::ParseQuery(
+                   R"((*, "United States") AND (trade_country, *) AND (percentage, *))")
+                   .value();
+  seda::summary::ContextSummaryGenerator generator(f.index.get());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(generator.Generate(query));
+  }
+}
+BENCHMARK(BM_FullContextSummaryQuery1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

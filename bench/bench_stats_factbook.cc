@@ -1,0 +1,68 @@
+// Reproduces the in-text World Factbook statistics from §1 and §5 of the
+// paper (experiment S1 in DESIGN.md):
+//   * the query term (*, "United States") matches 27 distinct paths,
+//   * the collection has 1984 distinct paths in total,
+//   * /country occurs in 1577 of 1600 documents,
+//   * /transnational_issues/refugees/country_of_origin occurs in only 186
+//     documents (the "long tail"),
+// plus the long-tail histogram those numbers illustrate.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "data/generators.h"
+#include "store/document_store.h"
+#include "text/inverted_index.h"
+#include "text/text_expr.h"
+
+int main() {
+  seda::store::DocumentStore store;
+  seda::data::WorldFactbookGenerator().Populate(&store);
+  seda::text::InvertedIndex index(&store);
+
+  std::printf("=== S1: World Factbook path statistics (paper §1/§5) ===\n");
+  std::printf("%-46s %10s %10s\n", "statistic", "measured", "paper");
+
+  std::printf("%-46s %10zu %10d\n", "documents", store.DocumentCount(), 1600);
+  std::printf("%-46s %10zu %10d\n", "distinct paths", store.paths().size(), 1984);
+
+  auto country = store.paths().Find("/country");
+  std::printf("%-46s %10llu %10d\n", "docs containing /country",
+              static_cast<unsigned long long>(store.paths().DocCount(country)),
+              1577);
+
+  auto refugees = store.paths().Find(
+      "/country/transnational_issues/refugees/country_of_origin");
+  std::printf("%-46s %10llu %10d\n", "docs containing refugees path",
+              static_cast<unsigned long long>(
+                  refugees == seda::store::kInvalidPathId
+                      ? 0
+                      : store.paths().DocCount(refugees)),
+              186);
+
+  auto us = seda::text::ParseTextExpr("\"united states\"");
+  size_t us_paths = index.EvaluatePaths(*us.value()).size();
+  std::printf("%-46s %10zu %10d\n", "paths matching (*, \"United States\")",
+              us_paths, 27);
+
+  // Long-tail histogram: how many paths occur in <= N documents.
+  std::vector<uint64_t> doc_counts;
+  for (seda::store::PathId p = 0; p < store.paths().size(); ++p) {
+    doc_counts.push_back(store.paths().DocCount(p));
+  }
+  std::sort(doc_counts.begin(), doc_counts.end());
+  std::printf("\nLong tail of infrequent paths (paper: \"a long tail of such "
+              "infrequent paths\"):\n");
+  for (uint64_t bound : {1ull, 10ull, 50ull, 186ull, 500ull, 1600ull}) {
+    size_t count = std::upper_bound(doc_counts.begin(), doc_counts.end(), bound) -
+                   doc_counts.begin();
+    std::printf("  paths in <= %4llu docs: %5zu (%.1f%%)\n",
+                static_cast<unsigned long long>(bound), count,
+                100.0 * static_cast<double>(count) /
+                    static_cast<double>(doc_counts.size()));
+  }
+  bool ok = us_paths == 27 && store.paths().size() > 1200;
+  std::printf("\nshape check: %s\n", ok ? "YES" : "NO");
+  return ok ? 0 : 1;
+}

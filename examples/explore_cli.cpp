@@ -1,0 +1,75 @@
+// Scripted exploration CLI: the textual equivalent of the paper's GUI
+// (Figures 4/5/7). Loads the synthetic World Factbook, executes the queries
+// given on the command line (or a default exploration session), and prints
+// the result, context-summary and connection-summary panels for each.
+//
+//   build/examples/explore_cli                         # default session
+//   build/examples/explore_cli '(*, "Canada") (GDP, *)'  # your own queries
+
+#include <cstdio>
+
+#include "core/seda.h"
+#include "data/generators.h"
+
+int main(int argc, char** argv) {
+  std::printf("loading synthetic World Factbook...\n");
+  seda::core::Seda seda;
+  seda::data::WorldFactbookGenerator::Options options;
+  options.scale = 0.15;
+  seda::data::WorldFactbookGenerator(options).Populate(seda.mutable_store());
+  if (!seda.Finalize().ok()) return 1;
+  std::printf("loaded %zu docs, %zu distinct paths, %zu dataguides\n\n",
+              seda.store().DocumentCount(), seda.store().paths().size(),
+              seda.dataguides().size());
+
+  std::vector<std::string> session;
+  if (argc > 1) {
+    for (int i = 1; i < argc; ++i) session.emplace_back(argv[i]);
+  } else {
+    session = {
+        R"((*, "United States"))",
+        R"((*, "United States") AND (trade_country, *))",
+        R"((trade_country, "China") AND (percentage, *))",
+        R"((name, *) AND (GDP_ppp, *))",
+    };
+  }
+
+  for (const std::string& text : session) {
+    std::printf("==========================================================\n");
+    std::printf("query> %s\n", text.c_str());
+    auto response = seda.Search(text);
+    if (!response.ok()) {
+      std::printf("error: %s\n\n", response.status().ToString().c_str());
+      continue;
+    }
+    std::printf("--- top-k ---\n");
+    size_t shown = 0;
+    for (const auto& tuple : response.value().topk) {
+      if (shown++ >= 5) break;
+      std::printf("  %s\n", tuple.ToString(seda.store()).c_str());
+    }
+    std::printf("--- contexts (top 5 per term, by collection frequency) ---\n");
+    for (const auto& bucket : response.value().contexts.buckets) {
+      std::printf("  %s\n", bucket.term_text.c_str());
+      size_t count = 0;
+      for (const auto& entry : bucket.entries) {
+        if (count++ >= 5) {
+          std::printf("    ... (%zu total)\n", bucket.entries.size());
+          break;
+        }
+        std::printf("    %-60s docs=%llu\n", entry.path_text.c_str(),
+                    static_cast<unsigned long long>(entry.doc_count));
+      }
+    }
+    std::printf("--- connections (top 5) ---\n");
+    size_t conn_shown = 0;
+    for (const auto& entry : response.value().connections.entries) {
+      if (conn_shown++ >= 5) break;
+      std::printf("  [%zu<->%zu] %s%s\n", entry.term_a, entry.term_b,
+                  entry.connection.ToString().c_str(),
+                  entry.false_positive ? "   (false positive)" : "");
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

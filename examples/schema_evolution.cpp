@@ -1,0 +1,78 @@
+// Schema evolution (paper §7): the World Factbook renamed GDP to GDP_ppp in
+// 2005, so the GDP *fact* is defined by a ContextList with two contexts. This
+// example builds a cube over the heterogeneous fact and rolls it up by year,
+// demonstrating that one fact spans both schema variants.
+//
+//   build/examples/schema_evolution
+
+#include <cstdio>
+
+#include "core/seda.h"
+#include "data/generators.h"
+
+using seda::cube::RelativeKey;
+
+int main() {
+  seda::core::Seda seda;
+  seda::data::WorldFactbookGenerator::Options data_options;
+  data_options.scale = 0.08;  // ~20 countries x 6 years
+  seda::data::WorldFactbookGenerator(data_options).Populate(seda.mutable_store());
+  if (!seda.Finalize().ok()) return 1;
+
+  const char* name = "/country/name";
+  const char* year = "/country/year";
+  auto* catalog = seda.mutable_catalog();
+  (void)catalog->DefineDimension("country",
+                                 {{name, RelativeKey::Parse({name, year})}});
+  (void)catalog->DefineDimension("year",
+                                 {{year, RelativeKey::Parse({name, year})}});
+  // One fact, two contexts: the ContextList is a relation precisely because
+  // of schema evolution (paper §7).
+  (void)catalog->DefineFact("GDP",
+                            {{"/country/economy/GDP",
+                              RelativeKey::Parse({name, year})},
+                             {"/country/economy/GDP_ppp",
+                              RelativeKey::Parse({name, year})}});
+
+  // Two queries, one per era, bound to the era's context; union the rows by
+  // running the heterogeneous contexts one at a time and merging in OLAP.
+  auto query = seda.Parse(R"((name, "China") AND (GDP | GDP_ppp, *))");
+  if (!query.ok()) return 1;
+
+  std::printf("=== Context summary for the GDP term (both schema eras) ===\n");
+  auto response = seda.Search(query.value());
+  if (!response.ok()) return 1;
+  std::printf("%s\n", response.value().contexts.ToString().c_str());
+
+  for (const char* context : {"/country/economy/GDP", "/country/economy/GDP_ppp"}) {
+    auto refined =
+        seda.RefineContexts(query.value(), {{"/country/name"}, {context}});
+    if (!refined.ok()) return 1;
+    auto result = seda.CompleteResults(refined.value(),
+                                       {"/country/name", context}, {});
+    if (!result.ok()) {
+      std::printf("%s: %s\n", context, result.status().ToString().c_str());
+      continue;
+    }
+    if (result.value().tuples.empty()) {
+      std::printf("%s: no tuples\n\n", context);
+      continue;
+    }
+    auto schema = seda.BuildCube(result.value());
+    if (!schema.ok()) {
+      std::printf("%s: %s\n", context, schema.status().ToString().c_str());
+      continue;
+    }
+    std::printf("--- context %s ---\n%s\n", context,
+                schema.value().fact_tables[0].ToString().c_str());
+    auto cube = seda.ToOlapCube(schema.value());
+    if (!cube.ok()) continue;
+    auto by_year = cube.value().Aggregate({"year"}, seda::olap::AggFn::kAvg, "GDP");
+    if (by_year.ok()) {
+      std::printf("%s\n", by_year.value().ToString().c_str());
+    }
+  }
+  std::printf("The same fact name covers both eras; pre-2005 rows come from\n"
+              "/country/economy/GDP and later rows from GDP_ppp.\n");
+  return 0;
+}

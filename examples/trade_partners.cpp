@@ -1,0 +1,85 @@
+// The paper's worked example (Example 1 + Figure 3), end to end: find the
+// import partners of "United States" and their trade percentages, refine by
+// context, inspect the two candidate connections, compute the complete
+// result and derive the star schema + OLAP cube.
+//
+//   build/examples/trade_partners
+
+#include <cstdio>
+
+#include "core/seda.h"
+#include "data/generators.h"
+
+using seda::cube::RelativeKey;
+
+namespace {
+constexpr const char* kName = "/country/name";
+constexpr const char* kYear = "/country/year";
+constexpr const char* kTrade = "/country/economy/import_partners/item/trade_country";
+constexpr const char* kPct = "/country/economy/import_partners/item/percentage";
+}  // namespace
+
+int main() {
+  seda::core::Seda seda;
+  seda::data::PopulateScenario(seda.mutable_store());
+  seda::core::SedaOptions options;
+  options.value_edges.push_back({kName, kTrade, "trade_partner"});
+  if (!seda.Finalize(options).ok()) return 1;
+
+  auto* catalog = seda.mutable_catalog();
+  (void)catalog->DefineDimension("country",
+                                 {{kName, RelativeKey::Parse({kName, kYear})}});
+  (void)catalog->DefineDimension("year",
+                                 {{kYear, RelativeKey::Parse({kName, kYear})}});
+  (void)catalog->DefineDimension(
+      "import-country", {{kTrade, RelativeKey::Parse({kName, kYear, "."})}});
+  (void)catalog->DefineFact(
+      "import-trade-percentage",
+      {{kPct, RelativeKey::Parse({kName, kYear, "../trade_country"})}});
+
+  // --- Query panel ---------------------------------------------------
+  const char* query_text =
+      R"((*, "United States") AND (trade_country, *) AND (percentage, *))";
+  std::printf("Query 1: %s\n\n", query_text);
+  auto query = seda.Parse(query_text);
+  if (!query.ok()) return 1;
+
+  auto response = seda.Search(query.value());
+  if (!response.ok()) return 1;
+  std::printf("=== Result panel (top-k) ===\n");
+  for (const auto& tuple : response.value().topk) {
+    std::printf("  %s\n", tuple.ToString(seda.store()).c_str());
+  }
+  std::printf("\n=== Context summary panel ===\n%s",
+              response.value().contexts.ToString().c_str());
+
+  // --- User picks the import contexts (the paper's refinement step) --
+  auto refined = seda.RefineContexts(query.value(), {{kName}, {kTrade}, {kPct}});
+  if (!refined.ok()) return 1;
+  auto refined_response = seda.Search(refined.value());
+  if (!refined_response.ok()) return 1;
+  std::printf("=== Connection summary panel (after refinement) ===\n%s",
+              refined_response.value().connections.ToString().c_str());
+
+  // --- Complete result + data cube panel ------------------------------
+  auto result = seda.CompleteResults(refined.value(), {kName, kTrade, kPct}, {});
+  if (!result.ok()) return 1;
+  std::printf("\ncomplete result: %zu tuples\n\n", result.value().tuples.size());
+
+  auto schema = seda.BuildCube(result.value());
+  if (!schema.ok()) {
+    std::printf("cube failed: %s\n", schema.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("=== Data cube panel (star schema, Fig. 3c) ===\n%s",
+              schema.value().ToString().c_str());
+
+  auto cube = seda.ToOlapCube(schema.value());
+  if (!cube.ok()) return 1;
+  auto pivot = cube.value().Pivot("year", "import-country", seda::olap::AggFn::kSum,
+                                  "import-trade-percentage");
+  if (!pivot.ok()) return 1;
+  std::printf("=== OLAP pivot: import share by year x partner ===\n%s",
+              pivot.value().c_str());
+  return 0;
+}

@@ -1,0 +1,18 @@
+#include "common/rng.h"
+
+namespace seda {
+
+size_t Rng::Weighted(const std::vector<double>& weights) {
+  double total = 0;
+  for (double w : weights) total += w;
+  if (total <= 0 || weights.empty()) return 0;
+  double pick = NextDouble() * total;
+  double acc = 0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (pick < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace seda

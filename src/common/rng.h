@@ -1,0 +1,60 @@
+#ifndef SEDA_COMMON_RNG_H_
+#define SEDA_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace seda {
+
+/// Deterministic 64-bit PRNG (xorshift128+). All synthetic data generators use
+/// this so every experiment in the repository is exactly reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eda5eda5eda5edaull) {
+    // SplitMix64 seeding so nearby seeds give unrelated streams.
+    uint64_t z = seed;
+    for (uint64_t* slot : {&s0_, &s1_}) {
+      z += 0x9e3779b97f4a7c15ull;
+      uint64_t x = z;
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+      *slot = x ^ (x >> 31);
+    }
+    if (s0_ == 0 && s1_ == 0) s1_ = 1;
+  }
+
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform integer in [0, bound). Requires bound > 0.
+  uint64_t Uniform(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t Range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() { return (Next() >> 11) * (1.0 / 9007199254740992.0); }
+
+  /// Returns true with probability p.
+  bool Chance(double p) { return NextDouble() < p; }
+
+  /// Picks an index in [0, weights.size()) proportionally to weights.
+  size_t Weighted(const std::vector<double>& weights);
+
+ private:
+  uint64_t s0_ = 0;
+  uint64_t s1_ = 0;
+};
+
+}  // namespace seda
+
+#endif  // SEDA_COMMON_RNG_H_

@@ -1,0 +1,45 @@
+#ifndef SEDA_COMMON_STRINGS_H_
+#define SEDA_COMMON_STRINGS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace seda {
+
+/// Splits `s` on `sep`, keeping empty pieces (like absl::StrSplit).
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Splits `s` on `sep`, dropping empty pieces.
+std::vector<std::string> SplitSkipEmpty(std::string_view s, char sep);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Returns a copy of `s` converted to ASCII lowercase.
+std::string ToLower(std::string_view s);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Glob-style match supporting '*' (any run) and '?' (any one char).
+/// Used for wildcard tag-name contexts in query terms, e.g. "trade_*".
+bool WildcardMatch(std::string_view pattern, std::string_view text);
+
+/// FNV-1a 64-bit hash; stable across platforms (used for dataguide signatures
+/// and deterministic hashing in tests).
+uint64_t Fnv1a64(std::string_view s);
+
+/// Combines two hash values (boost-style mixing).
+uint64_t HashCombine(uint64_t seed, uint64_t value);
+
+/// Formats a double with `digits` decimal places (no locale surprises).
+std::string FormatDouble(double value, int digits);
+
+}  // namespace seda
+
+#endif  // SEDA_COMMON_STRINGS_H_

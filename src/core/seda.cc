@@ -1,0 +1,109 @@
+#include "core/seda.h"
+
+namespace seda::core {
+
+Status Seda::Finalize(const SedaOptions& options) {
+  if (finalized()) return Status::FailedPrecondition("Seda already finalized");
+  options_ = options;
+
+  graph_ = std::make_unique<graph::DataGraph>(store_.get());
+  if (options.resolve_idrefs) graph_->ResolveIdRefs();
+  if (options.resolve_xlinks) graph_->ResolveXLinks();
+  for (const SedaOptions::ValueEdge& edge : options.value_edges) {
+    graph_->AddValueBasedEdges(edge.pk_path, edge.fk_path, edge.label);
+  }
+
+  index_ = std::make_unique<text::InvertedIndex>(store_.get());
+
+  dataguide::DataguideCollection::Options dg_options;
+  dg_options.overlap_threshold = options.dataguide_overlap_threshold;
+  guides_ = std::make_unique<dataguide::DataguideCollection>(
+      dataguide::DataguideCollection::Build(*store_, dg_options));
+  guides_->AddLinksFromGraph(*graph_);
+
+  searcher_ = std::make_unique<topk::TopKSearcher>(index_.get(), graph_.get());
+  return Status::OK();
+}
+
+Result<query::Query> Seda::Parse(const std::string& text) const {
+  return query::ParseQuery(text);
+}
+
+Result<SearchResponse> Seda::Search(const query::Query& query) const {
+  if (!finalized()) return Status::FailedPrecondition("call Finalize() first");
+  SearchResponse response;
+  auto topk_result = searcher_->Search(query, options_.topk, &response.stats);
+  if (!topk_result.ok()) return topk_result.status();
+  response.topk = std::move(topk_result).value();
+
+  summary::ContextSummaryGenerator context_gen(index_.get());
+  response.contexts = context_gen.Generate(query);
+
+  summary::ConnectionSummaryGenerator connection_gen(guides_.get(), graph_.get());
+  response.connections = connection_gen.Generate(response.topk);
+  return response;
+}
+
+Result<SearchResponse> Seda::Search(const std::string& query_text) const {
+  auto query = Parse(query_text);
+  if (!query.ok()) return query.status();
+  return Search(query.value());
+}
+
+Result<query::Query> Seda::RefineContexts(
+    const query::Query& query,
+    const std::vector<std::vector<std::string>>& chosen_paths) const {
+  if (chosen_paths.size() != query.terms.size()) {
+    return Status::InvalidArgument("one context choice list per term required");
+  }
+  query::Query refined = query;  // deep-copies terms
+  for (size_t i = 0; i < refined.terms.size(); ++i) {
+    if (chosen_paths[i].empty()) continue;  // keep unrestricted
+    query::ContextSpec spec;
+    for (const std::string& path : chosen_paths[i]) {
+      if (path.empty() || path[0] != '/') {
+        return Status::InvalidArgument("context choices must be absolute paths; got '" +
+                                       path + "'");
+      }
+      spec.AddPath(path);
+    }
+    refined.terms[i].context = std::move(spec);
+  }
+  return refined;
+}
+
+Result<twig::CompleteResult> Seda::CompleteResults(
+    const query::Query& query, const std::vector<std::string>& term_paths,
+    const std::vector<twig::ChosenConnection>& connections) const {
+  if (!finalized()) return Status::FailedPrecondition("call Finalize() first");
+  if (term_paths.size() != query.terms.size()) {
+    return Status::InvalidArgument("one chosen path per term required");
+  }
+  std::vector<twig::TermBinding> bindings;
+  bindings.reserve(query.terms.size());
+  for (size_t i = 0; i < query.terms.size(); ++i) {
+    twig::TermBinding binding;
+    binding.path = term_paths[i];
+    binding.search = query.terms[i].search.get();
+    bindings.push_back(binding);
+  }
+  twig::CompleteResultGenerator generator(index_.get(), graph_.get());
+  return generator.Execute(bindings, connections);
+}
+
+Result<cube::StarSchema> Seda::BuildCube(
+    const twig::CompleteResult& result,
+    const cube::CubeBuilder::Options& options) const {
+  if (!finalized()) return Status::FailedPrecondition("call Finalize() first");
+  cube::CubeBuilder builder(store_.get(), &catalog_);
+  return builder.Build(result, options);
+}
+
+Result<olap::Cube> Seda::ToOlapCube(const cube::StarSchema& schema) const {
+  if (schema.fact_tables.empty()) {
+    return Status::FailedPrecondition("star schema has no fact table");
+  }
+  return olap::Cube::FromFactTable(schema.fact_tables.front());
+}
+
+}  // namespace seda::core

@@ -1,0 +1,122 @@
+#ifndef SEDA_CORE_SEDA_H_
+#define SEDA_CORE_SEDA_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "cube/cube_builder.h"
+#include "dataguide/dataguide.h"
+#include "graph/data_graph.h"
+#include "olap/olap.h"
+#include "query/query.h"
+#include "store/document_store.h"
+#include "summary/connection_summary.h"
+#include "summary/context_summary.h"
+#include "text/inverted_index.h"
+#include "topk/topk.h"
+#include "twig/twig.h"
+
+namespace seda::core {
+
+/// Everything SEDA returns for one search interaction (paper Fig. 6): the
+/// top-k answers plus the two result summaries driving refinement.
+struct SearchResponse {
+  std::vector<topk::ScoredTuple> topk;
+  summary::ContextSummary contexts;
+  summary::ConnectionSummary connections;
+  topk::SearchStats stats;
+};
+
+/// Configuration of a Seda instance.
+struct SedaOptions {
+  double dataguide_overlap_threshold = 0.4;  ///< Table 1 uses 40%
+  topk::TopKOptions topk;
+  bool resolve_idrefs = true;
+  bool resolve_xlinks = true;
+  /// Value-based PK/FK relationships provided as input (paper §3: "we assume
+  /// instances of ... value-based relationships are provided as input").
+  struct ValueEdge {
+    std::string pk_path;
+    std::string fk_path;
+    std::string label;
+  };
+  std::vector<ValueEdge> value_edges;
+};
+
+/// The SEDA system facade: wires storage, indexing, the execution engine and
+/// the cube processor into the Figure 6 control flow:
+///
+///   AddXml/AddDocument*  ->  Finalize()
+///   Search(query)        ->  top-k + context & connection summaries
+///   (user picks contexts)    RefineContexts(query, picks) -> new Search
+///   (user picks connections) CompleteResults(...)         -> full R(q)
+///   BuildCube(...)       ->  star schema -> olap::Cube
+class Seda {
+ public:
+  Seda() : store_(std::make_unique<store::DocumentStore>()) {}
+
+  /// Storage is mutable until Finalize() builds the indexes.
+  store::DocumentStore* mutable_store() { return store_.get(); }
+
+  /// Builds the data graph, full-text index and dataguide summary. Call once
+  /// after loading documents; afterwards the instance is immutable and all
+  /// query entry points become available.
+  Status Finalize(const SedaOptions& options);
+  Status Finalize() { return Finalize(SedaOptions{}); }
+
+  bool finalized() const { return index_ != nullptr; }
+
+  const store::DocumentStore& store() const { return *store_; }
+  const graph::DataGraph& data_graph() const { return *graph_; }
+  const text::InvertedIndex& index() const { return *index_; }
+  const dataguide::DataguideCollection& dataguides() const { return *guides_; }
+  cube::Catalog* mutable_catalog() { return &catalog_; }
+  const cube::Catalog& catalog() const { return catalog_; }
+
+  /// Parses the paper's query syntax, e.g.
+  ///   (*, "United States") AND (trade_country, *) AND (percentage, *)
+  Result<query::Query> Parse(const std::string& text) const;
+
+  /// Runs top-k search and computes both summaries (Fig. 6 first stage).
+  Result<SearchResponse> Search(const query::Query& query) const;
+  Result<SearchResponse> Search(const std::string& query_text) const;
+
+  /// Context refinement (§5): restricts each term to the chosen context
+  /// paths (empty vector = keep the term unrestricted) and returns the
+  /// refined query for a new Search round.
+  Result<query::Query> RefineContexts(
+      const query::Query& query,
+      const std::vector<std::vector<std::string>>& chosen_paths) const;
+
+  /// Computes the complete result set (§7) for terms pinned to single
+  /// contexts, honoring the chosen connections.
+  Result<twig::CompleteResult> CompleteResults(
+      const query::Query& query, const std::vector<std::string>& term_paths,
+      const std::vector<twig::ChosenConnection>& connections) const;
+
+  /// Builds the star schema from a complete result (§7 steps 1-3).
+  Result<cube::StarSchema> BuildCube(const twig::CompleteResult& result,
+                                     const cube::CubeBuilder::Options& options) const;
+  Result<cube::StarSchema> BuildCube(const twig::CompleteResult& result) const {
+    return BuildCube(result, cube::CubeBuilder::Options{});
+  }
+
+  /// Convenience: loads the first fact table of a star schema into the OLAP
+  /// engine (the paper feeds the tables to an off-the-shelf OLAP tool).
+  Result<olap::Cube> ToOlapCube(const cube::StarSchema& schema) const;
+
+ private:
+  std::unique_ptr<store::DocumentStore> store_;
+  std::unique_ptr<graph::DataGraph> graph_;
+  std::unique_ptr<text::InvertedIndex> index_;
+  std::unique_ptr<dataguide::DataguideCollection> guides_;
+  std::unique_ptr<topk::TopKSearcher> searcher_;
+  cube::Catalog catalog_;
+  SedaOptions options_;
+};
+
+}  // namespace seda::core
+
+#endif  // SEDA_CORE_SEDA_H_

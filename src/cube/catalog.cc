@@ -1,0 +1,124 @@
+#include "cube/catalog.h"
+
+#include <algorithm>
+
+namespace seda::cube {
+
+bool CatalogEntry::CoversAll(const std::vector<std::string>& paths) const {
+  if (paths.empty()) return false;
+  for (const std::string& path : paths) {
+    if (BindingFor(path) == nullptr) return false;
+  }
+  return true;
+}
+
+bool CatalogEntry::CoversAny(const std::vector<std::string>& paths) const {
+  for (const std::string& path : paths) {
+    if (BindingFor(path) != nullptr) return true;
+  }
+  return false;
+}
+
+const ContextBinding* CatalogEntry::BindingFor(const std::string& path) const {
+  for (const ContextBinding& binding : context_list) {
+    if (binding.context == path) return &binding;
+  }
+  return nullptr;
+}
+
+Status Catalog::Define(std::vector<CatalogEntry>* entries, const std::string& name,
+                       bool is_fact, std::vector<ContextBinding> context_list) {
+  if (name.empty()) return Status::InvalidArgument("catalog entry needs a name");
+  if (context_list.empty()) {
+    return Status::InvalidArgument("catalog entry '" + name +
+                                   "' needs at least one context");
+  }
+  if (FindFact(name) != nullptr || FindDimension(name) != nullptr) {
+    return Status::AlreadyExists("catalog entry '" + name + "' already defined");
+  }
+  CatalogEntry entry;
+  entry.name = name;
+  entry.is_fact = is_fact;
+  entry.context_list = std::move(context_list);
+  entries->push_back(std::move(entry));
+  return Status::OK();
+}
+
+Status Catalog::DefineFact(const std::string& name,
+                           std::vector<ContextBinding> context_list) {
+  return Define(&facts_, name, true, std::move(context_list));
+}
+
+Status Catalog::DefineDimension(const std::string& name,
+                                std::vector<ContextBinding> context_list) {
+  return Define(&dimensions_, name, false, std::move(context_list));
+}
+
+Status Catalog::DefineFactChecked(const std::string& name,
+                                  std::vector<ContextBinding> context_list,
+                                  const store::DocumentStore& store) {
+  for (const ContextBinding& binding : context_list) {
+    SEDA_RETURN_IF_ERROR(VerifyKeyUniqueness(store, binding.context, binding.key));
+  }
+  return DefineFact(name, std::move(context_list));
+}
+
+Status Catalog::DefineDimensionChecked(const std::string& name,
+                                       std::vector<ContextBinding> context_list,
+                                       const store::DocumentStore& store) {
+  for (const ContextBinding& binding : context_list) {
+    SEDA_RETURN_IF_ERROR(VerifyKeyUniqueness(store, binding.context, binding.key));
+  }
+  return DefineDimension(name, std::move(context_list));
+}
+
+const CatalogEntry* Catalog::FindFact(const std::string& name) const {
+  for (const CatalogEntry& entry : facts_) {
+    if (entry.name == name) return &entry;
+  }
+  return nullptr;
+}
+
+const CatalogEntry* Catalog::FindDimension(const std::string& name) const {
+  for (const CatalogEntry& entry : dimensions_) {
+    if (entry.name == name) return &entry;
+  }
+  return nullptr;
+}
+
+namespace {
+std::vector<const CatalogEntry*> Filter(const std::vector<CatalogEntry>& entries,
+                                        const std::vector<std::string>& paths,
+                                        bool full) {
+  std::vector<const CatalogEntry*> out;
+  for (const CatalogEntry& entry : entries) {
+    if (full ? entry.CoversAll(paths)
+             : (entry.CoversAny(paths) && !entry.CoversAll(paths))) {
+      out.push_back(&entry);
+    }
+  }
+  return out;
+}
+}  // namespace
+
+std::vector<const CatalogEntry*> Catalog::MatchFacts(
+    const std::vector<std::string>& paths) const {
+  return Filter(facts_, paths, true);
+}
+
+std::vector<const CatalogEntry*> Catalog::MatchDimensions(
+    const std::vector<std::string>& paths) const {
+  return Filter(dimensions_, paths, true);
+}
+
+std::vector<const CatalogEntry*> Catalog::PartialFacts(
+    const std::vector<std::string>& paths) const {
+  return Filter(facts_, paths, false);
+}
+
+std::vector<const CatalogEntry*> Catalog::PartialDimensions(
+    const std::vector<std::string>& paths) const {
+  return Filter(dimensions_, paths, false);
+}
+
+}  // namespace seda::cube

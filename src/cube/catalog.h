@@ -1,0 +1,87 @@
+#ifndef SEDA_CUBE_CATALOG_H_
+#define SEDA_CUBE_CATALOG_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "cube/relative_key.h"
+
+namespace seda::cube {
+
+/// One (context, key) row of a fact's or dimension's ContextList. The
+/// ContextList is a relation because the underlying collection is
+/// heterogeneous: the paper's GDP fact is defined by both
+/// /country/economy/GDP and /country/economy/GDP_ppp (schema evolution).
+struct ContextBinding {
+  std::string context;  ///< root-to-leaf path of the fact/dimension node
+  RelativeKey key;
+};
+
+/// A fact or dimension known to the system: <name, ContextList>.
+struct CatalogEntry {
+  std::string name;
+  bool is_fact = false;
+  std::vector<ContextBinding> context_list;
+
+  /// True iff every path in `paths` appears in this entry's context list —
+  /// the paper's matching rule pi_cp(R) subseteq pi_context(ContextList).
+  bool CoversAll(const std::vector<std::string>& paths) const;
+  /// True iff at least one path appears (the partial-match warning case).
+  bool CoversAny(const std::vector<std::string>& paths) const;
+  /// The binding whose context equals `path`, if any.
+  const ContextBinding* BindingFor(const std::string& path) const;
+};
+
+/// The sets F (facts) and D (dimensions) known to SEDA (§7). Initially
+/// provided by an administrator; extended by users during query processing.
+/// Entries contain only path metadata, never instance values.
+class Catalog {
+ public:
+  /// Defines a fact; fails on duplicate names.
+  Status DefineFact(const std::string& name,
+                    std::vector<ContextBinding> context_list);
+  /// Defines a dimension; fails on duplicate names.
+  Status DefineDimension(const std::string& name,
+                         std::vector<ContextBinding> context_list);
+
+  /// User-facing definition path: verifies the key's uniqueness over the
+  /// stored collection before accepting (paper §7 Step 1: "The system
+  /// automatically verifies the keys ... checking their uniqueness").
+  Status DefineFactChecked(const std::string& name,
+                           std::vector<ContextBinding> context_list,
+                           const store::DocumentStore& store);
+  Status DefineDimensionChecked(const std::string& name,
+                                std::vector<ContextBinding> context_list,
+                                const store::DocumentStore& store);
+
+  const std::vector<CatalogEntry>& facts() const { return facts_; }
+  const std::vector<CatalogEntry>& dimensions() const { return dimensions_; }
+
+  const CatalogEntry* FindFact(const std::string& name) const;
+  const CatalogEntry* FindDimension(const std::string& name) const;
+
+  /// Facts fully covering the path set (Step 1 complete matches).
+  std::vector<const CatalogEntry*> MatchFacts(
+      const std::vector<std::string>& paths) const;
+  std::vector<const CatalogEntry*> MatchDimensions(
+      const std::vector<std::string>& paths) const;
+
+  /// Facts/dimensions intersecting but not covering (warning case).
+  std::vector<const CatalogEntry*> PartialFacts(
+      const std::vector<std::string>& paths) const;
+  std::vector<const CatalogEntry*> PartialDimensions(
+      const std::vector<std::string>& paths) const;
+
+ private:
+  Status Define(std::vector<CatalogEntry>* entries, const std::string& name,
+                bool is_fact, std::vector<ContextBinding> context_list);
+
+  std::vector<CatalogEntry> facts_;
+  std::vector<CatalogEntry> dimensions_;
+};
+
+}  // namespace seda::cube
+
+#endif  // SEDA_CUBE_CATALOG_H_

@@ -1,0 +1,77 @@
+#ifndef SEDA_CUBE_RELATIVE_KEY_H_
+#define SEDA_CUBE_RELATIVE_KEY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "store/document_store.h"
+
+namespace seda::cube {
+
+/// One component of a relative XML key (Buneman et al. [5], used by the paper
+/// in §7): either an absolute path expression starting at the document root
+/// ("/country/year") or a relative path expression starting at the context
+/// node (".", "..", "../trade_country").
+struct KeyPath {
+  bool absolute = false;
+  std::string text;
+
+  /// Classifies by leading character: '/' => absolute, otherwise relative.
+  static KeyPath Of(const std::string& text);
+};
+
+/// A relative key: an ordered list of KeyPath components. Example from the
+/// paper: the import-trade-percentage fact has key
+///   (/country, /country/year, ../trade_country)
+/// where the first two components are absolute and the last is relative to
+/// the percentage node ("for every percentage the key contains its
+/// trade_country sibling").
+class RelativeKey {
+ public:
+  RelativeKey() = default;
+  explicit RelativeKey(std::vector<KeyPath> paths) : paths_(std::move(paths)) {}
+
+  /// Builds from path strings, e.g. {"/country", "/country/year", "../trade_country"}.
+  static RelativeKey Parse(const std::vector<std::string>& paths);
+
+  const std::vector<KeyPath>& paths() const { return paths_; }
+  bool empty() const { return paths_.empty(); }
+  size_t size() const { return paths_.size(); }
+
+  /// Evaluates every component for context node `node`, returning one string
+  /// value per component. Errors when a component resolves to no node or to
+  /// more than one node (keys must be single-valued, as the paper assumes
+  /// "exactly one such sibling").
+  Result<std::vector<std::string>> Evaluate(const store::DocumentStore& store,
+                                            const store::NodeId& node) const;
+
+  /// Resolves each component to the absolute context path it denotes when
+  /// evaluated at a node whose context is `context_path` (e.g. relative
+  /// "../trade_country" at ".../item/percentage" resolves to
+  /// ".../item/trade_country"). Used to auto-match key components to known
+  /// dimensions during augmentation.
+  std::vector<std::string> ResolveTargetPaths(const std::string& context_path) const;
+
+  /// True iff both keys resolve to the same component target paths at the
+  /// given contexts — the merge criterion for fact tables (§7, "we merge
+  /// fact tables if they have the same keys").
+  bool SameTargets(const std::string& my_context, const RelativeKey& other,
+                   const std::string& other_context) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<KeyPath> paths_;
+};
+
+/// Verifies that `key` uniquely identifies every node whose context is
+/// `context_path` (the system-side key check the paper performs when a user
+/// defines a new fact or dimension). Returns OK when unique; a
+/// FailedPrecondition status naming the first duplicate otherwise.
+Status VerifyKeyUniqueness(const store::DocumentStore& store,
+                           const std::string& context_path, const RelativeKey& key);
+
+}  // namespace seda::cube
+
+#endif  // SEDA_CUBE_RELATIVE_KEY_H_

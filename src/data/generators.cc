@@ -1,0 +1,543 @@
+#include "data/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace seda::data {
+
+namespace {
+
+using xml::Document;
+using xml::Node;
+
+/// Adds <tag>value</tag> under parent.
+Node* Leaf(Node* parent, const std::string& tag, const std::string& value) {
+  Node* el = parent->AddElement(tag);
+  el->AddText(value);
+  return el;
+}
+
+std::string Num(seda::Rng* rng, int lo, int hi, const std::string& suffix = "") {
+  return std::to_string(rng->Range(lo, hi)) + suffix;
+}
+
+std::string Pct(seda::Rng* rng) {
+  return std::to_string(rng->Range(1, 39)) + "." + std::to_string(rng->Range(0, 9)) +
+         "%";
+}
+
+}  // namespace
+
+const std::vector<std::string>& CountryNamePool() {
+  static const std::vector<std::string>* kPool = [] {
+    auto* pool = new std::vector<std::string>{
+        "United States", "China",     "Canada",   "Mexico",    "Germany",
+        "France",        "Brazil",    "India",    "Japan",     "Australia",
+        "Russia",        "Italy",     "Spain",    "Nigeria",   "Egypt",
+        "Kenya",         "Peru",      "Chile",    "Argentina", "Norway",
+        "Sweden",        "Finland",   "Poland",   "Romania",   "Greece",
+        "Turkey",        "Iran",      "Iraq",     "Israel",    "Jordan",
+        "Thailand",      "Vietnam",   "Laos",     "Cambodia",  "Malaysia",
+        "Indonesia",     "Philippines", "Korea",  "Mongolia",  "Nepal",
+        "Ghana",         "Senegal",   "Morocco",  "Tunisia",   "Libya",
+        "Sudan",         "Ethiopia",  "Somalia",  "Angola",    "Zambia",
+        "Bolivia",       "Ecuador",   "Colombia", "Venezuela", "Uruguay",
+        "Paraguay",      "Cuba",      "Haiti",    "Panama",    "Honduras",
+    };
+    // Extend deterministically to ~270 names.
+    for (int i = 0; i < 210; ++i) {
+      pool->push_back("Country" + std::to_string(i));
+    }
+    return pool;
+  }();
+  return *kPool;
+}
+
+std::vector<std::string> WorldFactbookGenerator::UnitedStatesContexts() {
+  return {
+      "/country/name",
+      "/country/government/long_form",
+      "/country/government/capital_named_after",
+      "/country/government/diplomatic/embassy_of",
+      "/country/government/treaties/signatory",
+      "/country/economy/import_partners/item/trade_country",
+      "/country/economy/export_partners/item/trade_country",
+      "/country/economy/aid_donors/donor",
+      "/country/economy/aid_recipients/donor_country",
+      "/country/economy/currency_peg/anchor",
+      "/country/economy/major_creditors/creditor",
+      "/country/transnational_issues/refugees/country_of_origin",
+      "/country/transnational_issues/disputes/party",
+      "/country/transnational_issues/illicit_drugs/transit_to",
+      "/country/geography/bordering/neighbor",
+      "/country/geography/maritime_claims/adjacent_to",
+      "/country/people/migration/destination",
+      "/country/people/diaspora/host_country",
+      "/country/military/alliances/ally",
+      "/country/military/bases/host_nation",
+      "/country/communications/satellite/operator_country",
+      "/country/transport/airlines/partner_country",
+      "/country/transport/ports/operated_by",
+      "/territory/name",
+      "/territory/administered_by",
+      "/territory/claimed_by",
+      "/territory/history/discovered_by",
+  };
+}
+
+void WorldFactbookGenerator::Populate(store::DocumentStore* store) const {
+  seda::Rng rng(options_.seed);
+  const auto& names = CountryNamePool();
+  size_t countries =
+      std::max<size_t>(2, static_cast<size_t>(options_.countries_per_year *
+                                              options_.scale));
+  size_t territories = std::max<size_t>(
+      1, static_cast<size_t>(options_.territories_per_year * options_.scale));
+  size_t refugee_budget = static_cast<size_t>(options_.refugee_docs * options_.scale);
+  size_t refugees_emitted = 0;
+
+  // Long-tail optional metric pools per section: metric i is present with a
+  // Zipf-ish probability, and metrics past the first few only exist in later
+  // years (schema evolution), reproducing the paper's "long tail of
+  // infrequent paths".
+  const std::vector<std::string> sections = {
+      "geography", "people",        "economy", "government",
+      "military",  "communications", "transport", "environment",
+      "energy",    "health",        "education"};
+  const size_t metrics_per_section = 185;
+
+  // Rare contexts that can carry a country name (part of the 27 "United
+  // States" contexts). Each maps to (section, subsection, leaf).
+  struct NameSlot {
+    const char* section;
+    const char* group;
+    const char* leaf;
+    double probability;
+  };
+  const std::vector<NameSlot> name_slots = {
+      {"government", "diplomatic", "embassy_of", 0.05},
+      {"government", "treaties", "signatory", 0.04},
+      {"economy", "aid_donors", "donor", 0.05},
+      {"economy", "aid_recipients", "donor_country", 0.03},
+      {"economy", "currency_peg", "anchor", 0.02},
+      {"economy", "major_creditors", "creditor", 0.02},
+      {"transnational_issues", "disputes", "party", 0.06},
+      {"transnational_issues", "illicit_drugs", "transit_to", 0.03},
+      {"geography", "maritime_claims", "adjacent_to", 0.05},
+      {"people", "migration", "destination", 0.06},
+      {"people", "diaspora", "host_country", 0.03},
+      {"military", "alliances", "ally", 0.05},
+      {"military", "bases", "host_nation", 0.02},
+      {"communications", "satellite", "operator_country", 0.015},
+      {"transport", "airlines", "partner_country", 0.02},
+      {"transport", "ports", "operated_by", 0.015},
+  };
+
+  size_t doc_counter = 0;
+  for (int year = options_.first_year; year <= options_.last_year; ++year) {
+    for (size_t c = 0; c < countries; ++c) {
+      const std::string& name = names[c % names.size()];
+      bool is_us = name == "United States";
+      auto doc = std::make_unique<Document>(
+          "factbook-" + std::to_string(year) + "-" + std::to_string(c));
+      Node* root = doc->CreateRoot("country");
+      Leaf(root, "name", name);
+      Leaf(root, "year", std::to_string(year));
+
+      // Government.
+      Node* government = root->AddElement("government");
+      Leaf(government, "type", rng.Chance(0.5) ? "republic" : "monarchy");
+      if (is_us) {
+        Leaf(government, "long_form", "United States of America");
+      } else if (rng.Chance(0.6)) {
+        Leaf(government, "long_form", "Republic of " + name);
+      }
+      if (is_us && year == options_.first_year) {
+        // Rare one-off context (e.g. Washington named after a person, but a
+        // few capitals reference their parent country by name).
+        Leaf(government, "capital_named_after", "United States");
+      } else if (rng.Chance(0.01)) {
+        Leaf(government, "capital_named_after",
+             names[rng.Uniform(names.size())]);
+      }
+
+      // Geography with bordering neighbours (Figure 1 edges are added at the
+      // graph layer from these names via value-based edges).
+      Node* geography = root->AddElement("geography");
+      Leaf(geography, "location",
+           rng.Chance(0.3) ? "America" : (rng.Chance(0.5) ? "Asia" : "Europe"));
+      Leaf(geography, "area", Num(&rng, 1000, 9000000, " sq km"));
+      if (rng.Chance(0.6)) {
+        Node* bordering = geography->AddElement("bordering");
+        size_t neighbours = 1 + rng.Uniform(3);
+        for (size_t b = 0; b < neighbours; ++b) {
+          Leaf(bordering, "neighbor", names[rng.Uniform(names.size())]);
+        }
+        if (is_us) Leaf(bordering, "neighbor", "Canada");
+        if (name == "Canada" || name == "Mexico") {
+          Leaf(bordering, "neighbor", "United States");
+        }
+      }
+
+      // People.
+      Node* people = root->AddElement("people");
+      Leaf(people, "population", Num(&rng, 100000, 1400000000));
+      if (rng.Chance(0.7)) Leaf(people, "life_expectancy", Num(&rng, 48, 84));
+      if (rng.Chance(0.5)) Leaf(people, "literacy", Pct(&rng));
+
+      // Economy with the paper's schema evolution: GDP before 2005,
+      // GDP_ppp from 2005 on (§7's heterogeneous fact example).
+      Node* economy = root->AddElement("economy");
+      std::string gdp_value = std::to_string(rng.Range(1, 18)) + "." +
+                              std::to_string(rng.Range(0, 999)) + "T";
+      if (year < 2005) {
+        Leaf(economy, "GDP", gdp_value);
+      } else {
+        Leaf(economy, "GDP_ppp", gdp_value);
+      }
+      Node* imports = economy->AddElement("import_partners");
+      size_t import_count = 2 + rng.Uniform(3);
+      for (size_t i = 0; i < import_count; ++i) {
+        Node* item = imports->AddElement("item");
+        std::string partner = names[rng.Uniform(60)];
+        // Many countries import from the US, making "United States" a
+        // high-frequency trade_country value as in the real Factbook.
+        if (i == 0 && !is_us && rng.Chance(0.5)) partner = "United States";
+        Leaf(item, "trade_country", partner);
+        Leaf(item, "percentage", Pct(&rng));
+      }
+      Node* exports = economy->AddElement("export_partners");
+      size_t export_count = 1 + rng.Uniform(3);
+      for (size_t i = 0; i < export_count; ++i) {
+        Node* item = exports->AddElement("item");
+        std::string partner = names[rng.Uniform(60)];
+        if (i == 0 && !is_us && rng.Chance(0.4)) partner = "United States";
+        Leaf(item, "trade_country", partner);
+        Leaf(item, "percentage", Pct(&rng));
+      }
+
+      // Refugees path in a fixed number of documents (paper: 186/1600),
+      // spread evenly across the collection.
+      if (refugees_emitted < refugee_budget && (doc_counter % 8) == 3) {
+        Node* transnational = root->AddElement("transnational_issues");
+        Node* refugees = transnational->AddElement("refugees");
+        Leaf(refugees, "country_of_origin",
+             is_us || rng.Chance(0.1) ? "United States"
+                                      : names[rng.Uniform(names.size())]);
+        ++refugees_emitted;
+      }
+
+      // Named rare contexts.
+      for (const NameSlot& slot : name_slots) {
+        bool force_us = is_us && year == options_.last_year;
+        if (!force_us && !rng.Chance(slot.probability)) continue;
+        Node* section = root->FindChild(slot.section);
+        if (section == nullptr) section = root->AddElement(slot.section);
+        Node* group = section->FindChild(slot.group);
+        if (group == nullptr) group = section->AddElement(slot.group);
+        std::string value = force_us || rng.Chance(0.15)
+                                ? "United States"
+                                : names[rng.Uniform(names.size())];
+        Leaf(group, slot.leaf, value);
+      }
+
+      // Long-tail metrics.
+      for (const std::string& section_name : sections) {
+        for (size_t metric = 0; metric < metrics_per_section; ++metric) {
+          double p = 1.2 / static_cast<double>(metric + 3);
+          // Later metrics only exist in later releases (schema evolution).
+          int min_year = options_.first_year + static_cast<int>(metric % 6);
+          if (year < min_year) continue;
+          if (!rng.Chance(p * 0.35)) continue;
+          Node* section = root->FindChild(section_name);
+          if (section == nullptr) section = root->AddElement(section_name);
+          Leaf(section, "metric_" + std::to_string(metric), Num(&rng, 1, 100000));
+        }
+      }
+
+      store->AddDocument(std::move(doc));
+      ++doc_counter;
+    }
+
+    // Territory documents (different root tag, so /country misses them —
+    // the paper's 1577-of-1600 statistic).
+    for (size_t t = 0; t < territories; ++t) {
+      auto doc = std::make_unique<Document>(
+          "factbook-territory-" + std::to_string(year) + "-" + std::to_string(t));
+      Node* root = doc->CreateRoot("territory");
+      std::string territory_name =
+          t == 0 ? "United States Virgin Islands"
+                 : "Territory" + std::to_string(t) + " Islands";
+      Leaf(root, "name", territory_name);
+      Leaf(root, "year", std::to_string(year));
+      Leaf(root, "administered_by",
+           t == 0 ? "United States" : names[rng.Uniform(60)]);
+      if (t == 1) {
+        Leaf(root, "claimed_by", "United States");
+      } else if (rng.Chance(0.3)) {
+        Leaf(root, "claimed_by", names[rng.Uniform(60)]);
+      }
+      Node* history = root->AddElement("history");
+      Leaf(history, "discovered_by",
+           t == 2 || (t == 0 && year == options_.last_year)
+               ? "United States"
+               : names[rng.Uniform(60)]);
+      Leaf(root, "population", Num(&rng, 500, 300000));
+      store->AddDocument(std::move(doc));
+      ++doc_counter;
+    }
+  }
+}
+
+void MondialGenerator::Populate(store::DocumentStore* store) const {
+  seda::Rng rng(options_.seed);
+  const auto& names = CountryNamePool();
+  auto scaled = [&](size_t n) {
+    return std::max<size_t>(1, static_cast<size_t>(n * options_.scale));
+  };
+  size_t countries = scaled(options_.countries);
+  size_t provinces = scaled(options_.provinces);
+  size_t cities = scaled(options_.cities);
+  size_t seas = scaled(options_.seas);
+  size_t rivers = scaled(options_.rivers);
+  size_t organizations = scaled(options_.organizations);
+
+  // Subtype counts per entity kind; each subtype has its own optional field
+  // mix, so dataguides converge to roughly one per subtype (Table 1: 86).
+  auto subtype_fields = [&rng](Node* node, size_t subtype, size_t field_pool,
+                               const char* prefix) {
+    // Each subtype enables a disjoint window of 6 fields from the pool.
+    size_t base = (subtype * 8) % field_pool;
+    for (size_t f = 0; f < 8; ++f) {
+      Leaf(node, std::string(prefix) + std::to_string(base + f),
+           std::to_string(rng.Range(1, 100000)));
+    }
+  };
+
+  for (size_t i = 0; i < countries; ++i) {
+    auto doc = std::make_unique<Document>("mondial-country-" + std::to_string(i));
+    Node* root = doc->CreateRoot("mondial_country");
+    root->AddAttribute("id", "cty-" + std::to_string(i));
+    Leaf(root, "name", names[i % names.size()]);
+    Leaf(root, "population", Num(&rng, 100000, 1400000000));
+    Leaf(root, "area", Num(&rng, 1000, 17000000));
+    subtype_fields(root, i % 10, 80, "cstat_");
+    store->AddDocument(std::move(doc));
+  }
+  for (size_t i = 0; i < provinces; ++i) {
+    auto doc = std::make_unique<Document>("mondial-province-" + std::to_string(i));
+    Node* root = doc->CreateRoot("province");
+    root->AddAttribute("id", "prov-" + std::to_string(i));
+    Leaf(root, "name", "Province" + std::to_string(i));
+    Leaf(root, "in_country", names[i % names.size()]);
+    Node* country_ref = root->AddElement("part_of");
+    country_ref->AddAttribute("idref", "cty-" + std::to_string(i % countries));
+    subtype_fields(root, i % 15, 120, "pstat_");
+    store->AddDocument(std::move(doc));
+  }
+  for (size_t i = 0; i < cities; ++i) {
+    auto doc = std::make_unique<Document>("mondial-city-" + std::to_string(i));
+    Node* root = doc->CreateRoot("city");
+    root->AddAttribute("id", "city-" + std::to_string(i));
+    Leaf(root, "name", "City" + std::to_string(i));
+    Leaf(root, "in_country", names[i % names.size()]);
+    Leaf(root, "population", Num(&rng, 1000, 30000000));
+    Node* located = root->AddElement("located_in");
+    located->AddAttribute("idref", "prov-" + std::to_string(i % provinces));
+    subtype_fields(root, i % 20, 160, "ystat_");
+    store->AddDocument(std::move(doc));
+  }
+  for (size_t i = 0; i < seas; ++i) {
+    auto doc = std::make_unique<Document>("mondial-sea-" + std::to_string(i));
+    Node* root = doc->CreateRoot("sea");
+    root->AddAttribute("id", "sea-" + std::to_string(i));
+    Leaf(root, "name", i == 0 ? "Pacific Ocean" : "Sea" + std::to_string(i));
+    Leaf(root, "depth", Num(&rng, 100, 11000));
+    size_t borders = 1 + rng.Uniform(4);
+    for (size_t b = 0; b < borders; ++b) {
+      size_t cty = rng.Uniform(countries);
+      Node* bordering = root->AddElement("bordering");
+      bordering->AddAttribute("idref", "cty-" + std::to_string(cty));
+      Leaf(root, "bordering_country", names[cty % names.size()]);
+    }
+    subtype_fields(root, i % 5, 40, "sstat_");
+    store->AddDocument(std::move(doc));
+  }
+  for (size_t i = 0; i < rivers; ++i) {
+    auto doc = std::make_unique<Document>("mondial-river-" + std::to_string(i));
+    Node* root = doc->CreateRoot("river");
+    root->AddAttribute("id", "river-" + std::to_string(i));
+    Leaf(root, "name", "River" + std::to_string(i));
+    Leaf(root, "length", Num(&rng, 50, 7000));
+    Leaf(root, "in_country", names[i % names.size()]);
+    subtype_fields(root, i % 8, 64, "rstat_");
+    store->AddDocument(std::move(doc));
+  }
+  for (size_t i = 0; i < organizations; ++i) {
+    auto doc = std::make_unique<Document>("mondial-org-" + std::to_string(i));
+    Node* root = doc->CreateRoot("organization");
+    root->AddAttribute("id", "org-" + std::to_string(i));
+    Leaf(root, "name", "Organization" + std::to_string(i));
+    Node* members = root->AddElement("members");
+    size_t count = 2 + rng.Uniform(6);
+    for (size_t m = 0; m < count; ++m) {
+      size_t cty = rng.Uniform(countries);
+      Leaf(members, "member_country", names[cty % names.size()]);
+      Node* member = members->AddElement("member");
+      member->AddAttribute("idref", "cty-" + std::to_string(cty));
+    }
+    subtype_fields(root, i % 28, 224, "ostat_");
+    store->AddDocument(std::move(doc));
+  }
+}
+
+void GoogleBaseGenerator::Populate(store::DocumentStore* store) const {
+  seda::Rng rng(options_.seed);
+  size_t docs = std::max<size_t>(
+      1, static_cast<size_t>(options_.documents * options_.scale));
+  size_t types = std::max<size_t>(1, options_.item_types);
+  const std::vector<std::string> shared = {"title", "link", "price"};
+  for (size_t i = 0; i < docs; ++i) {
+    size_t type = i % types;
+    auto doc = std::make_unique<Document>("gbase-" + std::to_string(i));
+    Node* root = doc->CreateRoot("item");
+    for (const std::string& field : shared) {
+      Leaf(root, field, field + "-" + std::to_string(i));
+    }
+    Leaf(root, "item_type", "type" + std::to_string(type));
+    // Nine type-specific flat attributes; identical within a type, disjoint
+    // across types, so each type forms exactly one dataguide.
+    for (size_t f = 0; f < 9; ++f) {
+      Leaf(root, "attr_" + std::to_string(type * 9 + f), Num(&rng, 1, 10000));
+    }
+    if (type == 0 && i < types) {
+      Leaf(root, "ships_to", "United States");
+    }
+    store->AddDocument(std::move(doc));
+  }
+}
+
+void RecipeMLGenerator::Populate(store::DocumentStore* store) const {
+  seda::Rng rng(options_.seed);
+  size_t docs = std::max<size_t>(
+      1, static_cast<size_t>(options_.documents * options_.scale));
+  const std::vector<std::string> ingredients = {
+      "flour", "sugar", "butter", "eggs",  "milk",   "salt",
+      "yeast", "honey", "rice",   "beans", "tomato", "basil"};
+  for (size_t i = 0; i < docs; ++i) {
+    size_t variant = i % 3;
+    auto doc = std::make_unique<Document>("recipe-" + std::to_string(i));
+    Node* root = doc->CreateRoot("recipeml");
+    Node* recipe = root->AddElement("recipe");
+    Node* head = recipe->AddElement("head");
+    Leaf(head, "title", "Recipe " + std::to_string(i));
+    Leaf(head, "categories", variant == 0 ? "dessert" : "main");
+    Node* ing_list = recipe->AddElement("ingredients");
+    size_t count = 3 + rng.Uniform(4);
+    for (size_t k = 0; k < count; ++k) {
+      Node* ing = ing_list->AddElement("ing");
+      Leaf(ing, "amt", Num(&rng, 1, 500, " g"));
+      Leaf(ing, "item", ingredients[rng.Uniform(ingredients.size())]);
+    }
+    Node* directions = recipe->AddElement("directions");
+    Leaf(directions, "step", "Mix everything and cook.");
+    if (variant == 1) {
+      Node* nutrition = recipe->AddElement("nutrition");
+      for (int f = 0; f < 20; ++f) {
+        Leaf(nutrition, "nutrient_" + std::to_string(f), Num(&rng, 1, 900));
+      }
+    }
+    if (variant == 2) {
+      Node* meta = recipe->AddElement("meta");
+      Leaf(meta, "source", "community");
+      Leaf(meta, "yield", Num(&rng, 1, 12));
+      for (int f = 0; f < 18; ++f) {
+        Leaf(meta, "provenance_" + std::to_string(f), Num(&rng, 1, 900));
+      }
+    }
+    store->AddDocument(std::move(doc));
+  }
+}
+
+void PopulateScenario(store::DocumentStore* store) {
+  auto add = [&](const std::string& name, const std::string& xml_text) {
+    auto result = store->AddXml(xml_text, name);
+    (void)result;
+  };
+
+  // Figure 2 (a): United States 2002, GDP era.
+  add("us-2002", R"(<country>
+    <name>United States</name><year>2002</year>
+    <economy><GDP>10.082T</GDP>
+      <import_partners>
+        <item><trade_country>Canada</trade_country><percentage>17.8%</percentage></item>
+        <item><trade_country>China</trade_country><percentage>11.1%</percentage></item>
+      </import_partners>
+    </economy></country>)");
+
+  // Extra years so the Figure 3 fact table has its 2004/2005 rows.
+  add("us-2004", R"(<country>
+    <name>United States</name><year>2004</year>
+    <economy><GDP>11.75T</GDP>
+      <import_partners>
+        <item><trade_country>China</trade_country><percentage>12.5%</percentage></item>
+        <item><trade_country>Mexico</trade_country><percentage>10.7%</percentage></item>
+      </import_partners>
+    </economy></country>)");
+  add("us-2005", R"(<country>
+    <name>United States</name><year>2005</year>
+    <economy><GDP_ppp>12.36T</GDP_ppp>
+      <import_partners>
+        <item><trade_country>China</trade_country><percentage>13.8%</percentage></item>
+        <item><trade_country>Mexico</trade_country><percentage>10.3%</percentage></item>
+      </import_partners>
+    </economy></country>)");
+
+  // Figure 1: United States 2006 with import partners China 15% and
+  // Canada 16.9%, export partner Canada 23.4%, geography America.
+  add("us-2006", R"(<country>
+    <name>United States</name><year>2006</year>
+    <geography><location>America</location></geography>
+    <economy><GDP_ppp>12.31T</GDP_ppp>
+      <import_partners>
+        <item><trade_country>China</trade_country><percentage>15%</percentage></item>
+        <item><trade_country>Canada</trade_country><percentage>16.9%</percentage></item>
+      </import_partners>
+      <export_partners>
+        <item><trade_country>Canada</trade_country><percentage>23.4%</percentage></item>
+      </export_partners>
+    </economy></country>)");
+
+  // Figure 2 (b): Mexico 2003, "United States" as an import partner.
+  add("mexico-2003", R"(<country>
+    <name>Mexico</name><year>2003</year>
+    <economy><GDP>924.4B</GDP>
+      <import_partners>
+        <item><trade_country>United States</trade_country><percentage>70.6%</percentage></item>
+        <item><trade_country>Germany</trade_country><percentage>3.5%</percentage></item>
+      </import_partners>
+    </economy></country>)");
+
+  // Figure 2 (c): Mexico 2005, "United States" as an export partner.
+  add("mexico-2005", R"(<country>
+    <name>Mexico</name><year>2005</year>
+    <economy><GDP_ppp>1.006T</GDP_ppp>
+      <export_partners>
+        <item><trade_country>United States</trade_country><percentage>15.3%</percentage></item>
+      </export_partners>
+    </economy></country>)");
+
+  // Mondial fragments from Figure 1: seas bordering countries via IDREF.
+  add("mondial-us", R"(<mondial_country id="cty-us"><name>United States</name></mondial_country>)");
+  add("mondial-china", R"(<mondial_country id="cty-china"><name>China</name></mondial_country>)");
+  add("mondial-philippines",
+      R"(<mondial_country id="cty-ph"><name>Philippines</name></mondial_country>)");
+  add("mondial-pacific", R"(<sea id="sea-pacific"><name>Pacific Ocean</name>
+    <bordering idref="cty-us"/><bordering idref="cty-ph"/></sea>)");
+  add("mondial-chinasea", R"(<sea id="sea-china"><name>China Sea</name>
+    <bordering idref="cty-china"/><bordering idref="cty-ph"/></sea>)");
+}
+
+}  // namespace seda::data

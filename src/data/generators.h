@@ -1,0 +1,130 @@
+#ifndef SEDA_DATA_GENERATORS_H_
+#define SEDA_DATA_GENERATORS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "store/document_store.h"
+#include "xml/document.h"
+
+namespace seda::data {
+
+/// Synthetic stand-in for the CIA World Factbook releases 2002-2007 the paper
+/// combines (real data is not redistributable). The generator reproduces the
+/// structural properties the paper reports:
+///  * 1600 documents (6 annual releases over ~266 countries/territories),
+///  * schema evolution: GDP is /country/economy/GDP before 2005 and
+///    /country/economy/GDP_ppp from 2005 on,
+///  * /country present in 1577 of 1600 documents (the rest are territories),
+///  * the refugees path occurring in exactly 186 documents,
+///  * "United States" occurring in 27 distinct contexts (paths),
+///  * a long tail of optional elements yielding on the order of 2000
+///    distinct paths and weak dataguide compression (~3x at 40%).
+class WorldFactbookGenerator {
+ public:
+  struct Options {
+    uint64_t seed = 42;
+    int first_year = 2002;
+    int last_year = 2007;
+    size_t countries_per_year = 263;   // -> 1578 country docs over 6 years
+    size_t territories_per_year = 4;   // separate root tag (not /country)
+    size_t refugee_docs = 186;         // docs carrying the refugees path
+    /// Scale factor (0,1] shrinking the collection for fast unit tests.
+    double scale = 1.0;
+  };
+
+  explicit WorldFactbookGenerator(const Options& options) : options_(options) {}
+  WorldFactbookGenerator() : WorldFactbookGenerator(Options{}) {}
+
+  /// Generates all documents into `store`.
+  void Populate(store::DocumentStore* store) const;
+
+  /// The paths that can carry the text "United States" (27 contexts, §1).
+  static std::vector<std::string> UnitedStatesContexts();
+
+ private:
+  Options options_;
+};
+
+/// Synthetic stand-in for the Mondial geographic dataset: one document per
+/// entity (country, province, city, sea, river, organization), linked with
+/// IDREF attributes — the non-tree edges of the paper's Figure 1. Table 1
+/// shape: 5563 documents / 86 dataguides at the 40% threshold.
+class MondialGenerator {
+ public:
+  struct Options {
+    uint64_t seed = 7;
+    size_t countries = 238;
+    size_t provinces = 1455;
+    size_t cities = 3528;
+    size_t seas = 42;
+    size_t rivers = 220;
+    size_t organizations = 80;
+    double scale = 1.0;
+  };
+
+  explicit MondialGenerator(const Options& options) : options_(options) {}
+  MondialGenerator() : MondialGenerator(Options{}) {}
+
+  void Populate(store::DocumentStore* store) const;
+
+ private:
+  Options options_;
+};
+
+/// Synthetic stand-in for a Google Base snapshot: flat, regular item feeds
+/// drawn from a fixed set of item types. Table 1 shape: 10000 documents /
+/// 88 dataguides (two-orders-of-magnitude reduction).
+class GoogleBaseGenerator {
+ public:
+  struct Options {
+    uint64_t seed = 11;
+    size_t documents = 10000;
+    size_t item_types = 88;
+    double scale = 1.0;
+  };
+
+  explicit GoogleBaseGenerator(const Options& options) : options_(options) {}
+  GoogleBaseGenerator() : GoogleBaseGenerator(Options{}) {}
+
+  void Populate(store::DocumentStore* store) const;
+
+ private:
+  Options options_;
+};
+
+/// Synthetic stand-in for RecipeML: highly regular recipe markup with three
+/// structural variants. Table 1 shape: 10988 documents / 3 dataguides.
+class RecipeMLGenerator {
+ public:
+  struct Options {
+    uint64_t seed = 13;
+    size_t documents = 10988;
+    double scale = 1.0;
+  };
+
+  explicit RecipeMLGenerator(const Options& options) : options_(options) {}
+  RecipeMLGenerator() : RecipeMLGenerator(Options{}) {}
+
+  void Populate(store::DocumentStore* store) const;
+
+ private:
+  Options options_;
+};
+
+/// Builds the small hand-crafted collection matching the paper's Figures 1-2
+/// exactly: United States 2002/2006 (GDP vs GDP_ppp, import partners with
+/// China/Canada/Mexico percentages), Mexico 2003/2004/2005 (import/export
+/// partners containing "United States"), plus Mondial-style sea documents
+/// ("Pacific Ocean", "China Sea") bordering countries via IDREF. Used by the
+/// worked-example tests, the Fig. 3 bench and the trade_partners example.
+void PopulateScenario(store::DocumentStore* store);
+
+/// Names used for value-based (PK/FK) linking between Factbook and Mondial.
+const std::vector<std::string>& CountryNamePool();
+
+}  // namespace seda::data
+
+#endif  // SEDA_DATA_GENERATORS_H_

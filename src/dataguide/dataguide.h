@@ -1,0 +1,179 @@
+#ifndef SEDA_DATAGUIDE_DATAGUIDE_H_
+#define SEDA_DATAGUIDE_DATAGUIDE_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/data_graph.h"
+#include "store/document_store.h"
+
+namespace seda::dataguide {
+
+/// A dataguide: the set of distinct root-to-leaf paths of one or more
+/// documents (paper §6.1 represents a dataguide exactly as "a list of full
+/// root-to-leaf paths"). Paths are interned PathIds, kept sorted.
+class Dataguide {
+ public:
+  Dataguide() = default;
+  Dataguide(std::vector<store::PathId> paths, store::DocId first_member);
+
+  const std::vector<store::PathId>& paths() const { return paths_; }
+  const std::vector<store::DocId>& members() const { return members_; }
+  size_t PathCount() const { return paths_.size(); }
+
+  /// True iff every path of `other` is contained in this dataguide.
+  bool Contains(const std::vector<store::PathId>& other) const;
+
+  /// |common_paths| between this dataguide and `other`.
+  size_t CommonPathCount(const std::vector<store::PathId>& other) const;
+
+  /// The paper's similarity metric:
+  ///   overlap(dg1, dg2) = min(|common|/|paths(dg1)|, |common|/|paths(dg2)|)
+  double Overlap(const std::vector<store::PathId>& other) const;
+
+  /// Unions `other`'s paths into this dataguide and records the member doc.
+  void Merge(const std::vector<store::PathId>& other, store::DocId member);
+
+  void AddMember(store::DocId doc) { members_.push_back(doc); }
+
+ private:
+  std::vector<store::PathId> paths_;    // sorted, distinct
+  std::vector<store::DocId> members_;
+};
+
+/// A path-level (schema-level) connection between two contexts, discovered on
+/// the dataguide summary graph. Steps walk from `from_path` to `to_path`
+/// through parent/child moves inside a dataguide tree and through link edges
+/// (IDREF / XLink / value-based) between dataguides.
+struct Connection {
+  enum class Move { kUp, kDown, kLink };
+
+  struct Step {
+    Move move = Move::kUp;
+    std::string path;   ///< the context arrived at after the move
+    std::string label;  ///< relationship label for kLink moves
+  };
+
+  std::string from_path;
+  std::string to_path;
+  std::vector<Step> steps;
+
+  size_t Length() const { return steps.size(); }
+  bool HasLink() const;
+  /// Canonical signature used for deduplication and display, e.g.
+  /// "/a/b/c ^/a/b v/a/b/d" or with "~label>/x/y" for link moves.
+  std::string Signature() const;
+  /// Human-readable rendering.
+  std::string ToString() const;
+};
+
+/// Statistics from building a dataguide collection (Table 1 rows).
+struct BuildStats {
+  size_t documents = 0;
+  size_t dataguides = 0;
+  size_t merges = 0;
+  size_t absorbed = 0;  ///< documents whose guide was a subset/equal match
+  double reduction_factor = 0;  ///< documents / dataguides
+};
+
+/// The dataguide summary DG of a collection (paper §6.1): one dataguide per
+/// "schema cluster" of documents, built incrementally with the overlap
+/// threshold merge rule, plus link edges corresponding to the non-tree edges
+/// of the data graph. Connection discovery runs BFS/DFS over this summary
+/// instead of the full data graph, with a connection cache (§6.1 "we cache
+/// the connections we discover").
+class DataguideCollection {
+ public:
+  struct Options {
+    /// Merge two dataguides when overlap >= threshold. The paper's Table 1
+    /// uses 0.4. Threshold > 1 disables merging entirely (one dataguide per
+    /// distinct document schema).
+    double overlap_threshold = 0.4;
+  };
+
+  /// Builds the collection over every document in `store`. Cost O(n·m) as in
+  /// the paper: each document probes every existing dataguide.
+  static DataguideCollection Build(const store::DocumentStore& store,
+                                   const Options& options);
+
+  const std::vector<Dataguide>& guides() const { return guides_; }
+  size_t size() const { return guides_.size(); }
+  const BuildStats& build_stats() const { return build_stats_; }
+
+  /// Index of the dataguide summarizing document `doc`.
+  size_t GuideOfDoc(store::DocId doc) const { return guide_of_doc_.at(doc); }
+
+  /// Materializes link edges between dataguides from the data graph's
+  /// non-tree edges (mapped to path level). Call once after Build.
+  void AddLinksFromGraph(const graph::DataGraph& graph);
+
+  /// Finds up to `max_count` distinct simple connections between two
+  /// contexts, each at most `max_len` moves, ordered by length (shortest
+  /// first, the paper's preference). Results are cached per (from, to) pair.
+  std::vector<Connection> FindConnections(const std::string& from_path,
+                                          const std::string& to_path,
+                                          size_t max_len = 6,
+                                          size_t max_count = 16) const;
+
+  /// Cache behaviour control + counters (ablation A3).
+  void set_cache_enabled(bool enabled) { cache_enabled_ = enabled; }
+  uint64_t cache_hits() const { return cache_hits_; }
+  uint64_t cache_misses() const { return cache_misses_; }
+
+  /// Total number of link edges added from the data graph.
+  size_t LinkCount() const { return link_count_; }
+
+ private:
+  explicit DataguideCollection(const store::DocumentStore* store) : store_(store) {}
+
+  /// Summary-graph node: a path prefix inside one dataguide.
+  struct SummaryNode {
+    size_t guide = 0;
+    std::string path;
+  };
+  struct SummaryEdge {
+    size_t to = 0;
+    Connection::Move move = Connection::Move::kUp;
+    std::string label;
+  };
+
+  size_t InternSummaryNode(size_t guide, const std::string& path);
+  void EnsureSummaryGraph() const;
+  std::vector<Connection> ComputeConnections(const std::string& from_path,
+                                             const std::string& to_path,
+                                             size_t max_len, size_t max_count) const;
+
+  const store::DocumentStore* store_;
+  std::vector<Dataguide> guides_;
+  std::unordered_map<store::DocId, size_t> guide_of_doc_;
+  BuildStats build_stats_;
+
+  // Summary graph (built lazily).
+  mutable std::vector<SummaryNode> summary_nodes_;
+  mutable std::map<std::pair<size_t, std::string>, size_t> summary_index_;
+  mutable std::vector<std::vector<SummaryEdge>> summary_adj_;
+  mutable std::unordered_map<std::string, std::vector<size_t>> nodes_by_path_;
+  mutable bool summary_built_ = false;
+  // Pending link edges (path level), applied when the summary graph builds.
+  struct PendingLink {
+    size_t guide_a, guide_b;
+    std::string path_a, path_b, label;
+  };
+  std::vector<PendingLink> pending_links_;
+  size_t link_count_ = 0;
+
+  // Connection cache.
+  mutable bool cache_enabled_ = true;
+  mutable std::map<std::pair<std::string, std::string>, std::vector<Connection>>
+      connection_cache_;
+  mutable uint64_t cache_hits_ = 0;
+  mutable uint64_t cache_misses_ = 0;
+};
+
+}  // namespace seda::dataguide
+
+#endif  // SEDA_DATAGUIDE_DATAGUIDE_H_

@@ -1,0 +1,261 @@
+#include "graph/data_graph.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+#include "common/strings.h"
+
+namespace seda::graph {
+
+namespace {
+
+/// Collects id -> NodeId for all elements carrying an "id" attribute.
+std::unordered_map<std::string, store::NodeId> CollectIdTargets(
+    const store::DocumentStore& store) {
+  std::unordered_map<std::string, store::NodeId> targets;
+  store.ForEachNode([&](const store::NodeId& id, xml::Node* node) {
+    if (node->kind() != xml::NodeKind::kElement) return;
+    for (const auto& child : node->children()) {
+      if (child->kind() == xml::NodeKind::kAttribute &&
+          ToLower(child->name()) == "id") {
+        targets.emplace(child->text(), id);
+      }
+    }
+  });
+  return targets;
+}
+
+store::NodeId ParentOf(const store::NodeId& id) {
+  return store::NodeId{id.doc, id.dewey.Parent()};
+}
+
+}  // namespace
+
+const char* EdgeTypeName(EdgeType type) {
+  switch (type) {
+    case EdgeType::kParentChild:
+      return "parent-child";
+    case EdgeType::kIdRef:
+      return "idref";
+    case EdgeType::kXLink:
+      return "xlink";
+    case EdgeType::kValueBased:
+      return "value-based";
+  }
+  return "unknown";
+}
+
+void DataGraph::AddEdge(const store::NodeId& from, const store::NodeId& to,
+                        EdgeType type, const std::string& label) {
+  Edge edge{from, to, type, label};
+  out_edges_[from].push_back(edge);
+  in_edges_[to].push_back(edge);
+  ++edge_count_;
+}
+
+size_t DataGraph::ResolveIdRefs() {
+  auto targets = CollectIdTargets(*store_);
+  size_t added = 0;
+  store_->ForEachNode([&](const store::NodeId& id, xml::Node* node) {
+    if (node->kind() != xml::NodeKind::kAttribute) return;
+    std::string attr = ToLower(node->name());
+    if (attr != "idref" && attr != "idrefs") return;
+    store::NodeId owner = ParentOf(id);
+    for (const std::string& ref : SplitSkipEmpty(node->text(), ' ')) {
+      auto it = targets.find(ref);
+      if (it == targets.end()) continue;  // dangling IDREF: tolerated
+      // The relationship label is the attribute's element name, matching the
+      // labeled dashed edges of the paper's Figure 1.
+      xml::Node* owner_node = store_->GetNode(owner);
+      std::string label = owner_node != nullptr ? owner_node->name() : "idref";
+      AddEdge(owner, it->second, EdgeType::kIdRef, label);
+      ++added;
+    }
+  });
+  return added;
+}
+
+size_t DataGraph::ResolveXLinks() {
+  auto targets = CollectIdTargets(*store_);
+  // Also index documents by name for doc-level links "name#id".
+  std::unordered_map<std::string, store::DocId> docs_by_name;
+  for (store::DocId d = 0; d < store_->DocumentCount(); ++d) {
+    docs_by_name.emplace(store_->document(d).name(), d);
+  }
+  size_t added = 0;
+  store_->ForEachNode([&](const store::NodeId& id, xml::Node* node) {
+    if (node->kind() != xml::NodeKind::kAttribute) return;
+    std::string attr = ToLower(node->name());
+    if (attr != "xlink:href" && attr != "href") return;
+    const std::string& value = node->text();
+    size_t hash_pos = value.find('#');
+    if (hash_pos == std::string::npos) return;
+    std::string fragment = value.substr(hash_pos + 1);
+    auto it = targets.find(fragment);
+    if (it == targets.end()) return;
+    store::NodeId owner = ParentOf(id);
+    xml::Node* owner_node = store_->GetNode(owner);
+    std::string label = owner_node != nullptr ? owner_node->name() : "xlink";
+    AddEdge(owner, it->second, EdgeType::kXLink, label);
+    ++added;
+  });
+  return added;
+}
+
+size_t DataGraph::AddValueBasedEdges(const std::string& pk_path,
+                                     const std::string& fk_path,
+                                     const std::string& label) {
+  // Index PK nodes by content value.
+  std::unordered_map<std::string, std::vector<store::NodeId>> pk_values;
+  store_->ForEachNode([&](const store::NodeId& id, xml::Node* node) {
+    if (node->kind() == xml::NodeKind::kText) return;
+    if (node->ContextPath() == pk_path) {
+      pk_values[node->ContentString()].push_back(id);
+    }
+  });
+  size_t added = 0;
+  store_->ForEachNode([&](const store::NodeId& id, xml::Node* node) {
+    if (node->kind() == xml::NodeKind::kText) return;
+    if (node->ContextPath() != fk_path) return;
+    auto it = pk_values.find(node->ContentString());
+    if (it == pk_values.end()) return;
+    for (const store::NodeId& pk : it->second) {
+      if (pk == id) continue;
+      AddEdge(pk, id, EdgeType::kValueBased, label);
+      ++added;
+    }
+  });
+  return added;
+}
+
+std::vector<Edge> DataGraph::NonTreeEdges(const store::NodeId& node) const {
+  std::vector<Edge> out;
+  if (auto it = out_edges_.find(node); it != out_edges_.end()) {
+    out.insert(out.end(), it->second.begin(), it->second.end());
+  }
+  if (auto it = in_edges_.find(node); it != in_edges_.end()) {
+    out.insert(out.end(), it->second.begin(), it->second.end());
+  }
+  return out;
+}
+
+std::vector<store::NodeId> DataGraph::Neighbors(const store::NodeId& node) const {
+  std::vector<store::NodeId> out;
+  xml::Node* n = store_->GetNode(node);
+  if (n == nullptr) return out;
+  if (n->parent() != nullptr) {
+    out.push_back(store::NodeId{node.doc, n->parent()->dewey()});
+  }
+  for (const auto& child : n->children()) {
+    if (child->kind() == xml::NodeKind::kText) continue;
+    out.push_back(store::NodeId{node.doc, child->dewey()});
+  }
+  if (auto it = out_edges_.find(node); it != out_edges_.end()) {
+    for (const Edge& e : it->second) out.push_back(e.to);
+  }
+  if (auto it = in_edges_.find(node); it != in_edges_.end()) {
+    for (const Edge& e : it->second) out.push_back(e.from);
+  }
+  return out;
+}
+
+std::optional<size_t> DataGraph::ShortestPathLength(const store::NodeId& a,
+                                                    const store::NodeId& b,
+                                                    size_t max_depth) const {
+  auto path = ShortestPath(a, b, max_depth);
+  if (path.empty()) return std::nullopt;
+  return path.size() - 1;
+}
+
+std::vector<store::NodeId> DataGraph::ShortestPath(const store::NodeId& a,
+                                                   const store::NodeId& b,
+                                                   size_t max_depth) const {
+  if (a == b) return {a};
+  std::unordered_map<store::NodeId, store::NodeId, store::NodeIdHasher> parent;
+  std::deque<std::pair<store::NodeId, size_t>> queue;
+  queue.emplace_back(a, 0);
+  parent.emplace(a, a);
+  while (!queue.empty()) {
+    auto [current, depth] = queue.front();
+    queue.pop_front();
+    if (depth >= max_depth) continue;
+    for (const store::NodeId& next : Neighbors(current)) {
+      if (parent.count(next)) continue;
+      parent.emplace(next, current);
+      if (next == b) {
+        std::vector<store::NodeId> path{b};
+        store::NodeId walk = b;
+        while (!(walk == a)) {
+          walk = parent.at(walk);
+          path.push_back(walk);
+        }
+        std::reverse(path.begin(), path.end());
+        return path;
+      }
+      queue.emplace_back(next, depth + 1);
+    }
+  }
+  return {};
+}
+
+std::optional<size_t> DataGraph::ConnectionSize(
+    const std::vector<store::NodeId>& nodes, size_t max_depth) const {
+  if (nodes.size() <= 1) return 0;
+  // Group nodes by document.
+  std::unordered_map<store::DocId, std::vector<xml::DeweyId>> by_doc;
+  for (const auto& n : nodes) by_doc[n.doc].push_back(n.dewey);
+
+  size_t total = 0;
+  // Within one document the minimal connecting subtree of a node set S in a
+  // tree has exactly (1/2) * sum of consecutive tree distances over S sorted
+  // in DFS (Dewey) order, closing the cycle — the classic Euler-tour identity.
+  for (auto& [doc, deweys] : by_doc) {
+    if (deweys.size() == 1) continue;
+    std::sort(deweys.begin(), deweys.end());
+    size_t cycle = 0;
+    for (size_t i = 0; i < deweys.size(); ++i) {
+      const xml::DeweyId& cur = deweys[i];
+      const xml::DeweyId& next = deweys[(i + 1) % deweys.size()];
+      cycle += xml::TreeDistance(cur, next);
+    }
+    total += cycle / 2;
+  }
+  if (by_doc.size() == 1) return total;
+
+  // Across documents: connect document groups pairwise through the graph,
+  // using the cheapest inter-group shortest path (greedy spanning connection).
+  std::vector<store::NodeId> representatives;
+  for (const auto& n : nodes) representatives.push_back(n);
+  std::vector<bool> connected(representatives.size(), false);
+  connected[0] = true;
+  size_t connected_count = 1;
+  while (connected_count < representatives.size()) {
+    size_t best_cost = SIZE_MAX;
+    size_t best_index = SIZE_MAX;
+    for (size_t i = 0; i < representatives.size(); ++i) {
+      if (connected[i]) continue;
+      for (size_t j = 0; j < representatives.size(); ++j) {
+        if (!connected[j]) continue;
+        if (representatives[i].doc == representatives[j].doc) {
+          // Same-document cost already accounted by the subtree term.
+          best_cost = std::min(best_cost, static_cast<size_t>(0));
+          best_index = std::min(best_index, i);
+          continue;
+        }
+        auto len = ShortestPathLength(representatives[j], representatives[i], max_depth);
+        if (len && *len < best_cost) {
+          best_cost = *len;
+          best_index = i;
+        }
+      }
+    }
+    if (best_index == SIZE_MAX) return std::nullopt;  // tuple not connectable
+    connected[best_index] = true;
+    ++connected_count;
+    total += best_cost;
+  }
+  return total;
+}
+
+}  // namespace seda::graph

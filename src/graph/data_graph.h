@@ -1,0 +1,104 @@
+#ifndef SEDA_GRAPH_DATA_GRAPH_H_
+#define SEDA_GRAPH_DATA_GRAPH_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "store/document_store.h"
+
+namespace seda::graph {
+
+/// The four relationship kinds of Definition 2 in the paper.
+enum class EdgeType {
+  kParentChild,  ///< (1) parent/child (implicit; materialized on demand)
+  kIdRef,        ///< (2) IDREF attribute -> node with matching ID attribute
+  kXLink,        ///< (3) XLink/XPointer href -> target node
+  kValueBased,   ///< (4) primary-key / foreign-key equal-value relationship
+};
+
+const char* EdgeTypeName(EdgeType type);
+
+/// A directed non-tree edge of the data graph. `label` carries the semantic
+/// relationship name shown on the dashed edges of the paper's Figure 1
+/// (e.g. "bordering", "trade_partner").
+struct Edge {
+  store::NodeId from;
+  store::NodeId to;
+  EdgeType type = EdgeType::kIdRef;
+  std::string label;
+};
+
+/// The data graph G(V, E) of an XML collection (paper Definition 2): V is the
+/// set of element/attribute nodes in the DocumentStore; parent/child edges are
+/// implicit in the stored trees, while IDREF, XLink and value-based edges are
+/// materialized in adjacency lists here.
+class DataGraph {
+ public:
+  explicit DataGraph(const store::DocumentStore* store) : store_(store) {}
+
+  const store::DocumentStore& store() const { return *store_; }
+
+  /// Adds an explicit non-tree edge (both directions are traversable; the
+  /// reverse direction is kept in a separate adjacency list).
+  void AddEdge(const store::NodeId& from, const store::NodeId& to, EdgeType type,
+               const std::string& label);
+
+  /// Scans all documents and adds IDREF edges: any attribute named "idref"
+  /// (or "idrefs", whitespace-separated) links to the element carrying an
+  /// "id" attribute with the same value. Returns the number of edges added.
+  size_t ResolveIdRefs();
+
+  /// Scans for XLink-style attributes ("xlink:href" or "href") whose value is
+  /// "#id" or "doc-name#id" and links to the target element.
+  size_t ResolveXLinks();
+
+  /// Adds value-based (PK/FK) edges between nodes at `pk_path` and nodes at
+  /// `fk_path` with equal content. Labels them `label`. Returns edges added.
+  size_t AddValueBasedEdges(const std::string& pk_path, const std::string& fk_path,
+                            const std::string& label);
+
+  /// Non-tree edges leaving `node` (both stored directions).
+  std::vector<Edge> NonTreeEdges(const store::NodeId& node) const;
+
+  size_t EdgeCount() const { return edge_count_; }
+
+  /// All neighbors of `node`: parent, children, plus non-tree edges.
+  std::vector<store::NodeId> Neighbors(const store::NodeId& node) const;
+
+  /// Length of the shortest path between two nodes traversing parent/child
+  /// and non-tree edges, bounded by `max_depth` (BFS). nullopt when not
+  /// connected within the bound.
+  std::optional<size_t> ShortestPathLength(const store::NodeId& a,
+                                           const store::NodeId& b,
+                                           size_t max_depth) const;
+
+  /// Shortest path (sequence of nodes, inclusive of endpoints) or empty.
+  std::vector<store::NodeId> ShortestPath(const store::NodeId& a,
+                                          const store::NodeId& b,
+                                          size_t max_depth) const;
+
+  /// Size (edge count) of the minimal connected subgraph containing all
+  /// `nodes`. For nodes within one document this is the exact Steiner-tree
+  /// size in the document tree (computed via the Euler-order identity);
+  /// across documents, pairwise shortest paths are added. Returns nullopt if
+  /// the tuple cannot be connected within `max_depth` per hop.
+  ///
+  /// This is the "compactness of the graph representing a tuple of nodes"
+  /// that drives the paper's top-k scoring function (§4).
+  std::optional<size_t> ConnectionSize(const std::vector<store::NodeId>& nodes,
+                                       size_t max_depth = 12) const;
+
+ private:
+  const store::DocumentStore* store_;
+  std::unordered_map<store::NodeId, std::vector<Edge>, store::NodeIdHasher> out_edges_;
+  std::unordered_map<store::NodeId, std::vector<Edge>, store::NodeIdHasher> in_edges_;
+  size_t edge_count_ = 0;
+};
+
+}  // namespace seda::graph
+
+#endif  // SEDA_GRAPH_DATA_GRAPH_H_

@@ -1,0 +1,72 @@
+#include "graph/key_discovery.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace seda::graph {
+
+std::vector<KeyCandidate> KeyDiscovery::DiscoverKeys(uint64_t min_support) const {
+  // path -> set of values (collection scope) and per-doc duplicate detection.
+  struct PathState {
+    std::unordered_set<std::string> values;
+    std::unordered_map<store::DocId, std::unordered_set<std::string>> per_doc;
+    uint64_t total = 0;
+    bool collection_unique = true;
+    bool per_doc_unique = true;
+  };
+  std::unordered_map<std::string, PathState> states;
+
+  store_->ForEachNode([&](const store::NodeId& id, xml::Node* node) {
+    if (node->kind() == xml::NodeKind::kText) return;
+    // Leaf-valued nodes only: a single text/attribute payload.
+    bool leaf = true;
+    for (const auto& child : node->children()) {
+      if (child->kind() == xml::NodeKind::kElement) {
+        leaf = false;
+        break;
+      }
+    }
+    if (!leaf) return;
+    std::string value = node->ContentString();
+    if (value.empty()) return;
+    PathState& state = states[node->ContextPath()];
+    state.total += 1;
+    if (!state.values.insert(value).second) state.collection_unique = false;
+    if (!state.per_doc[id.doc].insert(value).second) state.per_doc_unique = false;
+  });
+
+  std::vector<KeyCandidate> out;
+  for (auto& [path, state] : states) {
+    if (state.total < min_support) continue;
+    if (!state.collection_unique && !state.per_doc_unique) continue;
+    KeyCandidate candidate;
+    candidate.path = path;
+    candidate.unique_in_collection = state.collection_unique;
+    candidate.unique_per_document = state.per_doc_unique;
+    candidate.distinct_values = state.values.size();
+    candidate.total_nodes = state.total;
+    out.push_back(std::move(candidate));
+  }
+  std::sort(out.begin(), out.end(), [](const KeyCandidate& a, const KeyCandidate& b) {
+    if (a.unique_in_collection != b.unique_in_collection) {
+      return a.unique_in_collection;
+    }
+    if (a.total_nodes != b.total_nodes) return a.total_nodes > b.total_nodes;
+    return a.path < b.path;
+  });
+  return out;
+}
+
+bool KeyDiscovery::IsUniqueInCollection(const std::string& path) const {
+  std::unordered_set<std::string> seen;
+  bool unique = true;
+  store_->ForEachNode([&](const store::NodeId&, xml::Node* node) {
+    if (!unique || node->kind() == xml::NodeKind::kText) return;
+    if (node->ContextPath() != path) return;
+    if (!seen.insert(node->ContentString()).second) unique = false;
+  });
+  return unique;
+}
+
+}  // namespace seda::graph

@@ -1,0 +1,44 @@
+#ifndef SEDA_GRAPH_KEY_DISCOVERY_H_
+#define SEDA_GRAPH_KEY_DISCOVERY_H_
+
+#include <string>
+#include <vector>
+
+#include "store/document_store.h"
+
+namespace seda::graph {
+
+/// A discovered key candidate: the values at `path` are unique across the
+/// whole collection (absolute) or within each document (per-document).
+struct KeyCandidate {
+  std::string path;
+  bool unique_in_collection = false;
+  bool unique_per_document = false;
+  uint64_t distinct_values = 0;
+  uint64_t total_nodes = 0;
+};
+
+/// Lightweight key discovery over the stored collection — a stand-in for the
+/// GORDIAN composite-key discovery the paper cites ([17], future work for
+/// automatic key detection). It scans leaf-valued paths and reports those
+/// whose content values are unique, which both seeds value-based (PK/FK)
+/// edges in the DataGraph and suggests dimension keys for the cube builder.
+class KeyDiscovery {
+ public:
+  explicit KeyDiscovery(const store::DocumentStore* store) : store_(store) {}
+
+  /// Examines every distinct path with at least `min_support` node
+  /// occurrences and returns key candidates sorted by (collection-unique
+  /// first, then support).
+  std::vector<KeyCandidate> DiscoverKeys(uint64_t min_support = 2) const;
+
+  /// Checks whether `path`'s values are unique across the collection.
+  bool IsUniqueInCollection(const std::string& path) const;
+
+ private:
+  const store::DocumentStore* store_;
+};
+
+}  // namespace seda::graph
+
+#endif  // SEDA_GRAPH_KEY_DISCOVERY_H_

@@ -1,0 +1,241 @@
+#include "olap/olap.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <set>
+
+#include "common/strings.h"
+
+namespace seda::olap {
+
+const char* AggFnName(AggFn fn) {
+  switch (fn) {
+    case AggFn::kSum:
+      return "SUM";
+    case AggFn::kCount:
+      return "COUNT";
+    case AggFn::kAvg:
+      return "AVG";
+    case AggFn::kMin:
+      return "MIN";
+    case AggFn::kMax:
+      return "MAX";
+  }
+  return "?";
+}
+
+std::optional<double> ParseMeasure(const std::string& text) {
+  std::string_view s = StripWhitespace(text);
+  if (s.empty()) return std::nullopt;
+  double scale = 1.0;
+  if (s.back() == '%') {
+    s.remove_suffix(1);
+  } else if (s.back() == 'T') {
+    scale = 1e12;
+    s.remove_suffix(1);
+  } else if (s.back() == 'B') {
+    scale = 1e9;
+    s.remove_suffix(1);
+  } else if (s.back() == 'M') {
+    scale = 1e6;
+    s.remove_suffix(1);
+  }
+  std::string buffer(s);
+  char* end = nullptr;
+  double value = std::strtod(buffer.c_str(), &end);
+  if (end == buffer.c_str() || end == nullptr) return std::nullopt;
+  while (*end == ' ') ++end;
+  if (*end != '\0') return std::nullopt;
+  return value * scale;
+}
+
+double Cuboid::Total() const {
+  double total = 0;
+  for (const Cell& cell : cells) total += cell.value;
+  return total;
+}
+
+std::string Cuboid::ToString() const {
+  std::string out = std::string(AggFnName(fn)) + "(" + measure + ") by [" +
+                    Join(dimensions, ", ") + "]:\n";
+  for (const Cell& cell : cells) {
+    out += "  (" + Join(cell.group, ", ") + ") = " + FormatDouble(cell.value, 3) +
+           "  [n=" + std::to_string(cell.count) + "]\n";
+  }
+  return out;
+}
+
+Result<Cube> Cube::FromFactTable(const cube::Table& fact_table) {
+  Cube cube;
+  if (fact_table.columns.empty()) {
+    return Status::InvalidArgument("fact table has no columns");
+  }
+  std::set<size_t> key_set(fact_table.key_columns.begin(),
+                           fact_table.key_columns.end());
+  std::vector<size_t> dim_idx, measure_idx;
+  for (size_t c = 0; c < fact_table.columns.size(); ++c) {
+    if (key_set.count(c)) {
+      cube.dimensions_.push_back(fact_table.columns[c]);
+      dim_idx.push_back(c);
+    } else {
+      cube.measures_.push_back(fact_table.columns[c]);
+      measure_idx.push_back(c);
+    }
+  }
+  if (cube.measures_.empty()) {
+    return Status::InvalidArgument("fact table '" + fact_table.name +
+                                   "' has no measure column");
+  }
+  for (const auto& row : fact_table.rows) {
+    std::vector<std::string> dims;
+    for (size_t c : dim_idx) dims.push_back(c < row.size() ? row[c] : "");
+    std::vector<std::optional<double>> measures;
+    for (size_t c : measure_idx) {
+      measures.push_back(c < row.size() ? ParseMeasure(row[c]) : std::nullopt);
+    }
+    cube.dim_rows_.push_back(std::move(dims));
+    cube.measure_rows_.push_back(std::move(measures));
+    cube.rows_.push_back(row);
+  }
+  return cube;
+}
+
+Result<size_t> Cube::DimIndex(const std::string& name) const {
+  for (size_t i = 0; i < dimensions_.size(); ++i) {
+    if (dimensions_[i] == name) return i;
+  }
+  return Status::NotFound("unknown dimension '" + name + "'");
+}
+
+Result<size_t> Cube::MeasureIndex(const std::string& name) const {
+  for (size_t i = 0; i < measures_.size(); ++i) {
+    if (measures_[i] == name) return i;
+  }
+  return Status::NotFound("unknown measure '" + name + "'");
+}
+
+Result<Cuboid> Cube::Aggregate(const std::vector<std::string>& group_dims, AggFn fn,
+                               const std::string& measure) const {
+  SEDA_ASSIGN_OR_RETURN(size_t m_idx, MeasureIndex(measure));
+  std::vector<size_t> g_idx;
+  for (const std::string& dim : group_dims) {
+    SEDA_ASSIGN_OR_RETURN(size_t d, DimIndex(dim));
+    g_idx.push_back(d);
+  }
+  struct Acc {
+    double sum = 0;
+    double min = 0;
+    double max = 0;
+    uint64_t count = 0;
+  };
+  std::map<std::vector<std::string>, Acc> groups;
+  for (size_t r = 0; r < dim_rows_.size(); ++r) {
+    const std::optional<double>& value = measure_rows_[r][m_idx];
+    if (!value.has_value()) continue;
+    std::vector<std::string> key;
+    key.reserve(g_idx.size());
+    for (size_t d : g_idx) key.push_back(dim_rows_[r][d]);
+    Acc& acc = groups[key];
+    if (acc.count == 0) {
+      acc.min = acc.max = *value;
+    } else {
+      acc.min = std::min(acc.min, *value);
+      acc.max = std::max(acc.max, *value);
+    }
+    acc.sum += *value;
+    acc.count += 1;
+  }
+  Cuboid cuboid;
+  cuboid.dimensions = group_dims;
+  cuboid.fn = fn;
+  cuboid.measure = measure;
+  for (const auto& [key, acc] : groups) {
+    Cell cell;
+    cell.group = key;
+    cell.count = acc.count;
+    switch (fn) {
+      case AggFn::kSum:
+        cell.value = acc.sum;
+        break;
+      case AggFn::kCount:
+        cell.value = static_cast<double>(acc.count);
+        break;
+      case AggFn::kAvg:
+        cell.value = acc.count == 0 ? 0 : acc.sum / static_cast<double>(acc.count);
+        break;
+      case AggFn::kMin:
+        cell.value = acc.min;
+        break;
+      case AggFn::kMax:
+        cell.value = acc.max;
+        break;
+    }
+    cuboid.cells.push_back(std::move(cell));
+  }
+  return cuboid;
+}
+
+Result<std::vector<Cuboid>> Cube::Rollup(const std::vector<std::string>& dims,
+                                         AggFn fn, const std::string& measure) const {
+  std::vector<Cuboid> out;
+  for (size_t keep = dims.size(); keep > 0; --keep) {
+    std::vector<std::string> group(dims.begin(), dims.begin() + keep);
+    SEDA_ASSIGN_OR_RETURN(Cuboid cuboid, Aggregate(group, fn, measure));
+    out.push_back(std::move(cuboid));
+  }
+  SEDA_ASSIGN_OR_RETURN(Cuboid grand, Aggregate({}, fn, measure));
+  out.push_back(std::move(grand));
+  return out;
+}
+
+Result<Cube> Cube::Slice(const std::string& dimension, const std::string& value) const {
+  return Dice(dimension, {value});
+}
+
+Result<Cube> Cube::Dice(const std::string& dimension,
+                        const std::vector<std::string>& values) const {
+  SEDA_ASSIGN_OR_RETURN(size_t d, DimIndex(dimension));
+  std::set<std::string> allowed(values.begin(), values.end());
+  Cube out;
+  out.dimensions_ = dimensions_;
+  out.measures_ = measures_;
+  for (size_t r = 0; r < dim_rows_.size(); ++r) {
+    if (!allowed.count(dim_rows_[r][d])) continue;
+    out.dim_rows_.push_back(dim_rows_[r]);
+    out.measure_rows_.push_back(measure_rows_[r]);
+    out.rows_.push_back(rows_[r]);
+  }
+  return out;
+}
+
+Result<std::string> Cube::Pivot(const std::string& dim_row, const std::string& dim_col,
+                                AggFn fn, const std::string& measure) const {
+  SEDA_ASSIGN_OR_RETURN(Cuboid cuboid, Aggregate({dim_row, dim_col}, fn, measure));
+  std::set<std::string> rows, cols;
+  std::map<std::pair<std::string, std::string>, double> cells;
+  for (const Cell& cell : cuboid.cells) {
+    rows.insert(cell.group[0]);
+    cols.insert(cell.group[1]);
+    cells[{cell.group[0], cell.group[1]}] = cell.value;
+  }
+  size_t first_width = dim_row.size();
+  for (const std::string& r : rows) first_width = std::max(first_width, r.size());
+  std::string out = dim_row + std::string(first_width - dim_row.size(), ' ');
+  for (const std::string& c : cols) out += " | " + c;
+  out += "\n";
+  for (const std::string& r : rows) {
+    out += r + std::string(first_width - r.size(), ' ');
+    for (const std::string& c : cols) {
+      auto it = cells.find({r, c});
+      std::string value = it == cells.end() ? "-" : FormatDouble(it->second, 2);
+      out += " | " + value + std::string(c.size() > value.size()
+                                             ? c.size() - value.size()
+                                             : 0, ' ');
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace seda::olap

@@ -1,0 +1,93 @@
+#ifndef SEDA_OLAP_OLAP_H_
+#define SEDA_OLAP_OLAP_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "cube/cube_builder.h"
+
+namespace seda::olap {
+
+/// Aggregation functions supported by the cube.
+enum class AggFn { kSum, kCount, kAvg, kMin, kMax };
+
+const char* AggFnName(AggFn fn);
+
+/// Parses a numeric measure value; tolerates suffixes the Factbook uses
+/// ("12.31T", "924.4B", "15%") by scaling T/B/M and stripping '%'.
+std::optional<double> ParseMeasure(const std::string& text);
+
+/// One aggregated cell: the grouped dimension values and the aggregate.
+struct Cell {
+  std::vector<std::string> group;  ///< one value per grouped dimension
+  double value = 0;
+  uint64_t count = 0;
+};
+
+/// A computed cuboid: the result of aggregating a fact table's measure over
+/// a subset of its dimensions.
+struct Cuboid {
+  std::vector<std::string> dimensions;  ///< grouped dimension column names
+  AggFn fn = AggFn::kSum;
+  std::string measure;
+  std::vector<Cell> cells;
+
+  /// Grand total over all cells (for kSum/kCount this equals aggregating
+  /// with zero dimensions).
+  double Total() const;
+
+  std::string ToString() const;
+};
+
+/// An OLAP cube over one fact table (paper §7 hands the star schema to an
+/// "off-the-shelf OLAP tool"; this module closes that loop). Dimensions are
+/// the fact table's key columns; measures are the remaining columns.
+class Cube {
+ public:
+  /// Builds a cube from a fact table produced by the CubeBuilder.
+  static Result<Cube> FromFactTable(const cube::Table& fact_table);
+
+  const std::vector<std::string>& dimensions() const { return dimensions_; }
+  const std::vector<std::string>& measures() const { return measures_; }
+  size_t RowCount() const { return rows_.size(); }
+
+  /// Group-by aggregation over the given dimension subset.
+  Result<Cuboid> Aggregate(const std::vector<std::string>& group_dims, AggFn fn,
+                           const std::string& measure) const;
+
+  /// Rollup: the sequence of cuboids obtained by dropping the last grouping
+  /// dimension one at a time (classic ROLLUP), ending with the grand total.
+  Result<std::vector<Cuboid>> Rollup(const std::vector<std::string>& dims, AggFn fn,
+                                     const std::string& measure) const;
+
+  /// Slice: fixes one dimension to a value and returns the sub-cube.
+  Result<Cube> Slice(const std::string& dimension, const std::string& value) const;
+
+  /// Dice: keeps rows whose dimension value is in the allowed set.
+  Result<Cube> Dice(const std::string& dimension,
+                    const std::vector<std::string>& values) const;
+
+  /// Renders a 2-D pivot grid: rows = dim_row values, columns = dim_col
+  /// values, cells = aggregate of the measure.
+  Result<std::string> Pivot(const std::string& dim_row, const std::string& dim_col,
+                            AggFn fn, const std::string& measure) const;
+
+ private:
+  Result<size_t> DimIndex(const std::string& name) const;
+  Result<size_t> MeasureIndex(const std::string& name) const;
+
+  std::vector<std::string> dimensions_;
+  std::vector<std::string> measures_;
+  /// Rows: dimension values then measure values (as parsed doubles; NaN when
+  /// missing).
+  std::vector<std::vector<std::string>> dim_rows_;
+  std::vector<std::vector<std::optional<double>>> measure_rows_;
+  std::vector<std::vector<std::string>> rows_;  // raw rows for slicing
+};
+
+}  // namespace seda::olap
+
+#endif  // SEDA_OLAP_OLAP_H_

@@ -1,0 +1,95 @@
+#ifndef SEDA_QUERY_QUERY_H_
+#define SEDA_QUERY_QUERY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "store/path_dictionary.h"
+#include "text/text_expr.h"
+
+namespace seda::query {
+
+/// The context component of a query term (paper Definition 3): empty, a full
+/// root-to-leaf path, a tag-name keyword (wildcards allowed), or a
+/// disjunction of those.
+class ContextSpec {
+ public:
+  struct Alternative {
+    bool is_path = false;  ///< true: root-to-leaf path; false: tag pattern
+    std::string text;
+  };
+
+  ContextSpec() = default;
+
+  /// Parses "trade_country", "/country/economy/GDP", "a | /b/c", "*" / "".
+  static ContextSpec Parse(const std::string& text);
+
+  /// Unrestricted context ("*" or empty).
+  bool unrestricted() const { return alternatives_.empty(); }
+
+  const std::vector<Alternative>& alternatives() const { return alternatives_; }
+
+  /// Adds one alternative (used by query refinement, §5: the user picks a
+  /// subset of contexts and the term is restricted to them).
+  void AddPath(const std::string& path);
+  void AddTagPattern(const std::string& pattern);
+
+  /// Definition 3 satisfaction: path match or node-name (last tag) match.
+  bool Matches(const std::string& path, const std::string& last_tag) const;
+
+  /// Resolves to the set of path ids this context admits, or all paths when
+  /// unrestricted.
+  std::vector<store::PathId> ResolvePathIds(const store::PathDictionary& dict) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Alternative> alternatives_;
+};
+
+/// One query term: (context, search_query).
+struct QueryTerm {
+  ContextSpec context;
+  std::unique_ptr<text::TextExpr> search;
+
+  QueryTerm() = default;
+  QueryTerm(ContextSpec ctx, std::unique_ptr<text::TextExpr> expr)
+      : context(std::move(ctx)), search(std::move(expr)) {}
+  QueryTerm(const QueryTerm& other)
+      : context(other.context),
+        search(other.search ? other.search->Clone() : nullptr) {}
+  QueryTerm& operator=(const QueryTerm& other) {
+    context = other.context;
+    search = other.search ? other.search->Clone() : nullptr;
+    return *this;
+  }
+  QueryTerm(QueryTerm&&) = default;
+  QueryTerm& operator=(QueryTerm&&) = default;
+
+  std::string ToString() const;
+};
+
+/// A SEDA query: a conjunction of query terms (Definition 4). The result is
+/// the set of m-tuples of nodes, one node per term, that are connected in the
+/// data graph.
+struct Query {
+  std::vector<QueryTerm> terms;
+
+  std::string ToString() const;
+};
+
+/// Parses the paper's surface syntax:
+///   (context, search) ∧ (context, search) ...
+/// "AND", "&&", "∧" and juxtaposition all separate terms. The context part
+/// may be '*', a tag pattern, a /root/to/leaf path, or alternatives joined
+/// with '|'. The search part is a full-text expression (quotes optional for
+/// single keywords); '*' means any content.
+///
+/// Example: (*, "United States") AND (trade_country, *) AND (percentage, *)
+Result<Query> ParseQuery(const std::string& input);
+
+}  // namespace seda::query
+
+#endif  // SEDA_QUERY_QUERY_H_

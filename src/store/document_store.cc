@@ -1,0 +1,70 @@
+#include "store/document_store.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/strings.h"
+#include "xml/parser.h"
+
+namespace seda::store {
+
+std::string NodeId::ToString() const {
+  return "n" + std::to_string(doc) + "@" + dewey.ToString();
+}
+
+uint64_t NodeId::Hash() const {
+  return HashCombine(static_cast<uint64_t>(doc) + 1, dewey.Hash());
+}
+
+DocId DocumentStore::AddDocument(std::unique_ptr<xml::Document> doc) {
+  DocId id = static_cast<DocId>(docs_.size());
+  docs_.push_back(std::move(doc));
+  doc_path_sets_.emplace_back();
+
+  std::unordered_set<PathId> seen_in_doc;
+  docs_[id]->ForEachNode([&](xml::Node* node) {
+    ++total_nodes_;
+    if (node->kind() == xml::NodeKind::kText) return;  // text shares parent path
+    std::string path = node->ContextPath();
+    // First intern pass with a tentative "not first" flag requires knowing the
+    // id; Intern handles count bookkeeping, so probe first.
+    PathId existing = path_dict_.Find(path);
+    bool first_in_doc =
+        existing == kInvalidPathId || !seen_in_doc.count(existing);
+    PathId pid = path_dict_.Intern(path, first_in_doc);
+    if (seen_in_doc.insert(pid).second) {
+      doc_path_sets_[id].push_back(pid);
+    }
+  });
+  std::sort(doc_path_sets_[id].begin(), doc_path_sets_[id].end());
+  return id;
+}
+
+Result<DocId> DocumentStore::AddXml(const std::string& xml_text,
+                                    const std::string& doc_name) {
+  auto parsed = xml::Parser::Parse(xml_text, doc_name);
+  if (!parsed.ok()) return parsed.status();
+  return AddDocument(std::move(parsed).value());
+}
+
+xml::Node* DocumentStore::GetNode(const NodeId& id) const {
+  if (id.doc >= docs_.size()) return nullptr;
+  return docs_[id.doc]->FindByDewey(id.dewey);
+}
+
+std::string DocumentStore::GetContent(const NodeId& id) const {
+  xml::Node* node = GetNode(id);
+  return node != nullptr ? node->ContentString() : std::string();
+}
+
+Result<PathId> DocumentStore::GetPathId(const NodeId& id) const {
+  xml::Node* node = GetNode(id);
+  if (node == nullptr) return Status::NotFound("node " + id.ToString());
+  PathId pid = path_dict_.Find(node->ContextPath());
+  if (pid == kInvalidPathId) {
+    return Status::Internal("path not interned for " + id.ToString());
+  }
+  return pid;
+}
+
+}  // namespace seda::store

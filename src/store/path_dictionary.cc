@@ -1,0 +1,61 @@
+#include "store/path_dictionary.h"
+
+#include "common/strings.h"
+
+namespace seda::store {
+
+namespace {
+std::string ExtractLastTag(const std::string& path) {
+  size_t slash = path.rfind('/');
+  std::string tag = slash == std::string::npos ? path : path.substr(slash + 1);
+  if (!tag.empty() && tag[0] == '@') tag = tag.substr(1);
+  return tag;
+}
+}  // namespace
+
+PathId PathDictionary::Intern(const std::string& path, bool doc_first_occurrence) {
+  auto it = index_.find(path);
+  PathId id;
+  if (it == index_.end()) {
+    id = static_cast<PathId>(paths_.size());
+    Entry entry;
+    entry.text = path;
+    entry.last_tag = ExtractLastTag(path);
+    paths_.push_back(std::move(entry));
+    index_.emplace(path, id);
+    by_last_tag_[paths_[id].last_tag].push_back(id);
+  } else {
+    id = it->second;
+  }
+  paths_[id].node_count += 1;
+  if (doc_first_occurrence) paths_[id].doc_count += 1;
+  return id;
+}
+
+PathId PathDictionary::Find(const std::string& path) const {
+  auto it = index_.find(path);
+  return it == index_.end() ? kInvalidPathId : it->second;
+}
+
+std::vector<PathId> PathDictionary::PathsWithLastTag(const std::string& tag) const {
+  auto it = by_last_tag_.find(tag);
+  if (it == by_last_tag_.end()) return {};
+  return it->second;
+}
+
+std::vector<PathId> PathDictionary::PathsMatchingTagPattern(
+    const std::string& pattern) const {
+  if (pattern.find('*') == std::string::npos &&
+      pattern.find('?') == std::string::npos) {
+    return PathsWithLastTag(pattern);
+  }
+  std::vector<PathId> out;
+  for (const auto& [tag, ids] : by_last_tag_) {
+    if (WildcardMatch(pattern, tag)) {
+      out.insert(out.end(), ids.begin(), ids.end());
+    }
+  }
+  return out;
+}
+
+}  // namespace seda::store

@@ -1,0 +1,69 @@
+#ifndef SEDA_STORE_PATH_DICTIONARY_H_
+#define SEDA_STORE_PATH_DICTIONARY_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace seda::store {
+
+/// Integer id of a distinct root-to-leaf label path in the collection.
+using PathId = uint32_t;
+inline constexpr PathId kInvalidPathId = 0xFFFFFFFFu;
+
+/// Dictionary of distinct root-to-node label paths ("contexts" in the paper,
+/// §3). Each distinct path gets a dense PathId; the dictionary also tracks
+/// per-path statistics used by the context summary (§5): the number of node
+/// occurrences and the number of documents the path appears in.
+///
+/// The paper stores occurrence counts "in the document store" rather than in
+/// the posting lists (Fig. 8 discussion); this dictionary is that store-side
+/// counter table.
+class PathDictionary {
+ public:
+  /// Interns `path`, returning its id. `doc_first_occurrence` must be true
+  /// exactly once per (path, document) pair so document frequencies stay
+  /// correct; the caller (DocumentStore) tracks per-document de-duplication.
+  PathId Intern(const std::string& path, bool doc_first_occurrence);
+
+  /// Returns the id of `path` or kInvalidPathId when absent.
+  PathId Find(const std::string& path) const;
+
+  /// Path string for an id. Requires a valid id.
+  const std::string& PathString(PathId id) const { return paths_[id].text; }
+
+  /// Last label of the path, e.g. "GDP" for "/country/economy/GDP".
+  const std::string& LastTag(PathId id) const { return paths_[id].last_tag; }
+
+  /// Number of node occurrences of this path across the collection.
+  uint64_t NodeCount(PathId id) const { return paths_[id].node_count; }
+
+  /// Number of documents containing at least one node with this path.
+  uint64_t DocCount(PathId id) const { return paths_[id].doc_count; }
+
+  /// Total number of distinct paths (the paper reports 1984 for Factbook).
+  size_t size() const { return paths_.size(); }
+
+  /// All path ids whose last tag equals `tag`.
+  std::vector<PathId> PathsWithLastTag(const std::string& tag) const;
+
+  /// All path ids whose last tag matches wildcard `pattern` ('*'/'?').
+  std::vector<PathId> PathsMatchingTagPattern(const std::string& pattern) const;
+
+ private:
+  struct Entry {
+    std::string text;
+    std::string last_tag;
+    uint64_t node_count = 0;
+    uint64_t doc_count = 0;
+  };
+
+  std::vector<Entry> paths_;
+  std::unordered_map<std::string, PathId> index_;
+  std::unordered_map<std::string, std::vector<PathId>> by_last_tag_;
+};
+
+}  // namespace seda::store
+
+#endif  // SEDA_STORE_PATH_DICTIONARY_H_

@@ -1,0 +1,86 @@
+#include "summary/context_summary.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+#include "text/analyzer.h"
+
+namespace seda::summary {
+
+uint64_t ContextSummary::CombinationCount() const {
+  uint64_t combos = 1;
+  for (const ContextBucket& bucket : buckets) {
+    combos *= static_cast<uint64_t>(bucket.entries.size());
+  }
+  return combos;
+}
+
+std::string ContextSummary::ToString() const {
+  std::string out;
+  for (const ContextBucket& bucket : buckets) {
+    out += "term " + bucket.term_text + ":\n";
+    for (const ContextEntry& entry : bucket.entries) {
+      out += "  " + entry.path_text + "  (docs=" + std::to_string(entry.doc_count) +
+             ", nodes=" + std::to_string(entry.node_count) + ")\n";
+    }
+  }
+  return out;
+}
+
+ContextBucket ContextSummaryGenerator::GenerateBucket(
+    const query::QueryTerm& term) const {
+  ContextBucket bucket;
+  bucket.term_text = term.ToString();
+  const store::PathDictionary& dict = index_->store().paths();
+
+  // Path candidates from the search query via the Fig. 8 index.
+  std::vector<store::PathId> search_paths;
+  if (term.search && term.search->kind != text::TextExpr::Kind::kAll) {
+    search_paths = index_->EvaluatePaths(*term.search);
+  } else {
+    search_paths = index_->EvaluatePaths(*text::TextExpr::All());
+  }
+
+  // Context constraint (§5): full path probes via its last tag + exact path
+  // filter; tag pattern probes via the tag.
+  std::vector<store::PathId> allowed;
+  bool constrained = !term.context.unrestricted();
+  if (constrained) {
+    allowed = term.context.ResolvePathIds(dict);
+  }
+
+  std::vector<store::PathId> result;
+  if (constrained) {
+    std::set_intersection(search_paths.begin(), search_paths.end(), allowed.begin(),
+                          allowed.end(), std::back_inserter(result));
+  } else {
+    result = std::move(search_paths);
+  }
+
+  for (store::PathId pid : result) {
+    ContextEntry entry;
+    entry.path = pid;
+    entry.path_text = dict.PathString(pid);
+    entry.doc_count = dict.DocCount(pid);
+    entry.node_count = dict.NodeCount(pid);
+    bucket.entries.push_back(std::move(entry));
+  }
+  // Sorted by frequency in the entire data collection (paper §5).
+  std::sort(bucket.entries.begin(), bucket.entries.end(),
+            [](const ContextEntry& a, const ContextEntry& b) {
+              if (a.doc_count != b.doc_count) return a.doc_count > b.doc_count;
+              if (a.node_count != b.node_count) return a.node_count > b.node_count;
+              return a.path_text < b.path_text;
+            });
+  return bucket;
+}
+
+ContextSummary ContextSummaryGenerator::Generate(const query::Query& query) const {
+  ContextSummary summary;
+  for (const query::QueryTerm& term : query.terms) {
+    summary.buckets.push_back(GenerateBucket(term));
+  }
+  return summary;
+}
+
+}  // namespace seda::summary

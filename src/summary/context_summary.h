@@ -1,0 +1,63 @@
+#ifndef SEDA_SUMMARY_CONTEXT_SUMMARY_H_
+#define SEDA_SUMMARY_CONTEXT_SUMMARY_H_
+
+#include <string>
+#include <vector>
+
+#include "query/query.h"
+#include "text/inverted_index.h"
+
+namespace seda::summary {
+
+/// One context bucket entry: a distinct root-to-leaf path a query term
+/// matches, with its *absolute* collection frequencies. The paper (§5) is
+/// explicit that SEDA shows the frequency of the path in the whole
+/// collection, irrespective of the keyword — unlike faceted search.
+struct ContextEntry {
+  store::PathId path = store::kInvalidPathId;
+  std::string path_text;
+  uint64_t doc_count = 0;   ///< documents containing the path
+  uint64_t node_count = 0;  ///< node occurrences of the path
+};
+
+/// The context bucket of one query term: all distinct paths the term appears
+/// in, sorted by descending document frequency.
+struct ContextBucket {
+  std::string term_text;
+  std::vector<ContextEntry> entries;
+};
+
+/// Context summary of a whole query: one bucket per term (§5).
+struct ContextSummary {
+  std::vector<ContextBucket> buckets;
+
+  /// Number of distinct context combinations (the paper counts 12 for
+  /// Query 1's unrefined form: 3 × 2 × 2).
+  uint64_t CombinationCount() const;
+
+  std::string ToString() const;
+};
+
+/// Computes context buckets via the Figure 8 path index: the search query is
+/// evaluated against keyword->path postings; when the term carries a context,
+/// the probe is constrained the way §5 describes (full path => probe with its
+/// last tag; tag pattern => probe with the tag), and frequencies are read
+/// from the path dictionary (the "document store" side).
+class ContextSummaryGenerator {
+ public:
+  explicit ContextSummaryGenerator(const text::InvertedIndex* index)
+      : index_(index) {}
+
+  ContextSummary Generate(const query::Query& query) const;
+
+  /// Bucket for a single term (exposed for tests and for the refinement
+  /// loop, which regenerates buckets after the user picks contexts).
+  ContextBucket GenerateBucket(const query::QueryTerm& term) const;
+
+ private:
+  const text::InvertedIndex* index_;
+};
+
+}  // namespace seda::summary
+
+#endif  // SEDA_SUMMARY_CONTEXT_SUMMARY_H_

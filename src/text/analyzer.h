@@ -1,0 +1,21 @@
+#ifndef SEDA_TEXT_ANALYZER_H_
+#define SEDA_TEXT_ANALYZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace seda::text {
+
+/// Tokenizes text for indexing and querying: splits on non-alphanumeric
+/// characters and lowercases. Numbers (incl. decimal values like "12.31")
+/// are kept whole so fact values remain searchable.
+std::vector<std::string> Tokenize(std::string_view input);
+
+/// Normalizes a single keyword the same way Tokenize normalizes tokens.
+/// Returns an empty string when the keyword contains no indexable character.
+std::string NormalizeToken(std::string_view token);
+
+}  // namespace seda::text
+
+#endif  // SEDA_TEXT_ANALYZER_H_

@@ -1,0 +1,387 @@
+#include "text/inverted_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "text/analyzer.h"
+
+namespace seda::text {
+
+const std::vector<NodePosting> InvertedIndex::kEmptyPostings;
+const std::vector<store::PathId> InvertedIndex::kEmptyPaths;
+const std::vector<store::NodeId> InvertedIndex::kEmptyNodes;
+
+namespace {
+
+/// Merge-intersects two document-order match lists, combining scores.
+std::vector<NodeMatch> IntersectMatches(const std::vector<NodeMatch>& a,
+                                        const std::vector<NodeMatch>& b) {
+  std::vector<NodeMatch> out;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i].node < b[j].node) {
+      ++i;
+    } else if (b[j].node < a[i].node) {
+      ++j;
+    } else {
+      out.push_back({a[i].node, a[i].path, a[i].score + b[j].score});
+      ++i;
+      ++j;
+    }
+  }
+  return out;
+}
+
+std::vector<NodeMatch> UnionMatches(const std::vector<NodeMatch>& a,
+                                    const std::vector<NodeMatch>& b) {
+  std::vector<NodeMatch> out;
+  size_t i = 0, j = 0;
+  while (i < a.size() || j < b.size()) {
+    if (j >= b.size() || (i < a.size() && a[i].node < b[j].node)) {
+      out.push_back(a[i++]);
+    } else if (i >= a.size() || b[j].node < a[i].node) {
+      out.push_back(b[j++]);
+    } else {
+      out.push_back({a[i].node, a[i].path, a[i].score + b[j].score});
+      ++i;
+      ++j;
+    }
+  }
+  return out;
+}
+
+std::vector<NodeMatch> SubtractMatches(const std::vector<NodeMatch>& a,
+                                       const std::vector<NodeMatch>& b) {
+  std::vector<NodeMatch> out;
+  size_t i = 0, j = 0;
+  while (i < a.size()) {
+    while (j < b.size() && b[j].node < a[i].node) ++j;
+    if (j >= b.size() || !(b[j].node == a[i].node)) {
+      out.push_back(a[i]);
+    }
+    ++i;
+  }
+  return out;
+}
+
+std::vector<store::PathId> IntersectSorted(const std::vector<store::PathId>& a,
+                                           const std::vector<store::PathId>& b) {
+  std::vector<store::PathId> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+std::vector<store::PathId> UnionSorted(const std::vector<store::PathId>& a,
+                                       const std::vector<store::PathId>& b) {
+  std::vector<store::PathId> out;
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
+  return out;
+}
+
+std::vector<store::PathId> SubtractSorted(const std::vector<store::PathId>& a,
+                                          const std::vector<store::PathId>& b) {
+  std::vector<store::PathId> out;
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(out));
+  return out;
+}
+
+}  // namespace
+
+InvertedIndex::InvertedIndex(const store::DocumentStore* store) : store_(store) {
+  // Per-term last doc seen, for document frequencies.
+  std::unordered_map<std::string, store::DocId> last_doc;
+  nodes_by_path_.resize(store_->paths().size());
+
+  store_->ForEachNode([&](const store::NodeId& id, xml::Node* node) {
+    if (node->kind() == xml::NodeKind::kText) return;
+    std::string path_text = node->ContextPath();
+    store::PathId path = store_->paths().Find(path_text);
+    if (path == store::kInvalidPathId) return;
+    if (path >= nodes_by_path_.size()) nodes_by_path_.resize(path + 1);
+    nodes_by_path_[path].push_back(id);
+    ++indexed_nodes_;
+
+    std::vector<std::string> tokens = Tokenize(node->ContentString());
+    // Path postings (Fig. 8) index only the text a node *directly* contains,
+    // so "United States" maps to trade_country/name leaf paths rather than to
+    // every ancestor context; node postings keep the full content(n)
+    // semantics of Definition 3.
+    std::string direct_text;
+    if (node->kind() == xml::NodeKind::kAttribute) {
+      direct_text = node->text();
+    } else {
+      for (const auto& child : node->children()) {
+        if (child->kind() == xml::NodeKind::kText) {
+          direct_text += child->text() + " ";
+        }
+      }
+    }
+    IndexNode(id, path, tokens, Tokenize(direct_text));
+
+    // Tag names are indexed as keywords too (paper §5), pointing at the
+    // node's own path.
+    std::string tag = NormalizeToken(node->name());
+    if (!tag.empty()) {
+      path_postings_[tag].push_back(path);
+      path_counts_[tag][path] += 1;
+    }
+
+    // Document frequency per content token.
+    std::unordered_set<std::string> distinct(tokens.begin(), tokens.end());
+    for (const auto& t : distinct) {
+      auto it = last_doc.find(t);
+      if (it == last_doc.end() || it->second != id.doc) {
+        // Only count once per document: ancestors repeat descendant tokens,
+        // so guard on the last doc that incremented this term.
+        if (it == last_doc.end()) {
+          last_doc.emplace(t, id.doc);
+          doc_freq_[t] += 1;
+        } else {
+          it->second = id.doc;
+          doc_freq_[t] += 1;
+        }
+      }
+    }
+  });
+
+  // Finalize path postings: sort + dedupe.
+  for (auto& [term, paths] : path_postings_) {
+    std::sort(paths.begin(), paths.end());
+    paths.erase(std::unique(paths.begin(), paths.end()), paths.end());
+  }
+}
+
+void InvertedIndex::IndexNode(const store::NodeId& id, store::PathId path,
+                              const std::vector<std::string>& tokens,
+                              const std::vector<std::string>& direct_tokens) {
+  // Gather positions per distinct token in this node.
+  std::unordered_map<std::string, std::vector<uint32_t>> positions;
+  for (uint32_t pos = 0; pos < tokens.size(); ++pos) {
+    positions[tokens[pos]].push_back(pos);
+  }
+  for (auto& [term, pos_list] : positions) {
+    NodePosting posting;
+    posting.node = id;
+    posting.path = path;
+    posting.positions = std::move(pos_list);
+    node_postings_[term].push_back(std::move(posting));
+  }
+  for (const std::string& term : direct_tokens) {
+    path_postings_[term].push_back(path);
+    path_counts_[term][path] += 1;
+  }
+}
+
+const std::vector<NodePosting>& InvertedIndex::Postings(const std::string& term) const {
+  auto it = node_postings_.find(term);
+  return it == node_postings_.end() ? kEmptyPostings : it->second;
+}
+
+const std::vector<store::PathId>& InvertedIndex::TermPaths(
+    const std::string& term) const {
+  auto it = path_postings_.find(term);
+  return it == path_postings_.end() ? kEmptyPaths : it->second;
+}
+
+uint64_t InvertedIndex::TermPathCount(const std::string& term,
+                                      store::PathId path) const {
+  auto it = path_counts_.find(term);
+  if (it == path_counts_.end()) return 0;
+  auto jt = it->second.find(path);
+  return jt == it->second.end() ? 0 : jt->second;
+}
+
+uint64_t InvertedIndex::DocumentFrequency(const std::string& term) const {
+  auto it = doc_freq_.find(term);
+  return it == doc_freq_.end() ? 0 : it->second;
+}
+
+double InvertedIndex::Idf(const std::string& term) const {
+  double n = static_cast<double>(store_->DocumentCount());
+  double df = static_cast<double>(DocumentFrequency(term));
+  return std::log(1.0 + (n + 1.0) / (df + 1.0));
+}
+
+std::vector<NodeMatch> InvertedIndex::EvaluateNodes(const TextExpr& expr) const {
+  switch (expr.kind) {
+    case TextExpr::Kind::kAll: {
+      std::vector<NodeMatch> out;
+      store_->ForEachNode([&](const store::NodeId& id, xml::Node* node) {
+        if (node->kind() == xml::NodeKind::kText) return;
+        store::PathId path = store_->paths().Find(node->ContextPath());
+        out.push_back({id, path, 0.0});
+      });
+      return out;
+    }
+    case TextExpr::Kind::kTerm: {
+      std::vector<NodeMatch> out;
+      double idf = Idf(expr.term);
+      for (const NodePosting& p : Postings(expr.term)) {
+        double tf = static_cast<double>(p.positions.size());
+        out.push_back({p.node, p.path, idf * (1.0 + std::log(1.0 + tf))});
+      }
+      return out;
+    }
+    case TextExpr::Kind::kPhrase: {
+      // Intersect postings of all phrase tokens per node, then verify
+      // consecutive positions.
+      if (expr.phrase.empty()) return {};
+      std::vector<const std::vector<NodePosting>*> lists;
+      for (const auto& token : expr.phrase) {
+        lists.push_back(&Postings(token));
+        if (lists.back()->empty()) return {};
+      }
+      double score = 0;
+      for (const auto& token : expr.phrase) score += Idf(token);
+      std::vector<NodeMatch> out;
+      std::vector<size_t> cursor(lists.size(), 0);
+      // Advance over the first token's postings; align the rest.
+      for (const NodePosting& first : *lists[0]) {
+        bool aligned = true;
+        std::vector<const NodePosting*> row(lists.size());
+        row[0] = &first;
+        for (size_t t = 1; t < lists.size(); ++t) {
+          auto& list = *lists[t];
+          size_t& c = cursor[t];
+          while (c < list.size() && list[c].node < first.node) ++c;
+          if (c >= list.size() || !(list[c].node == first.node)) {
+            aligned = false;
+            break;
+          }
+          row[t] = &list[c];
+        }
+        if (!aligned) continue;
+        // Check for p with p+t present in each token's positions.
+        bool phrase_found = false;
+        for (uint32_t p0 : first.positions) {
+          bool all = true;
+          for (size_t t = 1; t < row.size(); ++t) {
+            const auto& positions = row[t]->positions;
+            if (!std::binary_search(positions.begin(), positions.end(),
+                                    p0 + static_cast<uint32_t>(t))) {
+              all = false;
+              break;
+            }
+          }
+          if (all) {
+            phrase_found = true;
+            break;
+          }
+        }
+        if (phrase_found) out.push_back({first.node, first.path, score});
+      }
+      return out;
+    }
+    case TextExpr::Kind::kAnd: {
+      std::vector<NodeMatch> positive;
+      bool have_positive = false;
+      std::vector<const TextExpr*> negatives;
+      for (const auto& child : expr.children) {
+        if (child->kind == TextExpr::Kind::kNot) {
+          negatives.push_back(child->children.front().get());
+          continue;
+        }
+        auto matches = EvaluateNodes(*child);
+        if (!have_positive) {
+          positive = std::move(matches);
+          have_positive = true;
+        } else {
+          positive = IntersectMatches(positive, matches);
+        }
+      }
+      if (!have_positive) {
+        // Pure negation: complement against all nodes.
+        positive = EvaluateNodes(*TextExpr::All());
+      }
+      for (const TextExpr* neg : negatives) {
+        positive = SubtractMatches(positive, EvaluateNodes(*neg));
+      }
+      return positive;
+    }
+    case TextExpr::Kind::kOr: {
+      std::vector<NodeMatch> out;
+      for (const auto& child : expr.children) {
+        out = UnionMatches(out, EvaluateNodes(*child));
+      }
+      return out;
+    }
+    case TextExpr::Kind::kNot: {
+      auto universe = EvaluateNodes(*TextExpr::All());
+      return SubtractMatches(universe, EvaluateNodes(*expr.children.front()));
+    }
+  }
+  return {};
+}
+
+std::vector<store::PathId> InvertedIndex::EvaluatePaths(const TextExpr& expr) const {
+  switch (expr.kind) {
+    case TextExpr::Kind::kAll: {
+      std::vector<store::PathId> out(store_->paths().size());
+      for (size_t i = 0; i < out.size(); ++i) out[i] = static_cast<store::PathId>(i);
+      return out;
+    }
+    case TextExpr::Kind::kTerm:
+      return TermPaths(expr.term);
+    case TextExpr::Kind::kPhrase: {
+      std::vector<store::PathId> out;
+      bool first = true;
+      for (const auto& token : expr.phrase) {
+        if (first) {
+          out = TermPaths(token);
+          first = false;
+        } else {
+          out = IntersectSorted(out, TermPaths(token));
+        }
+      }
+      return out;
+    }
+    case TextExpr::Kind::kAnd: {
+      std::vector<store::PathId> out;
+      bool have_positive = false;
+      std::vector<const TextExpr*> negatives;
+      for (const auto& child : expr.children) {
+        if (child->kind == TextExpr::Kind::kNot) {
+          negatives.push_back(child->children.front().get());
+          continue;
+        }
+        auto paths = EvaluatePaths(*child);
+        if (!have_positive) {
+          out = std::move(paths);
+          have_positive = true;
+        } else {
+          out = IntersectSorted(out, paths);
+        }
+      }
+      if (!have_positive) out = EvaluatePaths(*TextExpr::All());
+      for (const TextExpr* neg : negatives) {
+        out = SubtractSorted(out, EvaluatePaths(*neg));
+      }
+      return out;
+    }
+    case TextExpr::Kind::kOr: {
+      std::vector<store::PathId> out;
+      for (const auto& child : expr.children) {
+        out = UnionSorted(out, EvaluatePaths(*child));
+      }
+      return out;
+    }
+    case TextExpr::Kind::kNot: {
+      return SubtractSorted(EvaluatePaths(*TextExpr::All()),
+                            EvaluatePaths(*expr.children.front()));
+    }
+  }
+  return {};
+}
+
+const std::vector<store::NodeId>& InvertedIndex::NodesWithPath(
+    store::PathId path) const {
+  if (path == store::kInvalidPathId || path >= nodes_by_path_.size()) {
+    return kEmptyNodes;
+  }
+  return nodes_by_path_[path];
+}
+
+}  // namespace seda::text

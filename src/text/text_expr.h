@@ -1,0 +1,65 @@
+#ifndef SEDA_TEXT_TEXT_EXPR_H_
+#define SEDA_TEXT_TEXT_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace seda::text {
+
+/// Full-text search expression per the paper's Definition 3: "a simple bag of
+/// keywords, a phrase query or a boolean combination of those". `kAll` is the
+/// wildcard search ("*") used by structure-only query terms such as
+/// (trade_country, *).
+class TextExpr {
+ public:
+  enum class Kind {
+    kAll,     ///< matches any content, including empty
+    kTerm,    ///< single keyword
+    kPhrase,  ///< consecutive keywords
+    kAnd,
+    kOr,
+    kNot,     ///< single child; only meaningful inside a conjunction
+  };
+
+  Kind kind = Kind::kAll;
+  std::string term;                               ///< kTerm
+  std::vector<std::string> phrase;                ///< kPhrase (normalized tokens)
+  std::vector<std::unique_ptr<TextExpr>> children;  ///< kAnd / kOr / kNot
+
+  static std::unique_ptr<TextExpr> All();
+  static std::unique_ptr<TextExpr> Term(std::string t);
+  static std::unique_ptr<TextExpr> Phrase(std::vector<std::string> tokens);
+  static std::unique_ptr<TextExpr> And(std::vector<std::unique_ptr<TextExpr>> cs);
+  static std::unique_ptr<TextExpr> Or(std::vector<std::unique_ptr<TextExpr>> cs);
+  static std::unique_ptr<TextExpr> Not(std::unique_ptr<TextExpr> child);
+
+  /// Deep copy.
+  std::unique_ptr<TextExpr> Clone() const;
+
+  /// Evaluates against a token sequence (reference semantics for tests and
+  /// for index-free verification). Phrases require consecutive positions.
+  bool Matches(const std::vector<std::string>& tokens) const;
+
+  /// All positive keywords mentioned (terms + phrase tokens), used for
+  /// scoring and for sorted-access streams in the top-k algorithm.
+  std::vector<std::string> PositiveTerms() const;
+
+  /// Renders a canonical text form, e.g. ("a" AND NOT "b").
+  std::string ToString() const;
+};
+
+/// Parses the SEDA full-text query syntax:
+///   expr    := or
+///   or      := and ( OR and )*
+///   and     := unary ( [AND] unary )*        (juxtaposition = AND, bag of words)
+///   unary   := NOT unary | '(' expr ')' | '"' words '"' | word | '*'
+/// Keywords AND/OR/NOT are case-insensitive.
+Result<std::unique_ptr<TextExpr>> ParseTextExpr(std::string_view input);
+
+}  // namespace seda::text
+
+#endif  // SEDA_TEXT_TEXT_EXPR_H_

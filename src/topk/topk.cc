@@ -1,0 +1,247 @@
+#include "topk/topk.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace seda::topk {
+
+namespace {
+
+constexpr double kAllTermScore = 0.01;  // structure-only terms carry tiny weight
+
+double Compactness(size_t connection_size) {
+  return 1.0 / (1.0 + static_cast<double>(connection_size));
+}
+
+bool TupleLess(const ScoredTuple& a, const ScoredTuple& b) {
+  if (a.score != b.score) return a.score > b.score;
+  for (size_t i = 0; i < a.nodes.size() && i < b.nodes.size(); ++i) {
+    if (!(a.nodes[i].node == b.nodes[i].node)) {
+      return a.nodes[i].node < b.nodes[i].node;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string ScoredTuple::ToString(const store::DocumentStore& store) const {
+  std::string out = "score=" + std::to_string(score) + " [";
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += nodes[i].node.ToString();
+    out += "='" + store.GetContent(nodes[i].node) + "'";
+  }
+  out += "]";
+  return out;
+}
+
+std::vector<std::vector<text::NodeMatch>> TopKSearcher::CandidateStreams(
+    const query::Query& query, const TopKOptions& options) const {
+  std::vector<std::vector<text::NodeMatch>> streams;
+  streams.reserve(query.terms.size());
+  const auto& dict = index_->store().paths();
+
+  for (const query::QueryTerm& term : query.terms) {
+    std::vector<text::NodeMatch> matches;
+    bool all_content = !term.search || term.search->kind == text::TextExpr::Kind::kAll;
+    if (all_content) {
+      // Structure-only term: candidates come from the context's paths.
+      std::vector<store::PathId> paths = term.context.ResolvePathIds(dict);
+      for (store::PathId path : paths) {
+        for (const store::NodeId& node : index_->NodesWithPath(path)) {
+          matches.push_back({node, path, kAllTermScore});
+        }
+      }
+    } else {
+      matches = index_->EvaluateNodes(*term.search);
+      if (!term.context.unrestricted()) {
+        std::vector<store::PathId> paths = term.context.ResolvePathIds(dict);
+        std::unordered_set<store::PathId> allowed(paths.begin(), paths.end());
+        std::erase_if(matches, [&](const text::NodeMatch& m) {
+          return !allowed.count(m.path);
+        });
+      }
+    }
+    // Sort by descending content score (sorted access order for TA).
+    std::stable_sort(matches.begin(), matches.end(),
+                     [](const text::NodeMatch& a, const text::NodeMatch& b) {
+                       return a.score > b.score;
+                     });
+    if (options.max_candidates_per_term > 0 &&
+        matches.size() > options.max_candidates_per_term) {
+      matches.resize(options.max_candidates_per_term);
+    }
+    streams.push_back(std::move(matches));
+  }
+  return streams;
+}
+
+Result<std::vector<ScoredTuple>> TopKSearcher::Search(const query::Query& query,
+                                                      const TopKOptions& options,
+                                                      SearchStats* stats) const {
+  return SearchImpl(query, options, /*threshold_stop=*/true, stats);
+}
+
+Result<std::vector<ScoredTuple>> TopKSearcher::NaiveSearch(
+    const query::Query& query, const TopKOptions& options, SearchStats* stats) const {
+  return SearchImpl(query, options, /*threshold_stop=*/false, stats);
+}
+
+Result<std::vector<ScoredTuple>> TopKSearcher::SearchImpl(
+    const query::Query& query, const TopKOptions& options, bool threshold_stop,
+    SearchStats* stats) const {
+  if (query.terms.empty()) {
+    return Status::InvalidArgument("empty query");
+  }
+  const size_t m = query.terms.size();
+  auto streams = CandidateStreams(query, options);
+
+  SearchStats local_stats;
+  for (const auto& s : streams) local_stats.candidates_total += s.size();
+
+  // Group candidates per document per term, remembering each term's best
+  // (maximum) content score inside the document for the TA upper bound.
+  struct DocGroup {
+    std::vector<std::vector<const text::NodeMatch*>> per_term;
+    double upper_bound = 0;  // sum of per-term max scores, compactness <= 1
+    explicit DocGroup(size_t terms) : per_term(terms) {}
+  };
+  std::map<store::DocId, DocGroup> groups;
+  for (size_t t = 0; t < m; ++t) {
+    for (const text::NodeMatch& match : streams[t]) {
+      auto [it, inserted] = groups.try_emplace(match.node.doc, m);
+      auto& bucket = it->second.per_term[t];
+      if (options.max_per_doc_per_term > 0 &&
+          bucket.size() >= options.max_per_doc_per_term) {
+        continue;
+      }
+      bucket.push_back(&match);
+    }
+  }
+
+  // Cross-document tuples: allow a document to borrow candidates from
+  // documents it links to (1 hop over non-tree edges), so e.g. a Mondial
+  // country can pair with a Factbook country it references.
+  if (options.allow_cross_document && m >= 2) {
+    std::vector<std::pair<store::DocId, store::DocId>> doc_links;
+    for (auto& [doc, group] : groups) {
+      for (size_t t = 0; t < m; ++t) {
+        for (const text::NodeMatch* match : group.per_term[t]) {
+          for (const graph::Edge& edge : graph_->NonTreeEdges(match->node)) {
+            store::DocId other =
+                edge.from.doc == doc ? edge.to.doc : edge.from.doc;
+            if (other != doc && groups.count(other)) {
+              doc_links.emplace_back(doc, other);
+            }
+          }
+        }
+      }
+    }
+    for (auto& [a, b] : doc_links) {
+      DocGroup& ga = groups.at(a);
+      const DocGroup& gb = groups.at(b);
+      for (size_t t = 0; t < m; ++t) {
+        for (const text::NodeMatch* match : gb.per_term[t]) {
+          if (options.max_per_doc_per_term > 0 &&
+              ga.per_term[t].size() >= 2 * options.max_per_doc_per_term) {
+            break;
+          }
+          ga.per_term[t].push_back(match);
+        }
+      }
+    }
+  }
+
+  // Compute upper bounds and order documents by them (TA sorted access).
+  std::vector<std::pair<double, store::DocId>> order;
+  for (auto& [doc, group] : groups) {
+    bool complete = true;
+    double bound = 0;
+    for (size_t t = 0; t < m; ++t) {
+      if (group.per_term[t].empty()) {
+        complete = false;
+        break;
+      }
+      double best = 0;
+      for (const text::NodeMatch* match : group.per_term[t]) {
+        best = std::max(best, match->score);
+      }
+      bound += best;
+    }
+    if (!complete) continue;
+    group.upper_bound = bound;
+    order.emplace_back(bound, doc);
+  }
+  std::sort(order.begin(), order.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  local_stats.docs_considered = order.size();
+
+  std::vector<ScoredTuple> best;
+  auto maybe_keep = [&](ScoredTuple tuple) {
+    best.push_back(std::move(tuple));
+    std::sort(best.begin(), best.end(), TupleLess);
+    if (best.size() > options.k) best.resize(options.k);
+  };
+
+  for (const auto& [bound, doc] : order) {
+    if (threshold_stop && best.size() >= options.k &&
+        best.back().score >= bound * Compactness(0)) {
+      local_stats.early_terminated = true;
+      break;
+    }
+    const DocGroup& group = groups.at(doc);
+    ++local_stats.docs_scored;
+
+    // Enumerate the per-term cross product within this document group.
+    std::vector<size_t> idx(m, 0);
+    while (true) {
+      ScoredTuple tuple;
+      tuple.nodes.reserve(m);
+      double content = 0;
+      bool distinct = true;
+      for (size_t t = 0; t < m; ++t) {
+        const text::NodeMatch* match = group.per_term[t][idx[t]];
+        // A tuple binds m distinct nodes; a node may not play two roles.
+        for (const text::NodeMatch& prev : tuple.nodes) {
+          if (prev.node == match->node) {
+            distinct = false;
+            break;
+          }
+        }
+        tuple.nodes.push_back(*match);
+        content += match->score;
+      }
+      if (distinct) {
+        std::vector<store::NodeId> node_ids;
+        node_ids.reserve(m);
+        for (const auto& nm : tuple.nodes) node_ids.push_back(nm.node);
+        auto size = graph_->ConnectionSize(node_ids, options.max_connect_depth);
+        ++local_stats.tuples_scored;
+        if (size.has_value()) {
+          tuple.content_score = content;
+          tuple.connection_size = *size;
+          tuple.score = content * Compactness(*size);
+          maybe_keep(std::move(tuple));
+        }
+      }
+      // Advance the odometer.
+      size_t t = 0;
+      for (; t < m; ++t) {
+        if (++idx[t] < group.per_term[t].size()) break;
+        idx[t] = 0;
+      }
+      if (t == m) break;
+    }
+  }
+
+  if (stats != nullptr) *stats = local_stats;
+  return best;
+}
+
+}  // namespace seda::topk

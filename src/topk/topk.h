@@ -1,0 +1,93 @@
+#ifndef SEDA_TOPK_TOPK_H_
+#define SEDA_TOPK_TOPK_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/data_graph.h"
+#include "query/query.h"
+#include "text/inverted_index.h"
+
+namespace seda::topk {
+
+/// One ranked answer: a tuple of nodes, one per query term, with the combined
+/// score (content × structural compactness) described in paper §4.
+struct ScoredTuple {
+  std::vector<text::NodeMatch> nodes;     ///< one per query term, in term order
+  double content_score = 0.0;             ///< sum of per-term content scores
+  size_t connection_size = 0;             ///< edges of the minimal connecting graph
+  double score = 0.0;                     ///< content × 1/(1 + connection_size)
+
+  std::string ToString(const store::DocumentStore& store) const;
+};
+
+/// Execution counters for the ablation benches.
+struct SearchStats {
+  uint64_t candidates_total = 0;     ///< candidate nodes across all terms
+  uint64_t docs_considered = 0;      ///< candidate documents examined
+  uint64_t docs_scored = 0;          ///< documents whose tuples were enumerated
+  uint64_t tuples_scored = 0;        ///< tuples fully scored (ConnectionSize calls)
+  bool early_terminated = false;     ///< TA threshold fired before exhausting docs
+};
+
+/// Options controlling the search.
+struct TopKOptions {
+  size_t k = 10;
+  /// Per-term cap on candidate nodes taken from the index (highest content
+  /// scores first). 0 = unlimited.
+  size_t max_candidates_per_term = 4096;
+  /// Per-document cap on candidates per term during tuple enumeration,
+  /// bounding the cross-product.
+  size_t max_per_doc_per_term = 16;
+  /// BFS bound for connecting tuples through the data graph.
+  size_t max_connect_depth = 10;
+  /// Follow non-tree edges to join candidates from linked documents.
+  bool allow_cross_document = true;
+};
+
+/// Top-k search unit (paper §4): retrieves per-term candidate streams from
+/// the full-text index sorted by content score and runs a Threshold-Algorithm
+/// style scan (Fagin et al. [8]) grouped by candidate document. The score of
+/// a tuple is its content score discounted by the compactness of the minimal
+/// graph connecting its nodes; the TA threshold uses compactness 1 as the
+/// monotone upper bound, so the scan can stop as soon as the k-th best tuple
+/// dominates every unexamined document's bound.
+class TopKSearcher {
+ public:
+  TopKSearcher(const text::InvertedIndex* index, const graph::DataGraph* graph)
+      : index_(index), graph_(graph) {}
+
+  /// Runs the TA search. Results are sorted by descending score; ties break
+  /// by document order of the first differing node.
+  Result<std::vector<ScoredTuple>> Search(const query::Query& query,
+                                          const TopKOptions& options,
+                                          SearchStats* stats = nullptr) const;
+
+  /// Baseline for the A1 ablation: enumerates and scores every candidate
+  /// combination (same candidate streams, no early termination).
+  Result<std::vector<ScoredTuple>> NaiveSearch(const query::Query& query,
+                                               const TopKOptions& options,
+                                               SearchStats* stats = nullptr) const;
+
+  /// Per-term candidate matches (index evaluation restricted to the term's
+  /// context), sorted by descending content score. Exposed for the summary
+  /// generators, which reuse the candidate streams.
+  std::vector<std::vector<text::NodeMatch>> CandidateStreams(
+      const query::Query& query, const TopKOptions& options) const;
+
+ private:
+  Result<std::vector<ScoredTuple>> SearchImpl(const query::Query& query,
+                                              const TopKOptions& options,
+                                              bool threshold_stop,
+                                              SearchStats* stats) const;
+
+  const text::InvertedIndex* index_;
+  const graph::DataGraph* graph_;
+};
+
+}  // namespace seda::topk
+
+#endif  // SEDA_TOPK_TOPK_H_

@@ -1,0 +1,81 @@
+#include "xml/dewey.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace seda::xml {
+
+DeweyId DeweyId::Parse(const std::string& text) {
+  std::vector<uint32_t> parts;
+  if (text.empty()) return DeweyId();
+  for (const std::string& piece : Split(text, '.')) {
+    uint32_t value = 0;
+    for (char c : piece) {
+      if (c < '0' || c > '9') return DeweyId();
+      value = value * 10 + static_cast<uint32_t>(c - '0');
+    }
+    parts.push_back(value);
+  }
+  return DeweyId(std::move(parts));
+}
+
+DeweyId DeweyId::Child(uint32_t index) const {
+  std::vector<uint32_t> parts = components_;
+  parts.push_back(index);
+  return DeweyId(std::move(parts));
+}
+
+DeweyId DeweyId::Parent() const {
+  if (components_.empty()) return DeweyId();
+  std::vector<uint32_t> parts(components_.begin(), components_.end() - 1);
+  return DeweyId(std::move(parts));
+}
+
+bool DeweyId::IsAncestorOf(const DeweyId& other) const {
+  if (components_.size() >= other.components_.size()) return false;
+  return std::equal(components_.begin(), components_.end(), other.components_.begin());
+}
+
+bool DeweyId::IsAncestorOrSelf(const DeweyId& other) const {
+  return *this == other || IsAncestorOf(other);
+}
+
+bool DeweyId::operator<(const DeweyId& other) const {
+  return std::lexicographical_compare(components_.begin(), components_.end(),
+                                      other.components_.begin(),
+                                      other.components_.end());
+}
+
+std::string DeweyId::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < components_.size(); ++i) {
+    if (i > 0) out += '.';
+    out += std::to_string(components_[i]);
+  }
+  return out;
+}
+
+uint64_t DeweyId::Hash() const {
+  uint64_t h = 1469598103934665603ull;
+  for (uint32_t c : components_) {
+    h = HashCombine(h, c + 1);
+  }
+  return h;
+}
+
+size_t CommonPrefixLength(const DeweyId& a, const DeweyId& b) {
+  const auto& ca = a.components();
+  const auto& cb = b.components();
+  size_t n = std::min(ca.size(), cb.size());
+  size_t i = 0;
+  while (i < n && ca[i] == cb[i]) ++i;
+  return i;
+}
+
+size_t TreeDistance(const DeweyId& a, const DeweyId& b) {
+  size_t lca = CommonPrefixLength(a, b);
+  return (a.depth() - lca) + (b.depth() - lca);
+}
+
+}  // namespace seda::xml

@@ -1,0 +1,69 @@
+#ifndef SEDA_XML_DEWEY_H_
+#define SEDA_XML_DEWEY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace seda::xml {
+
+/// Dewey ID (Tatarinov et al., SIGMOD 2002): the position path of a node from
+/// the document root. The root element has Dewey "1"; its i-th child (1-based,
+/// counting elements and text nodes in document order) appends ".i".
+///
+/// Dewey IDs give document order by lexicographic comparison of components and
+/// make ancestor/descendant tests a prefix check — both properties are load-
+/// bearing for the holistic twig join (paper §7) which consumes node streams
+/// "in Dewey ID order".
+class DeweyId {
+ public:
+  DeweyId() = default;
+  explicit DeweyId(std::vector<uint32_t> components)
+      : components_(std::move(components)) {}
+
+  /// Parses "1.2.2.1" into a DeweyId; returns an empty id for an empty string.
+  static DeweyId Parse(const std::string& text);
+
+  const std::vector<uint32_t>& components() const { return components_; }
+  bool empty() const { return components_.empty(); }
+  size_t depth() const { return components_.size(); }
+
+  /// Returns the Dewey ID of this node's `index`-th child (1-based).
+  DeweyId Child(uint32_t index) const;
+
+  /// Returns the parent's Dewey ID; the root's parent is the empty id.
+  DeweyId Parent() const;
+
+  /// True iff this id is a strict ancestor of `other` (prefix, not equal).
+  bool IsAncestorOf(const DeweyId& other) const;
+
+  /// True iff this id is `other` or a strict ancestor of it.
+  bool IsAncestorOrSelf(const DeweyId& other) const;
+
+  /// Document-order comparison: lexicographic on components, with a prefix
+  /// (ancestor) ordering before its extensions.
+  bool operator<(const DeweyId& other) const;
+  bool operator==(const DeweyId& other) const { return components_ == other.components_; }
+  bool operator!=(const DeweyId& other) const { return !(*this == other); }
+
+  /// Renders as dot-separated components: "1.2.2.1".
+  std::string ToString() const;
+
+  /// Stable hash for unordered containers.
+  uint64_t Hash() const;
+
+ private:
+  std::vector<uint32_t> components_;
+};
+
+/// Number of shared leading components; the lowest common ancestor of two
+/// nodes in the same document sits at this depth.
+size_t CommonPrefixLength(const DeweyId& a, const DeweyId& b);
+
+/// Tree distance between two nodes of the same document: edges from `a` up to
+/// the LCA plus edges down to `b`. Used by the compactness score (paper §4).
+size_t TreeDistance(const DeweyId& a, const DeweyId& b);
+
+}  // namespace seda::xml
+
+#endif  // SEDA_XML_DEWEY_H_

@@ -1,0 +1,99 @@
+#include "xml/document.h"
+
+namespace seda::xml {
+
+Node* Node::AddChild(std::unique_ptr<Node> child) {
+  child->parent_ = this;
+  children_.push_back(std::move(child));
+  Node* added = children_.back().get();
+  added->AssignDewey(dewey_.Child(static_cast<uint32_t>(children_.size())));
+  return added;
+}
+
+Node* Node::AddElement(const std::string& name) {
+  return AddChild(std::make_unique<Node>(NodeKind::kElement, name));
+}
+
+Node* Node::AddAttribute(const std::string& name, const std::string& value) {
+  Node* attr = AddChild(std::make_unique<Node>(NodeKind::kAttribute, name));
+  attr->set_text(value);
+  return attr;
+}
+
+Node* Node::AddText(const std::string& text) {
+  Node* node = AddChild(std::make_unique<Node>(NodeKind::kText, "#text"));
+  node->set_text(text);
+  return node;
+}
+
+Node* Node::FindChild(const std::string& name) const {
+  for (const auto& child : children_) {
+    if (child->name() == name) return child.get();
+  }
+  return nullptr;
+}
+
+std::string Node::ContentString() const {
+  if (kind_ == NodeKind::kText || kind_ == NodeKind::kAttribute) return text_;
+  std::string out;
+  for (const auto& child : children_) {
+    std::string piece = child->ContentString();
+    if (piece.empty()) continue;
+    if (!out.empty()) out += ' ';
+    out += piece;
+  }
+  return out;
+}
+
+std::string Node::ContextPath() const {
+  if (kind_ == NodeKind::kText) {
+    // Text nodes take the context of their parent element.
+    return parent_ != nullptr ? parent_->ContextPath() : "";
+  }
+  std::string out = parent_ != nullptr ? parent_->ContextPath() : "";
+  out += '/';
+  if (kind_ == NodeKind::kAttribute) out += '@';
+  out += name_;
+  return out;
+}
+
+void Node::AssignDewey(const DeweyId& id) {
+  dewey_ = id;
+  for (size_t i = 0; i < children_.size(); ++i) {
+    children_[i]->AssignDewey(id.Child(static_cast<uint32_t>(i + 1)));
+  }
+}
+
+void Document::SetRoot(std::unique_ptr<Node> root) {
+  root_ = std::move(root);
+  if (root_) root_->AssignDewey(DeweyId({1}));
+}
+
+Node* Document::CreateRoot(const std::string& tag) {
+  SetRoot(std::make_unique<Node>(NodeKind::kElement, tag));
+  return root_.get();
+}
+
+Node* Document::FindByDewey(const DeweyId& id) const {
+  const auto& comps = id.components();
+  if (comps.empty() || comps[0] != 1 || !root_) return nullptr;
+  Node* node = root_.get();
+  for (size_t depth = 1; depth < comps.size(); ++depth) {
+    uint32_t index = comps[depth];
+    if (index == 0 || index > node->children().size()) return nullptr;
+    node = node->children()[index - 1].get();
+  }
+  return node;
+}
+
+size_t Document::CountNodes() const {
+  size_t count = 0;
+  ForEachNode([&count](Node*) { ++count; });
+  return count;
+}
+
+void Document::Renumber() {
+  if (root_) root_->AssignDewey(DeweyId({1}));
+}
+
+}  // namespace seda::xml

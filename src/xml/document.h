@@ -1,0 +1,118 @@
+#ifndef SEDA_XML_DOCUMENT_H_
+#define SEDA_XML_DOCUMENT_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "xml/dewey.h"
+
+namespace seda::xml {
+
+/// Node kinds in the SEDA data model. Per the paper (§3, footnote 6),
+/// attributes are treated as a special case of children of their element.
+enum class NodeKind {
+  kElement,
+  kAttribute,
+  kText,
+};
+
+/// A node of a parsed XML document. Owned by its Document; children are owned
+/// by their parent node. Navigation pointers are raw (non-owning).
+class Node {
+ public:
+  Node(NodeKind kind, std::string name) : kind_(kind), name_(std::move(name)) {}
+
+  NodeKind kind() const { return kind_; }
+  /// Element/attribute name; for text nodes this is "#text".
+  const std::string& name() const { return name_; }
+  /// Text content of a text node, or the attribute value.
+  const std::string& text() const { return text_; }
+  void set_text(std::string text) { text_ = std::move(text); }
+
+  const DeweyId& dewey() const { return dewey_; }
+  Node* parent() const { return parent_; }
+  const std::vector<std::unique_ptr<Node>>& children() const { return children_; }
+
+  /// Appends a child and returns a pointer to it (ownership retained here).
+  Node* AddChild(std::unique_ptr<Node> child);
+
+  /// Convenience: append an element child with the given name.
+  Node* AddElement(const std::string& name);
+  /// Convenience: append an attribute child name="value".
+  Node* AddAttribute(const std::string& name, const std::string& value);
+  /// Convenience: append a text child.
+  Node* AddText(const std::string& text);
+
+  /// First child element with the given name, or nullptr.
+  Node* FindChild(const std::string& name) const;
+
+  /// Concatenation of all descendant text (the paper's content(n), §3).
+  std::string ContentString() const;
+
+  /// Root-to-this label path, e.g. "/country/economy/GDP" (context(n), §3).
+  /// Attribute steps use the "@name" convention.
+  std::string ContextPath() const;
+
+  /// Assigns Dewey IDs to this subtree, treating this node as having `id`.
+  void AssignDewey(const DeweyId& id);
+
+ private:
+  NodeKind kind_;
+  std::string name_;
+  std::string text_;
+  DeweyId dewey_;
+  Node* parent_ = nullptr;
+  std::vector<std::unique_ptr<Node>> children_;
+};
+
+/// A parsed XML document: a root element plus a document name used by the
+/// store and by cross-document (value-based / IDREF) edge resolution.
+class Document {
+ public:
+  Document() = default;
+  explicit Document(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  Node* root() const { return root_.get(); }
+
+  /// Installs the root element and assigns Dewey IDs (root = "1").
+  void SetRoot(std::unique_ptr<Node> root);
+
+  /// Creates a root element with the given tag and returns it.
+  Node* CreateRoot(const std::string& tag);
+
+  /// Finds the node with the exact Dewey ID, or nullptr. O(depth).
+  Node* FindByDewey(const DeweyId& id) const;
+
+  /// Visits every node (pre-order).
+  template <typename Fn>
+  void ForEachNode(Fn&& fn) const {
+    if (root_) VisitPreOrder(root_.get(), fn);
+  }
+
+  /// Number of nodes (elements + attributes + text) in the document.
+  size_t CountNodes() const;
+
+  /// Re-assigns Dewey IDs over the whole tree; call after structural edits.
+  void Renumber();
+
+ private:
+  template <typename Fn>
+  static void VisitPreOrder(Node* node, Fn&& fn) {
+    fn(node);
+    for (const auto& child : node->children()) {
+      VisitPreOrder(child.get(), fn);
+    }
+  }
+
+  std::string name_;
+  std::unique_ptr<Node> root_;
+};
+
+}  // namespace seda::xml
+
+#endif  // SEDA_XML_DOCUMENT_H_

@@ -1,0 +1,386 @@
+#include "xml/parser.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace seda::xml {
+
+namespace {
+
+/// Recursive-descent scanner over the raw XML text.
+class Scanner {
+ public:
+  explicit Scanner(std::string_view input) : input_(input) {}
+
+  Status ParseInto(Document* doc) {
+    SkipProlog();
+    auto root = ParseElement();
+    if (!root.ok()) return root.status();
+    doc->SetRoot(std::move(root).value());
+    SkipMisc();
+    if (pos_ != input_.size()) {
+      return Status::ParseError("trailing content after document element at offset " +
+                                std::to_string(pos_));
+    }
+    return Status::OK();
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek() const { return input_[pos_]; }
+  bool Match(std::string_view token) {
+    if (input_.substr(pos_, token.size()) == token) {
+      pos_ += token.size();
+      return true;
+    }
+    return false;
+  }
+
+  void SkipWhitespace() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) ++pos_;
+  }
+
+  void SkipUntil(std::string_view terminator) {
+    size_t found = input_.find(terminator, pos_);
+    pos_ = found == std::string_view::npos ? input_.size() : found + terminator.size();
+  }
+
+  /// Skips XML declaration, DOCTYPE, comments, and PIs before the root.
+  void SkipProlog() {
+    while (true) {
+      SkipWhitespace();
+      if (Match("<?")) {
+        SkipUntil("?>");
+      } else if (Match("<!--")) {
+        SkipUntil("-->");
+      } else if (Match("<!DOCTYPE")) {
+        // Skip to matching '>' accounting for an internal subset [...].
+        int bracket = 0;
+        while (!AtEnd()) {
+          char c = input_[pos_++];
+          if (c == '[') ++bracket;
+          if (c == ']') --bracket;
+          if (c == '>' && bracket <= 0) break;
+        }
+      } else {
+        return;
+      }
+    }
+  }
+
+  /// Skips comments/PIs/whitespace after the root element.
+  void SkipMisc() {
+    while (true) {
+      SkipWhitespace();
+      if (Match("<!--")) {
+        SkipUntil("-->");
+      } else if (Match("<?")) {
+        SkipUntil("?>");
+      } else {
+        return;
+      }
+    }
+  }
+
+  static bool IsNameStart(char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+  }
+  static bool IsNameChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == ':' ||
+           c == '-' || c == '.';
+  }
+
+  Result<std::string> ParseName() {
+    if (AtEnd() || !IsNameStart(Peek())) {
+      return Status::ParseError("expected name at offset " + std::to_string(pos_));
+    }
+    size_t start = pos_;
+    while (!AtEnd() && IsNameChar(Peek())) ++pos_;
+    return std::string(input_.substr(start, pos_ - start));
+  }
+
+  Result<std::string> ParseAttributeValue() {
+    if (AtEnd() || (Peek() != '"' && Peek() != '\'')) {
+      return Status::ParseError("expected quoted attribute value at offset " +
+                                std::to_string(pos_));
+    }
+    char quote = Peek();
+    ++pos_;
+    std::string raw;
+    while (!AtEnd() && Peek() != quote) raw.push_back(input_[pos_++]);
+    if (AtEnd()) return Status::ParseError("unterminated attribute value");
+    ++pos_;  // closing quote
+    return DecodeEntities(raw);
+  }
+
+  Result<std::string> DecodeEntities(std::string_view raw) {
+    std::string out;
+    out.reserve(raw.size());
+    for (size_t i = 0; i < raw.size(); ++i) {
+      if (raw[i] != '&') {
+        out.push_back(raw[i]);
+        continue;
+      }
+      size_t semi = raw.find(';', i);
+      if (semi == std::string_view::npos) {
+        return Status::ParseError("unterminated entity reference");
+      }
+      std::string_view entity = raw.substr(i + 1, semi - i - 1);
+      if (entity == "amp") {
+        out += '&';
+      } else if (entity == "lt") {
+        out += '<';
+      } else if (entity == "gt") {
+        out += '>';
+      } else if (entity == "quot") {
+        out += '"';
+      } else if (entity == "apos") {
+        out += '\'';
+      } else if (!entity.empty() && entity[0] == '#') {
+        uint32_t code = 0;
+        bool hex = entity.size() > 1 && (entity[1] == 'x' || entity[1] == 'X');
+        for (size_t j = hex ? 2 : 1; j < entity.size(); ++j) {
+          char c = entity[j];
+          uint32_t digit;
+          if (c >= '0' && c <= '9') {
+            digit = static_cast<uint32_t>(c - '0');
+          } else if (hex && c >= 'a' && c <= 'f') {
+            digit = static_cast<uint32_t>(c - 'a' + 10);
+          } else if (hex && c >= 'A' && c <= 'F') {
+            digit = static_cast<uint32_t>(c - 'A' + 10);
+          } else {
+            return Status::ParseError("bad character reference &" +
+                                      std::string(entity) + ";");
+          }
+          code = code * (hex ? 16 : 10) + digit;
+        }
+        // Encode as UTF-8.
+        if (code < 0x80) {
+          out.push_back(static_cast<char>(code));
+        } else if (code < 0x800) {
+          out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+          out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        } else if (code < 0x10000) {
+          out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+          out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+          out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        } else {
+          out.push_back(static_cast<char>(0xF0 | (code >> 18)));
+          out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+          out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+          out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        }
+      } else {
+        return Status::ParseError("unknown entity &" + std::string(entity) + ";");
+      }
+      i = semi;
+    }
+    return out;
+  }
+
+  Result<std::unique_ptr<Node>> ParseElement() {
+    SkipWhitespace();
+    if (!Match("<")) {
+      return Status::ParseError("expected '<' at offset " + std::to_string(pos_));
+    }
+    auto name = ParseName();
+    if (!name.ok()) return name.status();
+    auto element = std::make_unique<Node>(NodeKind::kElement, name.value());
+
+    // Attributes.
+    while (true) {
+      SkipWhitespace();
+      if (AtEnd()) return Status::ParseError("unterminated start tag <" + name.value());
+      if (Peek() == '>' || Peek() == '/') break;
+      auto attr_name = ParseName();
+      if (!attr_name.ok()) return attr_name.status();
+      SkipWhitespace();
+      if (!Match("=")) {
+        return Status::ParseError("expected '=' after attribute " + attr_name.value());
+      }
+      SkipWhitespace();
+      auto attr_value = ParseAttributeValue();
+      if (!attr_value.ok()) return attr_value.status();
+      element->AddAttribute(attr_name.value(), attr_value.value());
+    }
+
+    if (Match("/>")) return element;
+    if (!Match(">")) {
+      return Status::ParseError("expected '>' closing start tag <" + name.value());
+    }
+
+    // Content.
+    std::string pending_text;
+    auto flush_text = [&]() -> Status {
+      auto decoded = DecodeEntities(pending_text);
+      if (!decoded.ok()) return decoded.status();
+      std::string_view stripped = StripWhitespace(decoded.value());
+      if (!stripped.empty()) element->AddText(std::string(stripped));
+      pending_text.clear();
+      return Status::OK();
+    };
+
+    while (true) {
+      if (AtEnd()) {
+        return Status::ParseError("unexpected end of input inside <" + name.value() + ">");
+      }
+      if (Match("<!--")) {
+        SkipUntil("-->");
+        continue;
+      }
+      if (Match("<![CDATA[")) {
+        size_t end = input_.find("]]>", pos_);
+        if (end == std::string_view::npos) {
+          return Status::ParseError("unterminated CDATA section");
+        }
+        std::string_view cdata = input_.substr(pos_, end - pos_);
+        if (!cdata.empty()) element->AddText(std::string(cdata));
+        pos_ = end + 3;
+        continue;
+      }
+      if (Match("<?")) {
+        SkipUntil("?>");
+        continue;
+      }
+      if (input_.substr(pos_, 2) == "</") {
+        SEDA_RETURN_IF_ERROR(flush_text());
+        pos_ += 2;
+        auto close_name = ParseName();
+        if (!close_name.ok()) return close_name.status();
+        if (close_name.value() != name.value()) {
+          return Status::ParseError("mismatched close tag </" + close_name.value() +
+                                    "> for <" + name.value() + ">");
+        }
+        SkipWhitespace();
+        if (!Match(">")) return Status::ParseError("expected '>' in close tag");
+        return element;
+      }
+      if (Peek() == '<') {
+        SEDA_RETURN_IF_ERROR(flush_text());
+        auto child = ParseElement();
+        if (!child.ok()) return child.status();
+        element->AddChild(std::move(child).value());
+        continue;
+      }
+      pending_text.push_back(input_[pos_++]);
+    }
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+};
+
+void SerializeNodeImpl(const Node& node, int indent, int depth, std::string* out) {
+  std::string pad = indent >= 0 ? std::string(static_cast<size_t>(indent * depth), ' ')
+                                : std::string();
+  const char* newline = indent >= 0 ? "\n" : "";
+  if (node.kind() == NodeKind::kText) {
+    *out += pad + EscapeText(node.text()) + newline;
+    return;
+  }
+  // kAttribute handled inline by the element case; standalone attribute
+  // serialization renders as name="value".
+  if (node.kind() == NodeKind::kAttribute) {
+    *out += pad + node.name() + "=\"" + EscapeText(node.text()) + "\"" + newline;
+    return;
+  }
+  std::string open = pad + "<" + node.name();
+  std::vector<const Node*> content;
+  for (const auto& child : node.children()) {
+    if (child->kind() == NodeKind::kAttribute) {
+      open += " " + child->name() + "=\"" + EscapeText(child->text()) + "\"";
+    } else {
+      content.push_back(child.get());
+    }
+  }
+  if (content.empty()) {
+    *out += open + "/>" + newline;
+    return;
+  }
+  // Text-only content renders inline (<a>text</a>), which keeps
+  // serialize->parse->serialize a fixpoint: the parser coalesces adjacent
+  // character data into one text node.
+  bool text_only = true;
+  for (const Node* child : content) {
+    if (child->kind() != NodeKind::kText) {
+      text_only = false;
+      break;
+    }
+  }
+  if (text_only) {
+    std::string joined;
+    for (const Node* child : content) {
+      if (!joined.empty()) joined += ' ';
+      joined += child->text();
+    }
+    *out += open + ">" + EscapeText(joined) + "</" + node.name() + ">" + newline;
+    return;
+  }
+  *out += open + ">" + newline;
+  for (const Node* child : content) {
+    SerializeNodeImpl(*child, indent, depth + 1, out);
+  }
+  *out += pad + "</" + node.name() + ">" + newline;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Document>> Parser::Parse(std::string_view input,
+                                                std::string doc_name) {
+  auto doc = std::make_unique<Document>(std::move(doc_name));
+  Scanner scanner(input);
+  Status status = scanner.ParseInto(doc.get());
+  if (!status.ok()) return status;
+  return doc;
+}
+
+Result<std::unique_ptr<Document>> Parser::ParseFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return Parse(buffer.str(), path);
+}
+
+std::string EscapeText(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      case '\'':
+        out += "&apos;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string Serialize(const Document& doc, int indent) {
+  if (doc.root() == nullptr) return "";
+  return SerializeNode(*doc.root(), indent);
+}
+
+std::string SerializeNode(const Node& node, int indent) {
+  std::string out;
+  SerializeNodeImpl(node, indent, 0, &out);
+  return out;
+}
+
+}  // namespace seda::xml

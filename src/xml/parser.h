@@ -1,0 +1,43 @@
+#ifndef SEDA_XML_PARSER_H_
+#define SEDA_XML_PARSER_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "xml/document.h"
+
+namespace seda::xml {
+
+/// From-scratch, dependency-free XML parser covering the subset SEDA needs:
+/// elements, attributes, character data, entity references (&amp; &lt; &gt;
+/// &quot; &apos; and numeric), comments, CDATA sections, processing
+/// instructions, and an optional XML declaration. Namespaces are kept as
+/// plain prefixed names (the paper's datasets do not rely on namespace
+/// semantics). DTDs are skipped, not validated.
+///
+/// Whitespace-only text between elements is dropped; all other character data
+/// becomes text nodes.
+class Parser {
+ public:
+  /// Parses `input` into a Document named `doc_name`.
+  static Result<std::unique_ptr<Document>> Parse(std::string_view input,
+                                                 std::string doc_name);
+
+  /// Reads and parses a file from disk.
+  static Result<std::unique_ptr<Document>> ParseFile(const std::string& path);
+};
+
+/// Serializes a document (or subtree) back to XML text.
+/// `indent` < 0 emits a compact single-line form; otherwise pretty-prints
+/// with the given indent width.
+std::string Serialize(const Document& doc, int indent = 2);
+std::string SerializeNode(const Node& node, int indent = 2);
+
+/// Escapes character data for XML output (&, <, >, ", ').
+std::string EscapeText(std::string_view text);
+
+}  // namespace seda::xml
+
+#endif  // SEDA_XML_PARSER_H_

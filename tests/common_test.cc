@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/strings.h"
+
+namespace seda {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "missing thing");
+  EXPECT_EQ(s.ToString(), "NotFound: missing thing");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("x"), Status::InvalidArgument("x"));
+  EXPECT_FALSE(Status::InvalidArgument("x") == Status::InvalidArgument("y"));
+  EXPECT_FALSE(Status::InvalidArgument("x") == Status::Internal("x"));
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kParseError, StatusCode::kOutOfRange,
+        StatusCode::kFailedPrecondition, StatusCode::kInternal,
+        StatusCode::kUnimplemented, StatusCode::kIoError}) {
+    EXPECT_STRNE(StatusCodeName(code), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "payload");
+}
+
+TEST(StringsTest, SplitKeepsEmptyPieces) {
+  EXPECT_EQ(Split("a,b,,c", ','), (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("abc", ','), (std::vector<std::string>{"abc"}));
+}
+
+TEST(StringsTest, SplitSkipEmptyDropsEmptyPieces) {
+  EXPECT_EQ(SplitSkipEmpty("/a/b//c/", '/'),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(SplitSkipEmpty("", '/').empty());
+}
+
+TEST(StringsTest, JoinRoundTripsSplit) {
+  std::vector<std::string> parts{"x", "y", "z"};
+  EXPECT_EQ(Join(parts, "/"), "x/y/z");
+  EXPECT_EQ(Split(Join(parts, ","), ','), parts);
+}
+
+TEST(StringsTest, ToLowerAsciiOnly) {
+  EXPECT_EQ(ToLower("United States"), "united states");
+  EXPECT_EQ(ToLower("ABC123xyz"), "abc123xyz");
+}
+
+TEST(StringsTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  hi  "), "hi");
+  EXPECT_EQ(StripWhitespace("\t\n x \r"), "x");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace("   "), "");
+}
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("/country/economy", "/country"));
+  EXPECT_FALSE(StartsWith("/cou", "/country"));
+  EXPECT_TRUE(EndsWith("trade_country", "country"));
+  EXPECT_FALSE(EndsWith("ab", "abc"));
+}
+
+TEST(WildcardTest, BasicPatterns) {
+  EXPECT_TRUE(WildcardMatch("*", "anything"));
+  EXPECT_TRUE(WildcardMatch("trade_*", "trade_country"));
+  EXPECT_TRUE(WildcardMatch("*country", "trade_country"));
+  EXPECT_TRUE(WildcardMatch("t?ade_country", "trade_country"));
+  EXPECT_FALSE(WildcardMatch("trade_*", "percentage"));
+  EXPECT_TRUE(WildcardMatch("", ""));
+  EXPECT_FALSE(WildcardMatch("", "x"));
+}
+
+TEST(WildcardTest, BacktrackingStars) {
+  EXPECT_TRUE(WildcardMatch("*a*b*", "xaxxbx"));
+  EXPECT_FALSE(WildcardMatch("*a*b*", "xbxa"));
+  EXPECT_TRUE(WildcardMatch("a*a*a", "aaaa"));
+}
+
+TEST(HashTest, Fnv1aIsStable) {
+  EXPECT_EQ(Fnv1a64("abc"), Fnv1a64("abc"));
+  EXPECT_NE(Fnv1a64("abc"), Fnv1a64("abd"));
+  EXPECT_NE(Fnv1a64(""), Fnv1a64("a"));
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, RangeStaysInBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.Range(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, WeightedRespectsZeroWeight) {
+  Rng rng(5);
+  std::vector<double> weights{0.0, 1.0, 0.0};
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(rng.Weighted(weights), 1u);
+  }
+}
+
+TEST(FormatDoubleTest, FixedDigits) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+  EXPECT_EQ(FormatDouble(-1.5, 1), "-1.5");
+}
+
+// Property sweep: WildcardMatch("*", s) is always true; pattern==text always
+// matches when no metacharacters are present.
+class WildcardPropertyTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(WildcardPropertyTest, StarMatchesEverything) {
+  EXPECT_TRUE(WildcardMatch("*", GetParam()));
+}
+
+TEST_P(WildcardPropertyTest, ExactSelfMatch) {
+  EXPECT_TRUE(WildcardMatch(GetParam(), GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Samples, WildcardPropertyTest,
+                         ::testing::Values("", "a", "trade_country", "a_b_c",
+                                           "percentage", "x1y2z3"));
+
+}  // namespace
+}  // namespace seda

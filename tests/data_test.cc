@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/generators.h"
+#include "dataguide/dataguide.h"
+#include "store/document_store.h"
+
+namespace seda::data {
+namespace {
+
+TEST(ScenarioTest, DocumentInventory) {
+  store::DocumentStore store;
+  PopulateScenario(&store);
+  EXPECT_EQ(store.DocumentCount(), 11u);
+  // Figure 2 fragment contents.
+  EXPECT_EQ(store.GetContent({0, xml::DeweyId::Parse("1.1")}), "United States");
+  EXPECT_EQ(store.GetContent({4, xml::DeweyId::Parse("1.1")}), "Mexico");
+}
+
+TEST(ScenarioTest, SchemaEvolutionGdpVsGdpPpp) {
+  store::DocumentStore store;
+  PopulateScenario(&store);
+  const store::PathDictionary& dict = store.paths();
+  store::PathId gdp = dict.Find("/country/economy/GDP");
+  store::PathId gdp_ppp = dict.Find("/country/economy/GDP_ppp");
+  ASSERT_NE(gdp, store::kInvalidPathId);
+  ASSERT_NE(gdp_ppp, store::kInvalidPathId);
+  EXPECT_EQ(dict.DocCount(gdp), 3u);      // 2002, 2003, 2004 docs
+  EXPECT_EQ(dict.DocCount(gdp_ppp), 3u);  // 2005 x2, 2006
+}
+
+TEST(FactbookTest, SmallScaleDeterministic) {
+  WorldFactbookGenerator::Options options;
+  options.scale = 0.05;
+  store::DocumentStore a, b;
+  WorldFactbookGenerator(options).Populate(&a);
+  WorldFactbookGenerator(options).Populate(&b);
+  EXPECT_EQ(a.DocumentCount(), b.DocumentCount());
+  EXPECT_EQ(a.TotalNodeCount(), b.TotalNodeCount());
+  EXPECT_EQ(a.paths().size(), b.paths().size());
+}
+
+TEST(FactbookTest, SchemaEvolutionAcrossYears) {
+  WorldFactbookGenerator::Options options;
+  options.scale = 0.1;
+  store::DocumentStore store;
+  WorldFactbookGenerator(options).Populate(&store);
+  const store::PathDictionary& dict = store.paths();
+  EXPECT_NE(dict.Find("/country/economy/GDP"), store::kInvalidPathId);
+  EXPECT_NE(dict.Find("/country/economy/GDP_ppp"), store::kInvalidPathId);
+  // Both variants coexist in the combined collection but never in one doc.
+  store::PathId gdp = dict.Find("/country/economy/GDP");
+  store::PathId ppp = dict.Find("/country/economy/GDP_ppp");
+  for (store::DocId d = 0; d < store.DocumentCount(); ++d) {
+    const auto& paths = store.DocumentPathSet(d);
+    bool has_gdp = std::binary_search(paths.begin(), paths.end(), gdp);
+    bool has_ppp = std::binary_search(paths.begin(), paths.end(), ppp);
+    EXPECT_FALSE(has_gdp && has_ppp) << "doc " << d;
+  }
+}
+
+TEST(FactbookTest, TerritoriesUseDifferentRoot) {
+  WorldFactbookGenerator::Options options;
+  options.scale = 0.1;
+  store::DocumentStore store;
+  WorldFactbookGenerator(options).Populate(&store);
+  store::PathId country = store.paths().Find("/country");
+  store::PathId territory = store.paths().Find("/territory");
+  ASSERT_NE(country, store::kInvalidPathId);
+  ASSERT_NE(territory, store::kInvalidPathId);
+  EXPECT_EQ(store.paths().DocCount(country) + store.paths().DocCount(territory),
+            store.DocumentCount());
+}
+
+TEST(FactbookTest, FullScaleMatchesPaperStatistics) {
+  store::DocumentStore store;
+  WorldFactbookGenerator().Populate(&store);
+  // 6 years x (263 countries + 4 territories) = 1602 ~ paper's 1600.
+  EXPECT_EQ(store.DocumentCount(), 1602u);
+  // /country in 1578 of them ~ paper's 1577/1600.
+  store::PathId country = store.paths().Find("/country");
+  EXPECT_EQ(store.paths().DocCount(country), 1578u);
+  // Refugees path in exactly 186 documents (paper: 186).
+  store::PathId refugees = store.paths().Find(
+      "/country/transnational_issues/refugees/country_of_origin");
+  ASSERT_NE(refugees, store::kInvalidPathId);
+  EXPECT_EQ(store.paths().DocCount(refugees), 186u);
+  // Distinct path count on the order of the paper's 1984.
+  EXPECT_GT(store.paths().size(), 1200u);
+  EXPECT_LT(store.paths().size(), 3000u);
+}
+
+TEST(FactbookTest, UnitedStatesContextsAllMaterialize) {
+  store::DocumentStore store;
+  WorldFactbookGenerator().Populate(&store);
+  size_t found = 0;
+  for (const std::string& path : WorldFactbookGenerator::UnitedStatesContexts()) {
+    if (store.paths().Find(path) != store::kInvalidPathId) ++found;
+  }
+  // All 27 contexts exist as paths in the generated collection.
+  EXPECT_EQ(found, WorldFactbookGenerator::UnitedStatesContexts().size());
+  EXPECT_EQ(found, 27u);
+}
+
+TEST(MondialTest, EntityCountsAndLinks) {
+  MondialGenerator::Options options;
+  options.scale = 0.05;
+  store::DocumentStore store;
+  MondialGenerator(options).Populate(&store);
+  EXPECT_GT(store.DocumentCount(), 100u);
+  // IDREF attributes reference existing ids.
+  std::set<std::string> ids;
+  store.ForEachNode([&](const store::NodeId&, xml::Node* node) {
+    if (node->kind() == xml::NodeKind::kAttribute && node->name() == "id") {
+      ids.insert(node->text());
+    }
+  });
+  size_t dangling = 0;
+  store.ForEachNode([&](const store::NodeId&, xml::Node* node) {
+    if (node->kind() == xml::NodeKind::kAttribute && node->name() == "idref") {
+      if (!ids.count(node->text())) ++dangling;
+    }
+  });
+  EXPECT_EQ(dangling, 0u);
+}
+
+TEST(MondialTest, FullScaleDocumentCount) {
+  store::DocumentStore store;
+  MondialGenerator().Populate(&store);
+  EXPECT_EQ(store.DocumentCount(), 5563u);  // Table 1
+}
+
+TEST(GoogleBaseTest, TypesProduceExactGuideCount) {
+  GoogleBaseGenerator::Options options;
+  options.documents = 1000;  // scaled for test speed
+  store::DocumentStore store;
+  GoogleBaseGenerator(options).Populate(&store);
+  EXPECT_EQ(store.DocumentCount(), 1000u);
+  dataguide::DataguideCollection::Options dg;
+  dg.overlap_threshold = 0.4;
+  auto guides = dataguide::DataguideCollection::Build(store, dg);
+  EXPECT_EQ(guides.size(), 88u);  // Table 1: 88 dataguides
+}
+
+TEST(RecipeMLTest, ThreeStructuralVariants) {
+  RecipeMLGenerator::Options options;
+  options.documents = 300;
+  store::DocumentStore store;
+  RecipeMLGenerator(options).Populate(&store);
+  dataguide::DataguideCollection::Options dg;
+  dg.overlap_threshold = 0.4;
+  auto guides = dataguide::DataguideCollection::Build(store, dg);
+  // Variants share most paths, so the 40% threshold merges them down to a
+  // handful (paper: 3).
+  EXPECT_LE(guides.size(), 3u);
+}
+
+TEST(GeneratorsTest, NamePoolStable) {
+  const auto& pool = CountryNamePool();
+  EXPECT_GT(pool.size(), 200u);
+  EXPECT_EQ(pool[0], "United States");
+  EXPECT_EQ(&CountryNamePool(), &CountryNamePool());
+}
+
+}  // namespace
+}  // namespace seda::data

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "olap/olap.h"
+
+namespace seda::olap {
+namespace {
+
+cube::Table SampleFactTable() {
+  cube::Table t;
+  t.name = "fact_pct";
+  t.columns = {"country", "year", "partner", "pct"};
+  t.key_columns = {0, 1, 2};
+  t.rows = {
+      {"United States", "2004", "China", "12.5%"},
+      {"United States", "2004", "Mexico", "10.7%"},
+      {"United States", "2005", "China", "13.8%"},
+      {"United States", "2005", "Mexico", "10.3%"},
+      {"United States", "2006", "China", "15%"},
+      {"United States", "2006", "Canada", "16.9%"},
+  };
+  return t;
+}
+
+TEST(ParseMeasureTest, PlainAndSuffixed) {
+  EXPECT_DOUBLE_EQ(*ParseMeasure("15"), 15.0);
+  EXPECT_DOUBLE_EQ(*ParseMeasure("16.9%"), 16.9);
+  EXPECT_DOUBLE_EQ(*ParseMeasure("12.31T"), 12.31e12);
+  EXPECT_DOUBLE_EQ(*ParseMeasure("924.4B"), 924.4e9);
+  EXPECT_DOUBLE_EQ(*ParseMeasure("3M"), 3e6);
+  EXPECT_DOUBLE_EQ(*ParseMeasure(" 7 "), 7.0);
+  EXPECT_FALSE(ParseMeasure("").has_value());
+  EXPECT_FALSE(ParseMeasure("abc").has_value());
+  EXPECT_FALSE(ParseMeasure("12x").has_value());
+}
+
+TEST(CubeTest, FromFactTableSplitsKeysAndMeasures) {
+  auto cube = Cube::FromFactTable(SampleFactTable());
+  ASSERT_TRUE(cube.ok());
+  EXPECT_EQ(cube.value().dimensions(),
+            (std::vector<std::string>{"country", "year", "partner"}));
+  EXPECT_EQ(cube.value().measures(), (std::vector<std::string>{"pct"}));
+  EXPECT_EQ(cube.value().RowCount(), 6u);
+}
+
+TEST(CubeTest, RejectsDegenerateTables) {
+  cube::Table empty;
+  EXPECT_FALSE(Cube::FromFactTable(empty).ok());
+  cube::Table no_measure;
+  no_measure.columns = {"a"};
+  no_measure.key_columns = {0};
+  EXPECT_FALSE(Cube::FromFactTable(no_measure).ok());
+}
+
+TEST(CubeTest, AggregateSumByYear) {
+  auto cube = Cube::FromFactTable(SampleFactTable());
+  ASSERT_TRUE(cube.ok());
+  auto cuboid = cube.value().Aggregate({"year"}, AggFn::kSum, "pct");
+  ASSERT_TRUE(cuboid.ok());
+  ASSERT_EQ(cuboid.value().cells.size(), 3u);
+  EXPECT_NEAR(cuboid.value().cells[0].value, 23.2, 1e-9);  // 2004
+  EXPECT_NEAR(cuboid.value().cells[1].value, 24.1, 1e-9);  // 2005
+  EXPECT_NEAR(cuboid.value().cells[2].value, 31.9, 1e-9);  // 2006
+}
+
+TEST(CubeTest, AggregateFunctions) {
+  auto cube = Cube::FromFactTable(SampleFactTable());
+  ASSERT_TRUE(cube.ok());
+  auto count = cube.value().Aggregate({"partner"}, AggFn::kCount, "pct");
+  ASSERT_TRUE(count.ok());
+  ASSERT_EQ(count.value().cells.size(), 3u);  // Canada, China, Mexico
+  auto max = cube.value().Aggregate({}, AggFn::kMax, "pct");
+  ASSERT_TRUE(max.ok());
+  EXPECT_DOUBLE_EQ(max.value().cells[0].value, 16.9);
+  auto min = cube.value().Aggregate({}, AggFn::kMin, "pct");
+  EXPECT_DOUBLE_EQ(min.value().cells[0].value, 10.3);
+  auto avg = cube.value().Aggregate({"partner"}, AggFn::kAvg, "pct");
+  ASSERT_TRUE(avg.ok());
+  for (const Cell& cell : avg.value().cells) {
+    if (cell.group[0] == "China") EXPECT_NEAR(cell.value, 13.766666, 1e-5);
+  }
+}
+
+TEST(CubeTest, UnknownNamesRejected) {
+  auto cube = Cube::FromFactTable(SampleFactTable());
+  ASSERT_TRUE(cube.ok());
+  EXPECT_FALSE(cube.value().Aggregate({"bogus"}, AggFn::kSum, "pct").ok());
+  EXPECT_FALSE(cube.value().Aggregate({}, AggFn::kSum, "bogus").ok());
+}
+
+// Rollup invariant: each level's total equals the grand total (SUM is
+// distributive over the hierarchy).
+TEST(CubeTest, RollupTotalsInvariant) {
+  auto cube = Cube::FromFactTable(SampleFactTable());
+  ASSERT_TRUE(cube.ok());
+  auto rollup = cube.value().Rollup({"year", "partner"}, AggFn::kSum, "pct");
+  ASSERT_TRUE(rollup.ok());
+  ASSERT_EQ(rollup.value().size(), 3u);  // (year,partner), (year), ()
+  double grand = rollup.value().back().Total();
+  for (const Cuboid& cuboid : rollup.value()) {
+    EXPECT_NEAR(cuboid.Total(), grand, 1e-9);
+  }
+  EXPECT_NEAR(grand, 79.2, 1e-9);
+}
+
+TEST(CubeTest, SliceAndDice) {
+  auto cube = Cube::FromFactTable(SampleFactTable());
+  ASSERT_TRUE(cube.ok());
+  auto sliced = cube.value().Slice("year", "2006");
+  ASSERT_TRUE(sliced.ok());
+  EXPECT_EQ(sliced.value().RowCount(), 2u);
+  auto diced = cube.value().Dice("partner", {"China", "Mexico"});
+  ASSERT_TRUE(diced.ok());
+  EXPECT_EQ(diced.value().RowCount(), 5u);  // China x3 + Mexico x2
+  EXPECT_FALSE(cube.value().Slice("bogus", "x").ok());
+}
+
+TEST(CubeTest, SliceThenAggregateConsistent) {
+  auto cube = Cube::FromFactTable(SampleFactTable());
+  ASSERT_TRUE(cube.ok());
+  auto sliced = cube.value().Slice("partner", "China");
+  ASSERT_TRUE(sliced.ok());
+  auto total = sliced.value().Aggregate({}, AggFn::kSum, "pct");
+  ASSERT_TRUE(total.ok());
+  EXPECT_NEAR(total.value().cells[0].value, 12.5 + 13.8 + 15.0, 1e-9);
+}
+
+TEST(CubeTest, MissingMeasuresSkipped) {
+  cube::Table t = SampleFactTable();
+  t.rows.push_back({"United States", "2007", "China", ""});  // no value
+  auto cube = Cube::FromFactTable(t);
+  ASSERT_TRUE(cube.ok());
+  auto count = cube.value().Aggregate({}, AggFn::kCount, "pct");
+  ASSERT_TRUE(count.ok());
+  EXPECT_DOUBLE_EQ(count.value().cells[0].value, 6.0);
+}
+
+TEST(CubeTest, PivotRendersGrid) {
+  auto cube = Cube::FromFactTable(SampleFactTable());
+  ASSERT_TRUE(cube.ok());
+  auto pivot = cube.value().Pivot("year", "partner", AggFn::kSum, "pct");
+  ASSERT_TRUE(pivot.ok());
+  EXPECT_NE(pivot.value().find("2006"), std::string::npos);
+  EXPECT_NE(pivot.value().find("China"), std::string::npos);
+  EXPECT_NE(pivot.value().find("15.00"), std::string::npos);
+}
+
+TEST(CuboidTest, ToStringMentionsEverything) {
+  auto cube = Cube::FromFactTable(SampleFactTable());
+  auto cuboid = cube.value().Aggregate({"year"}, AggFn::kSum, "pct");
+  std::string text = cuboid.value().ToString();
+  EXPECT_NE(text.find("SUM(pct)"), std::string::npos);
+  EXPECT_NE(text.find("2004"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace seda::olap

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "query/query.h"
+
+namespace seda::query {
+namespace {
+
+TEST(ContextSpecTest, ParseVariants) {
+  EXPECT_TRUE(ContextSpec::Parse("*").unrestricted());
+  EXPECT_TRUE(ContextSpec::Parse("").unrestricted());
+  ContextSpec tag = ContextSpec::Parse("trade_country");
+  ASSERT_EQ(tag.alternatives().size(), 1u);
+  EXPECT_FALSE(tag.alternatives()[0].is_path);
+  ContextSpec path = ContextSpec::Parse("/country/economy/GDP");
+  ASSERT_EQ(path.alternatives().size(), 1u);
+  EXPECT_TRUE(path.alternatives()[0].is_path);
+  ContextSpec both = ContextSpec::Parse("name | /country/year");
+  EXPECT_EQ(both.alternatives().size(), 2u);
+}
+
+TEST(ContextSpecTest, MatchesDefinition3) {
+  ContextSpec tag = ContextSpec::Parse("trade_country");
+  EXPECT_TRUE(tag.Matches("/country/economy/import_partners/item/trade_country",
+                          "trade_country"));
+  EXPECT_FALSE(tag.Matches("/country/name", "name"));
+  ContextSpec wild = ContextSpec::Parse("trade_*");
+  EXPECT_TRUE(wild.Matches("/x/trade_country", "trade_country"));
+  ContextSpec path = ContextSpec::Parse("/country/name");
+  EXPECT_TRUE(path.Matches("/country/name", "name"));
+  EXPECT_FALSE(path.Matches("/territory/name", "name"));
+  EXPECT_TRUE(ContextSpec().Matches("/anything", "anything"));
+}
+
+TEST(ContextSpecTest, ResolvePathIds) {
+  store::DocumentStore store;
+  data::PopulateScenario(&store);
+  ContextSpec tag = ContextSpec::Parse("trade_country");
+  auto ids = tag.ResolvePathIds(store.paths());
+  EXPECT_EQ(ids.size(), 2u);  // import + export variants
+  ContextSpec all;
+  EXPECT_EQ(all.ResolvePathIds(store.paths()).size(), store.paths().size());
+  ContextSpec missing = ContextSpec::Parse("/no/such/path");
+  EXPECT_TRUE(missing.ResolvePathIds(store.paths()).empty());
+}
+
+TEST(QueryParseTest, PaperQuery1) {
+  auto q = ParseQuery(
+      R"((*, "United States") AND (trade_country, *) AND (percentage, *))");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q.value().terms.size(), 3u);
+  EXPECT_TRUE(q.value().terms[0].context.unrestricted());
+  EXPECT_EQ(q.value().terms[0].search->kind, text::TextExpr::Kind::kPhrase);
+  EXPECT_FALSE(q.value().terms[1].context.unrestricted());
+  EXPECT_EQ(q.value().terms[1].search->kind, text::TextExpr::Kind::kAll);
+}
+
+TEST(QueryParseTest, UnicodeConjunctionAndAmpersands) {
+  auto q = ParseQuery("(a, x) \xe2\x88\xa7 (b, y) && (c, z)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q.value().terms.size(), 3u);
+}
+
+TEST(QueryParseTest, QuotedContext) {
+  auto q = ParseQuery(R"(("country", "Romania"))");
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q.value().terms.size(), 1u);
+  EXPECT_EQ(q.value().terms[0].context.ToString(), "country");
+}
+
+TEST(QueryParseTest, BooleanSearchInsideTerm) {
+  auto q = ParseQuery("(economy, gdp AND (growth OR decline))");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q.value().terms[0].search->kind, text::TextExpr::Kind::kAnd);
+}
+
+TEST(QueryParseTest, Errors) {
+  EXPECT_FALSE(ParseQuery("").ok());
+  EXPECT_FALSE(ParseQuery("no parens").ok());
+  EXPECT_FALSE(ParseQuery("(missing comma)").ok());
+  EXPECT_FALSE(ParseQuery("(a, b").ok());
+}
+
+TEST(QueryParseTest, RoundTripToString) {
+  auto q = ParseQuery(R"((trade_country, "China") AND (percentage, *))");
+  ASSERT_TRUE(q.ok());
+  std::string text = q.value().ToString();
+  EXPECT_NE(text.find("trade_country"), std::string::npos);
+  EXPECT_NE(text.find("china"), std::string::npos);
+  EXPECT_NE(text.find("AND"), std::string::npos);
+}
+
+TEST(QueryTest, TermCopySemantics) {
+  auto q = ParseQuery("(a, x AND y)");
+  ASSERT_TRUE(q.ok());
+  Query copy = q.value();  // deep copy via QueryTerm copy ctor
+  EXPECT_EQ(copy.terms[0].search->ToString(), q.value().terms[0].search->ToString());
+  EXPECT_NE(copy.terms[0].search.get(), q.value().terms[0].search.get());
+}
+
+}  // namespace
+}  // namespace seda::query

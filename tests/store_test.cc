@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "store/document_store.h"
+
+namespace seda::store {
+namespace {
+
+class StoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(store_.AddXml("<country><name>United States</name>"
+                              "<economy><GDP>10T</GDP></economy></country>",
+                              "us")
+                    .ok());
+    ASSERT_TRUE(store_.AddXml("<country><name>Mexico</name>"
+                              "<economy><GDP>1T</GDP></economy></country>",
+                              "mx")
+                    .ok());
+    ASSERT_TRUE(store_.AddXml("<territory><name>Islands</name></territory>", "t")
+                    .ok());
+  }
+  DocumentStore store_;
+};
+
+TEST_F(StoreTest, CountsDocumentsAndNodes) {
+  EXPECT_EQ(store_.DocumentCount(), 3u);
+  EXPECT_GT(store_.TotalNodeCount(), 10u);
+}
+
+TEST_F(StoreTest, PathDictionaryFrequencies) {
+  const PathDictionary& dict = store_.paths();
+  PathId country = dict.Find("/country");
+  ASSERT_NE(country, kInvalidPathId);
+  EXPECT_EQ(dict.DocCount(country), 2u);
+  EXPECT_EQ(dict.NodeCount(country), 2u);
+  PathId gdp = dict.Find("/country/economy/GDP");
+  ASSERT_NE(gdp, kInvalidPathId);
+  EXPECT_EQ(dict.DocCount(gdp), 2u);
+  EXPECT_EQ(dict.LastTag(gdp), "GDP");
+  EXPECT_EQ(dict.Find("/nonexistent"), kInvalidPathId);
+}
+
+TEST_F(StoreTest, PathsWithLastTag) {
+  const PathDictionary& dict = store_.paths();
+  auto name_paths = dict.PathsWithLastTag("name");
+  EXPECT_EQ(name_paths.size(), 2u);  // /country/name and /territory/name
+  auto wildcard = dict.PathsMatchingTagPattern("na*");
+  EXPECT_EQ(wildcard.size(), 2u);
+  EXPECT_TRUE(dict.PathsWithLastTag("bogus").empty());
+}
+
+TEST_F(StoreTest, NodeLookupAndContent) {
+  NodeId name_node{0, xml::DeweyId::Parse("1.1")};
+  xml::Node* node = store_.GetNode(name_node);
+  ASSERT_NE(node, nullptr);
+  EXPECT_EQ(node->name(), "name");
+  EXPECT_EQ(store_.GetContent(name_node), "United States");
+  auto pid = store_.GetPathId(name_node);
+  ASSERT_TRUE(pid.ok());
+  EXPECT_EQ(store_.paths().PathString(pid.value()), "/country/name");
+}
+
+TEST_F(StoreTest, MissingNodeHandled) {
+  NodeId missing{9, xml::DeweyId::Parse("1")};
+  EXPECT_EQ(store_.GetNode(missing), nullptr);
+  EXPECT_EQ(store_.GetContent(missing), "");
+  EXPECT_FALSE(store_.GetPathId(missing).ok());
+}
+
+TEST_F(StoreTest, DocumentPathSetsAreSortedAndDistinct) {
+  for (DocId d = 0; d < store_.DocumentCount(); ++d) {
+    const auto& paths = store_.DocumentPathSet(d);
+    EXPECT_FALSE(paths.empty());
+    EXPECT_TRUE(std::is_sorted(paths.begin(), paths.end()));
+    EXPECT_EQ(std::adjacent_find(paths.begin(), paths.end()), paths.end());
+  }
+}
+
+TEST_F(StoreTest, ParseFailurePropagates) {
+  auto result = store_.AddXml("<broken>", "bad");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(store_.DocumentCount(), 3u);  // nothing added
+}
+
+TEST_F(StoreTest, NodeIdOrderingAndHash) {
+  NodeId a{0, xml::DeweyId::Parse("1.1")};
+  NodeId b{0, xml::DeweyId::Parse("1.2")};
+  NodeId c{1, xml::DeweyId::Parse("1.1")};
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(b < c);
+  EXPECT_EQ(a, (NodeId{0, xml::DeweyId::Parse("1.1")}));
+  EXPECT_NE(a.Hash(), b.Hash());
+  EXPECT_EQ(a.ToString(), "n0@1.1");
+}
+
+// Property: every path of every document's path set resolves back to a path
+// string starting with '/' and the doc counts are bounded by document count.
+TEST(StorePropertyTest, DictionaryInvariantsOnScenario) {
+  DocumentStore store;
+  data::PopulateScenario(&store);
+  const PathDictionary& dict = store.paths();
+  EXPECT_GT(dict.size(), 10u);
+  for (PathId p = 0; p < dict.size(); ++p) {
+    EXPECT_EQ(dict.PathString(p)[0], '/');
+    EXPECT_GE(dict.NodeCount(p), dict.DocCount(p));
+    EXPECT_LE(dict.DocCount(p), store.DocumentCount());
+    EXPECT_GE(dict.DocCount(p), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace seda::store

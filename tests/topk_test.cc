@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/generators.h"
+#include "graph/data_graph.h"
+#include "query/query.h"
+#include "text/inverted_index.h"
+#include "topk/topk.h"
+
+namespace seda::topk {
+namespace {
+
+class TopKTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data::PopulateScenario(&store_);
+    graph_ = std::make_unique<graph::DataGraph>(&store_);
+    graph_->ResolveIdRefs();
+    index_ = std::make_unique<text::InvertedIndex>(&store_);
+    searcher_ = std::make_unique<TopKSearcher>(index_.get(), graph_.get());
+  }
+
+  query::Query Q(const std::string& text) {
+    auto q = query::ParseQuery(text);
+    EXPECT_TRUE(q.ok()) << q.status().ToString();
+    return std::move(q).value();
+  }
+
+  store::DocumentStore store_;
+  std::unique_ptr<graph::DataGraph> graph_;
+  std::unique_ptr<text::InvertedIndex> index_;
+  std::unique_ptr<TopKSearcher> searcher_;
+};
+
+TEST_F(TopKTest, SingleTermReturnsScoredNodes) {
+  TopKOptions options;
+  options.k = 5;
+  auto result = searcher_->Search(Q(R"((*, "Germany"))"), options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result.value().empty());
+  for (const ScoredTuple& t : result.value()) {
+    EXPECT_EQ(t.nodes.size(), 1u);
+    EXPECT_GT(t.score, 0.0);
+  }
+}
+
+TEST_F(TopKTest, ScoresAreDescending) {
+  TopKOptions options;
+  options.k = 10;
+  auto result =
+      searcher_->Search(Q(R"((*, "United States") AND (percentage, *))"), options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_GT(result.value().size(), 1u);
+  for (size_t i = 1; i < result.value().size(); ++i) {
+    EXPECT_GE(result.value()[i - 1].score, result.value()[i].score);
+  }
+}
+
+TEST_F(TopKTest, CompactnessPrefersSameItemPairs) {
+  TopKOptions options;
+  options.k = 3;
+  auto result =
+      searcher_->Search(Q("(trade_country, \"China\") AND (percentage, *)"), options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result.value().empty());
+  // Best tuple must pair China's trade_country with the percentage in the
+  // SAME item (connection size 2), not a sibling item's percentage.
+  const ScoredTuple& best = result.value().front();
+  EXPECT_EQ(best.connection_size, 2u);
+}
+
+TEST_F(TopKTest, RespectsK) {
+  TopKOptions options;
+  options.k = 2;
+  auto result = searcher_->Search(Q("(trade_country, *) AND (percentage, *)"), options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result.value().size(), 2u);
+}
+
+TEST_F(TopKTest, ContextRestrictionFiltersCandidates) {
+  TopKOptions options;
+  options.k = 20;
+  auto unrestricted = searcher_->Search(Q(R"((*, "United States"))"), options);
+  auto restricted = searcher_->Search(Q(R"((/country/name, "United States"))"),
+                                      options);
+  ASSERT_TRUE(unrestricted.ok());
+  ASSERT_TRUE(restricted.ok());
+  EXPECT_LT(restricted.value().size(), unrestricted.value().size());
+  for (const ScoredTuple& t : restricted.value()) {
+    EXPECT_EQ(store_.paths().PathString(t.nodes[0].path), "/country/name");
+  }
+}
+
+TEST_F(TopKTest, EmptyQueryRejected) {
+  query::Query empty;
+  EXPECT_FALSE(searcher_->Search(empty, TopKOptions{}).ok());
+}
+
+TEST_F(TopKTest, NoMatchesYieldsEmpty) {
+  auto result = searcher_->Search(Q("(*, zzzznonexistent)"), TopKOptions{});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().empty());
+}
+
+TEST_F(TopKTest, ScoreFormulaIsContentTimesCompactness) {
+  TopKOptions options;
+  options.k = 5;
+  auto result =
+      searcher_->Search(Q("(trade_country, \"Canada\") AND (percentage, *)"), options);
+  ASSERT_TRUE(result.ok());
+  for (const ScoredTuple& t : result.value()) {
+    double expected =
+        t.content_score / (1.0 + static_cast<double>(t.connection_size));
+    EXPECT_NEAR(t.score, expected, 1e-9);
+  }
+}
+
+// Property: TA search and the naive baseline agree on the top-k scores for a
+// panel of queries (the TA early-termination must not change results).
+class TaVsNaiveTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(TaVsNaiveTest, SameTopScores) {
+  store::DocumentStore store;
+  data::PopulateScenario(&store);
+  graph::DataGraph graph(&store);
+  graph.ResolveIdRefs();
+  text::InvertedIndex index(&store);
+  TopKSearcher searcher(&index, &graph);
+  auto q = query::ParseQuery(GetParam());
+  ASSERT_TRUE(q.ok());
+  TopKOptions options;
+  options.k = 8;
+  SearchStats ta_stats, naive_stats;
+  auto ta = searcher.Search(q.value(), options, &ta_stats);
+  auto naive = searcher.NaiveSearch(q.value(), options, &naive_stats);
+  ASSERT_TRUE(ta.ok());
+  ASSERT_TRUE(naive.ok());
+  ASSERT_EQ(ta.value().size(), naive.value().size());
+  for (size_t i = 0; i < ta.value().size(); ++i) {
+    EXPECT_NEAR(ta.value()[i].score, naive.value()[i].score, 1e-9) << "rank " << i;
+  }
+  EXPECT_LE(ta_stats.docs_scored, naive_stats.docs_scored);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Queries, TaVsNaiveTest,
+    ::testing::Values(
+        R"((*, "United States") AND (trade_country, *) AND (percentage, *))",
+        "(trade_country, *) AND (percentage, *)",
+        R"((name, "Mexico") AND (GDP, *))",
+        R"((*, "China"))",
+        R"((sea, *) AND (name, "Pacific"))"));
+
+TEST_F(TopKTest, StatsArePopulated) {
+  TopKOptions options;
+  options.k = 3;
+  SearchStats stats;
+  auto result = searcher_->Search(
+      Q("(trade_country, *) AND (percentage, *)"), options, &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(stats.candidates_total, 0u);
+  EXPECT_GT(stats.docs_considered, 0u);
+  EXPECT_GT(stats.tuples_scored, 0u);
+}
+
+}  // namespace
+}  // namespace seda::topk

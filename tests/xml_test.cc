@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "xml/dewey.h"
+#include "xml/document.h"
+#include "xml/parser.h"
+
+namespace seda::xml {
+namespace {
+
+TEST(DeweyTest, ParseAndToString) {
+  DeweyId id = DeweyId::Parse("1.2.3");
+  EXPECT_EQ(id.ToString(), "1.2.3");
+  EXPECT_EQ(id.depth(), 3u);
+  EXPECT_TRUE(DeweyId::Parse("").empty());
+}
+
+TEST(DeweyTest, ParseRejectsGarbage) {
+  EXPECT_TRUE(DeweyId::Parse("1.x.3").empty());
+}
+
+TEST(DeweyTest, ChildAndParent) {
+  DeweyId root({1});
+  DeweyId child = root.Child(2);
+  EXPECT_EQ(child.ToString(), "1.2");
+  EXPECT_EQ(child.Parent(), root);
+  EXPECT_TRUE(root.Parent().empty());
+}
+
+TEST(DeweyTest, AncestorRelations) {
+  DeweyId a = DeweyId::Parse("1.2");
+  DeweyId b = DeweyId::Parse("1.2.3.1");
+  EXPECT_TRUE(a.IsAncestorOf(b));
+  EXPECT_FALSE(b.IsAncestorOf(a));
+  EXPECT_FALSE(a.IsAncestorOf(a));
+  EXPECT_TRUE(a.IsAncestorOrSelf(a));
+  EXPECT_FALSE(DeweyId::Parse("1.3").IsAncestorOf(b));
+}
+
+TEST(DeweyTest, DocumentOrderIsLexicographic) {
+  EXPECT_LT(DeweyId::Parse("1"), DeweyId::Parse("1.1"));
+  EXPECT_LT(DeweyId::Parse("1.1"), DeweyId::Parse("1.2"));
+  EXPECT_LT(DeweyId::Parse("1.2.9"), DeweyId::Parse("1.10"));
+  EXPECT_FALSE(DeweyId::Parse("1.2") < DeweyId::Parse("1.2"));
+}
+
+TEST(DeweyTest, TreeDistance) {
+  DeweyId a = DeweyId::Parse("1.2.2.1.1");  // trade_country
+  DeweyId b = DeweyId::Parse("1.2.2.1.2");  // percentage (same item)
+  EXPECT_EQ(TreeDistance(a, b), 2u);
+  DeweyId c = DeweyId::Parse("1.2.2.2.2");  // percentage of the other item
+  EXPECT_EQ(TreeDistance(a, c), 4u);
+  EXPECT_EQ(TreeDistance(a, a), 0u);
+}
+
+TEST(DeweyTest, CommonPrefixLength) {
+  EXPECT_EQ(CommonPrefixLength(DeweyId::Parse("1.2.3"), DeweyId::Parse("1.2.4")), 2u);
+  EXPECT_EQ(CommonPrefixLength(DeweyId::Parse("1"), DeweyId::Parse("2")), 0u);
+}
+
+// Property: document order is a strict total order (irreflexive, asymmetric,
+// transitive) over randomly generated ids.
+TEST(DeweyPropertyTest, StrictTotalOrderOnRandomIds) {
+  seda::Rng rng(77);
+  std::vector<DeweyId> ids;
+  for (int i = 0; i < 60; ++i) {
+    std::vector<uint32_t> comps;
+    size_t depth = 1 + rng.Uniform(5);
+    for (size_t d = 0; d < depth; ++d) {
+      comps.push_back(static_cast<uint32_t>(1 + rng.Uniform(4)));
+    }
+    ids.emplace_back(comps);
+  }
+  for (const auto& a : ids) {
+    EXPECT_FALSE(a < a);
+    for (const auto& b : ids) {
+      if (a < b) EXPECT_FALSE(b < a);
+      if (!(a < b) && !(b < a)) EXPECT_EQ(a, b);
+    }
+  }
+  std::sort(ids.begin(), ids.end());
+  EXPECT_TRUE(std::is_sorted(ids.begin(), ids.end()));
+}
+
+// Property: an ancestor always sorts before its descendants, and Hash is
+// consistent with equality.
+TEST(DeweyPropertyTest, AncestorSortsFirstAndHashConsistent) {
+  seda::Rng rng(78);
+  for (int i = 0; i < 50; ++i) {
+    std::vector<uint32_t> comps{1};
+    for (size_t d = 0; d < 1 + rng.Uniform(4); ++d) {
+      comps.push_back(static_cast<uint32_t>(1 + rng.Uniform(3)));
+    }
+    DeweyId node(comps);
+    DeweyId parent = node.Parent();
+    EXPECT_TRUE(parent < node);
+    EXPECT_TRUE(parent.IsAncestorOf(node));
+    EXPECT_EQ(node.Hash(), DeweyId(comps).Hash());
+    EXPECT_NE(node.Hash(), parent.Hash());
+  }
+}
+
+TEST(DocumentTest, BuildAndNavigate) {
+  Document doc("test");
+  Node* root = doc.CreateRoot("country");
+  Node* name = root->AddElement("name");
+  name->AddText("United States");
+  Node* economy = root->AddElement("economy");
+  Node* gdp = economy->AddElement("GDP");
+  gdp->AddText("10.082T");
+
+  EXPECT_EQ(root->dewey().ToString(), "1");
+  EXPECT_EQ(name->dewey().ToString(), "1.1");
+  EXPECT_EQ(gdp->dewey().ToString(), "1.2.1");
+  EXPECT_EQ(gdp->ContextPath(), "/country/economy/GDP");
+  EXPECT_EQ(root->ContentString(), "United States 10.082T");
+  EXPECT_EQ(doc.FindByDewey(DeweyId::Parse("1.2.1")), gdp);
+  EXPECT_EQ(doc.FindByDewey(DeweyId::Parse("1.9")), nullptr);
+  EXPECT_EQ(doc.CountNodes(), 6u);  // country, name, #text, economy, GDP, #text
+}
+
+TEST(DocumentTest, AttributesGetAtPathsWithAtSign) {
+  Document doc("test");
+  Node* root = doc.CreateRoot("sea");
+  Node* attr = root->AddAttribute("id", "sea-1");
+  EXPECT_EQ(attr->ContextPath(), "/sea/@id");
+  EXPECT_EQ(attr->ContentString(), "sea-1");
+}
+
+TEST(DocumentTest, FindChildReturnsFirstMatch) {
+  Document doc("t");
+  Node* root = doc.CreateRoot("a");
+  root->AddElement("b");
+  Node* b2 = root->AddElement("b");
+  EXPECT_NE(root->FindChild("b"), b2);
+  EXPECT_EQ(root->FindChild("missing"), nullptr);
+}
+
+TEST(ParserTest, ParsesSimpleDocument) {
+  auto result = Parser::Parse("<a><b>hello</b><c x=\"1\"/></a>", "doc");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  Document& doc = *result.value();
+  EXPECT_EQ(doc.root()->name(), "a");
+  EXPECT_EQ(doc.root()->children().size(), 2u);
+  EXPECT_EQ(doc.root()->FindChild("b")->ContentString(), "hello");
+  EXPECT_EQ(doc.root()->FindChild("c")->FindChild("x")->text(), "1");
+}
+
+TEST(ParserTest, DecodesEntities) {
+  auto result = Parser::Parse("<a>x &amp; y &lt;z&gt; &#65;&#x42;</a>", "doc");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value()->root()->ContentString(), "x & y <z> AB");
+}
+
+TEST(ParserTest, HandlesCdataAndComments) {
+  auto result =
+      Parser::Parse("<a><!-- note --><![CDATA[1 < 2 & 3]]></a>", "doc");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value()->root()->ContentString(), "1 < 2 & 3");
+}
+
+TEST(ParserTest, SkipsPrologAndDoctype) {
+  auto result = Parser::Parse(
+      "<?xml version=\"1.0\"?><!DOCTYPE a [ <!ELEMENT a ANY> ]><a>x</a>", "doc");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value()->root()->ContentString(), "x");
+}
+
+TEST(ParserTest, RejectsMismatchedTags) {
+  auto result = Parser::Parse("<a><b></a></b>", "doc");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), seda::StatusCode::kParseError);
+}
+
+TEST(ParserTest, RejectsUnterminatedInput) {
+  EXPECT_FALSE(Parser::Parse("<a><b>", "doc").ok());
+  EXPECT_FALSE(Parser::Parse("<a attr=>x</a>", "doc").ok());
+  EXPECT_FALSE(Parser::Parse("<a attr=\"v>x</a>", "doc").ok());
+  EXPECT_FALSE(Parser::Parse("", "doc").ok());
+  EXPECT_FALSE(Parser::Parse("just text", "doc").ok());
+}
+
+TEST(ParserTest, RejectsTrailingContent) {
+  EXPECT_FALSE(Parser::Parse("<a/><b/>", "doc").ok());
+}
+
+TEST(ParserTest, RejectsUnknownEntity) {
+  EXPECT_FALSE(Parser::Parse("<a>&bogus;</a>", "doc").ok());
+}
+
+TEST(SerializeTest, EscapesSpecialCharacters) {
+  EXPECT_EQ(EscapeText("a<b&c>\"d'"), "a&lt;b&amp;c&gt;&quot;d&apos;");
+}
+
+TEST(SerializeTest, RoundTripFixpoint) {
+  const char* input =
+      "<country><name>United &amp; States</name>"
+      "<economy year=\"2006\"><GDP_ppp>12.31T</GDP_ppp></economy></country>";
+  auto first = Parser::Parse(input, "doc");
+  ASSERT_TRUE(first.ok());
+  std::string serialized = Serialize(*first.value());
+  auto second = Parser::Parse(serialized, "doc");
+  ASSERT_TRUE(second.ok());
+  // Fixpoint: serializing the reparsed document must be identical.
+  EXPECT_EQ(Serialize(*second.value()), serialized);
+  EXPECT_EQ(second.value()->CountNodes(), first.value()->CountNodes());
+}
+
+// Property: random documents round-trip through serialize -> parse with node
+// counts and content preserved.
+TEST(SerializePropertyTest, RandomDocumentsRoundTrip) {
+  seda::Rng rng(99);
+  for (int iteration = 0; iteration < 25; ++iteration) {
+    Document doc("rand");
+    Node* root = doc.CreateRoot("root");
+    std::vector<Node*> elements{root};
+    for (int i = 0; i < 30; ++i) {
+      Node* parent = elements[rng.Uniform(elements.size())];
+      switch (rng.Uniform(3)) {
+        case 0:
+          elements.push_back(parent->AddElement("el" + std::to_string(i % 7)));
+          break;
+        case 1:
+          parent->AddText("text " + std::to_string(rng.Uniform(100)));
+          break;
+        default:
+          parent->AddAttribute("attr" + std::to_string(i % 5),
+                               std::to_string(rng.Uniform(50)));
+      }
+    }
+    doc.Renumber();
+    std::string serialized = Serialize(doc);
+    auto parsed = Parser::Parse(serialized, "rand");
+    ASSERT_TRUE(parsed.ok()) << serialized;
+    EXPECT_EQ(Serialize(*parsed.value()), serialized);
+  }
+}
+
+TEST(ParserTest, DeweyAssignmentMatchesDocumentOrder) {
+  auto result = Parser::Parse("<a><b/><c><d/></c><e/></a>", "doc");
+  ASSERT_TRUE(result.ok());
+  std::vector<DeweyId> order;
+  result.value()->ForEachNode([&](Node* n) { order.push_back(n->dewey()); });
+  EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+  EXPECT_EQ(order.size(), 5u);  // a, b, c, d, e
+}
+
+}  // namespace
+}  // namespace seda::xml
