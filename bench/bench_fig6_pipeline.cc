@@ -32,11 +32,28 @@ int main() {
               Ms(ingest_start), seda.store().DocumentCount(),
               static_cast<unsigned long long>(seda.store().TotalNodeCount()));
 
+  // Single-threaded reference finalize on an identical copy of the corpus,
+  // so the parallel ingestion pipeline's speedup is visible in the report.
+  {
+    seda::core::Seda reference;
+    seda::data::WorldFactbookGenerator(data_options).Populate(
+        reference.mutable_store());
+    seda::core::SedaOptions sequential;
+    sequential.num_threads = 1;
+    auto sequential_start = Clock::now();
+    if (!reference.Finalize(sequential).ok()) return 1;
+    std::printf("%-42s %8.1f ms\n", "finalize (1 worker, reference)",
+                Ms(sequential_start));
+  }
+
+  seda::core::SedaOptions parallel;
+  parallel.num_threads = 0;  // one worker per hardware core
   auto finalize_start = Clock::now();
-  if (!seda.Finalize().ok()) return 1;
-  std::printf("%-42s %8.1f ms  (%zu dataguides, %zu distinct paths)\n",
+  if (!seda.Finalize(parallel).ok()) return 1;
+  std::printf("%-42s %8.1f ms  (%zu workers, %zu dataguides, %zu distinct paths)\n",
               "finalize (graph + index + dataguides)", Ms(finalize_start),
-              seda.dataguides().size(), seda.store().paths().size());
+              seda::ThreadPool::DefaultThreadCount(), seda.dataguides().size(),
+              seda.store().paths().size());
 
   auto* catalog = seda.mutable_catalog();
   using seda::cube::RelativeKey;

@@ -33,12 +33,17 @@ class Rng {
     return s1_ + y;
   }
 
-  /// Uniform integer in [0, bound). Requires bound > 0.
-  uint64_t Uniform(uint64_t bound) { return Next() % bound; }
+  /// Uniform integer in [0, bound). Uniform(0) returns 0 (the empty range has
+  /// no other sensible answer, and a modulo-by-zero here is UB).
+  uint64_t Uniform(uint64_t bound) { return bound == 0 ? 0 : Next() % bound; }
 
-  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi. The span is
+  /// computed in uint64_t so extreme bounds (e.g. INT64_MIN..INT64_MAX) do not
+  /// overflow; a full-width span draws a raw 64-bit value directly.
   int64_t Range(int64_t lo, int64_t hi) {
-    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+    uint64_t span = static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo);
+    if (span == UINT64_MAX) return static_cast<int64_t>(Next());
+    return static_cast<int64_t>(static_cast<uint64_t>(lo) + Uniform(span + 1));
   }
 
   /// Uniform double in [0, 1).

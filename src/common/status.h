@@ -6,6 +6,18 @@
 #include <string>
 #include <utility>
 
+// The library requires C++20 (std::erase_if, designated initializers). CMake
+// enforces cxx_std_20; this guard makes hand-rolled builds fail loudly too.
+// MSVC keeps __cplusplus at 199711L unless /Zc:__cplusplus is passed, so its
+// accurate _MSVC_LANG is consulted first.
+#if defined(_MSVC_LANG)
+static_assert(_MSVC_LANG >= 202002L,
+              "SEDA requires C++20; compile with /std:c++20 or newer");
+#else
+static_assert(__cplusplus >= 202002L,
+              "SEDA requires C++20; compile with -std=c++20 or newer");
+#endif
+
 namespace seda {
 
 /// Error categories used across the SEDA library. The library does not throw

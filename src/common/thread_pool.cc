@@ -1,0 +1,125 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <exception>
+#include <memory>
+#include <utility>
+
+namespace seda {
+
+size_t ThreadPool::DefaultThreadCount() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) num_threads = DefaultThreadCount();
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  task_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push(std::move(fn));
+  }
+  task_cv_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return tasks_.empty() && active_ == 0; });
+  if (first_error_) {
+    std::exception_ptr error = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stop_ set and queue drained
+      task = std::move(tasks_.front());
+      tasks_.pop();
+      ++active_;
+    }
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (error && !first_error_) first_error_ = error;
+      --active_;
+      if (tasks_.empty() && active_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  // Dynamic scheduling: workers and the caller pull the next index from a
+  // shared counter, so uneven per-item cost (one huge document) balances out.
+  struct SharedState {
+    std::atomic<size_t> next{0};
+    std::mutex m;
+    std::condition_variable cv;
+    size_t running = 0;
+    std::exception_ptr error;  // first exception thrown by any participant
+  };
+  auto state = std::make_shared<SharedState>();
+  // Exception safety: a throw (e.g. bad_alloc) stops further iterations,
+  // is captured once, and rethrown on the calling thread only after every
+  // helper finished — helpers reference fn, which lives in the caller's
+  // frame, so ParallelFor must never unwind while they run.
+  auto drain = [state, n, &fn] {
+    try {
+      for (size_t i = state->next.fetch_add(1); i < n;
+           i = state->next.fetch_add(1)) {
+        fn(i);
+      }
+    } catch (...) {
+      state->next.store(n);  // abort remaining iterations everywhere
+      std::lock_guard<std::mutex> lock(state->m);
+      if (!state->error) state->error = std::current_exception();
+    }
+  };
+
+  size_t helpers = std::min(workers_.size(), n - 1);
+  state->running = helpers;
+  for (size_t h = 0; h < helpers; ++h) {
+    Submit([state, drain] {
+      drain();
+      std::lock_guard<std::mutex> lock(state->m);
+      if (--state->running == 0) state->cv.notify_all();
+    });
+  }
+  drain();  // the calling thread participates
+  std::unique_lock<std::mutex> lock(state->m);
+  state->cv.wait(lock, [&] { return state->running == 0; });
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+}  // namespace seda

@@ -1,0 +1,77 @@
+#ifndef SEDA_COMMON_THREAD_POOL_H_
+#define SEDA_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace seda {
+
+/// Fixed-size worker pool used by the ingestion pipeline (Seda::Finalize) to
+/// fan per-document work out across cores. Determinism is the caller's
+/// responsibility: parallel stages produce per-item results that are merged
+/// in a fixed (document) order, never in completion order.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers; 0 means DefaultThreadCount().
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task for any worker to run. A task that throws does not kill
+  /// the worker: the first exception is captured and rethrown from the next
+  /// Wait() call.
+  void Submit(std::function<void()> fn);
+
+  /// Blocks until every submitted task has finished, then rethrows the first
+  /// exception any of them raised (if one did).
+  void Wait();
+
+  /// Runs fn(i) for every i in [0, n), distributing iterations dynamically
+  /// across the workers; the calling thread participates. Returns once all n
+  /// iterations completed. fn must not recursively call ParallelFor/Wait on
+  /// this pool.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  /// hardware_concurrency() with a floor of 1.
+  static size_t DefaultThreadCount();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_cv_;  // workers: a task (or stop) is available
+  std::condition_variable idle_cv_;  // Wait(): queue drained and workers idle
+  size_t active_ = 0;
+  bool stop_ = false;
+  std::exception_ptr first_error_;  // first throw from a Submit()ed task
+};
+
+/// Runs fn(i) for i in [0, n): on `pool` when one is given (the caller
+/// participates alongside the workers), inline otherwise. The single entry
+/// point pipeline stages use, so that the single-threaded path executes
+/// exactly the same per-item code.
+inline void RunParallel(ThreadPool* pool, size_t n,
+                        const std::function<void(size_t)>& fn) {
+  if (pool != nullptr && pool->size() >= 1 && n > 1) {
+    pool->ParallelFor(n, fn);
+  } else {
+    for (size_t i = 0; i < n; ++i) fn(i);
+  }
+}
+
+}  // namespace seda
+
+#endif  // SEDA_COMMON_THREAD_POOL_H_

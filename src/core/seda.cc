@@ -1,22 +1,94 @@
 #include "core/seda.h"
 
+#include "xml/parser.h"
+
 namespace seda::core {
+
+Result<store::DocId> Seda::AddXml(std::string xml_text, std::string doc_name) {
+  // Queueing after Finalize() would drop the document silently: Finalize()
+  // can never run again, so the promised id would never materialize.
+  if (finalized()) {
+    return Status::FailedPrecondition(
+        "AddXml after Finalize(): the queued document could never be ingested");
+  }
+  if (pending_docs_.empty()) pending_base_ = store_->DocumentCount();
+  store::DocId id =
+      static_cast<store::DocId>(pending_base_ + pending_docs_.size());
+  pending_docs_.push_back({std::move(xml_text), std::move(doc_name)});
+  return id;
+}
+
+Status Seda::IngestPending(ThreadPool* pool) {
+  if (pending_docs_.empty()) return Status::OK();
+  if (store_->DocumentCount() != pending_base_) {
+    // An eager mutable_store() load slipped in after the first AddXml(); the
+    // DocIds promised by AddXml() would silently point at the wrong
+    // documents, so fail loudly instead.
+    return Status::FailedPrecondition(
+        "documents were added to the store after the first deferred AddXml(); "
+        "queue all eager loads before deferring");
+  }
+
+  // Parse (and assign Dewey ids) in parallel: documents are independent
+  // until they enter the shared store.
+  size_t count = pending_docs_.size();
+  std::vector<std::unique_ptr<xml::Document>> parsed(count);
+  std::vector<Status> statuses(count);
+  RunParallel(pool, count, [&](size_t i) {
+    auto result = xml::Parser::Parse(pending_docs_[i].xml_text,
+                                     pending_docs_[i].name);
+    if (result.ok()) {
+      parsed[i] = std::move(result).value();
+    } else {
+      statuses[i] = result.status();
+    }
+  });
+  for (const Status& status : statuses) {
+    if (!status.ok()) return status;
+  }
+
+  // Append in queue order so DocIds match what AddXml() promised and path
+  // interning order is deterministic.
+  for (std::unique_ptr<xml::Document>& doc : parsed) {
+    store_->AddDocument(std::move(doc));
+  }
+  pending_docs_.clear();
+  return Status::OK();
+}
 
 Status Seda::Finalize(const SedaOptions& options) {
   if (finalized()) return Status::FailedPrecondition("Seda already finalized");
   options_ = options;
 
+  // The ingestion pipeline (Fig. 6 left half) runs in four stages. Stages
+  // fan per-document work out over the pool; every merge happens in DocId
+  // order, so any worker count produces identical indexes and dataguides.
+  size_t threads =
+      options.num_threads == 0 ? ThreadPool::DefaultThreadCount() : options.num_threads;
+  std::unique_ptr<ThreadPool> pool;
+  // The calling thread participates in every ParallelFor, so spawn one fewer
+  // worker than the requested parallelism to avoid oversubscribing by one.
+  if (threads > 1) pool = std::make_unique<ThreadPool>(threads - 1);
+
+  // Stage 1: parse queued documents and load them into the store.
+  SEDA_RETURN_IF_ERROR(IngestPending(pool.get()));
+
+  // Stage 2: data graph construction (parallel per-document link scans,
+  // sharing one id-target scan between IDREF and XLink resolution).
   graph_ = std::make_unique<graph::DataGraph>(store_.get());
-  if (options.resolve_idrefs) graph_->ResolveIdRefs();
-  if (options.resolve_xlinks) graph_->ResolveXLinks();
+  graph_->ResolveLinks(options.resolve_idrefs, options.resolve_xlinks,
+                       pool.get());
   for (const SedaOptions::ValueEdge& edge : options.value_edges) {
     graph_->AddValueBasedEdges(edge.pk_path, edge.fk_path, edge.label);
   }
 
-  index_ = std::make_unique<text::InvertedIndex>(store_.get());
+  // Stage 3: inverted index (parallel per-document posting construction).
+  index_ = std::make_unique<text::InvertedIndex>(store_.get(), pool.get());
 
+  // Stage 4: dataguide summary (parallel overlap probing).
   dataguide::DataguideCollection::Options dg_options;
   dg_options.overlap_threshold = options.dataguide_overlap_threshold;
+  dg_options.pool = pool.get();
   guides_ = std::make_unique<dataguide::DataguideCollection>(
       dataguide::DataguideCollection::Build(*store_, dg_options));
   guides_->AddLinksFromGraph(*graph_);

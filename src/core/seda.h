@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "cube/cube_builder.h"
 #include "dataguide/dataguide.h"
 #include "graph/data_graph.h"
@@ -35,6 +36,12 @@ struct SedaOptions {
   topk::TopKOptions topk;
   bool resolve_idrefs = true;
   bool resolve_xlinks = true;
+  /// Worker threads for the Finalize() ingestion pipeline: per-document
+  /// parsing, link resolution and inverted-index posting construction fan out
+  /// across this many threads. 0 = one per hardware core; 1 = fully inline.
+  /// Any value yields byte-identical indexes and dataguides: parallel stages
+  /// only produce per-document shards, which are merged in document order.
+  size_t num_threads = 0;
   /// Value-based PK/FK relationships provided as input (paper §3: "we assume
   /// instances of ... value-based relationships are provided as input").
   struct ValueEdge {
@@ -59,6 +66,17 @@ class Seda {
 
   /// Storage is mutable until Finalize() builds the indexes.
   store::DocumentStore* mutable_store() { return store_.get(); }
+
+  /// Queues an XML document for ingestion; parsing and Dewey assignment are
+  /// deferred to Finalize(), where queued documents parse in parallel.
+  /// Returns the DocId the document will receive (ids are assigned in queue
+  /// order after everything already in the store), or FailedPrecondition
+  /// after Finalize() — the queue can never be ingested then. A malformed
+  /// document surfaces as a ParseError from Finalize(). Eager loading via
+  /// mutable_store()->AddXml() remains available, but all eager loads must
+  /// happen before the first AddXml() — Finalize() rejects the interleaving
+  /// with FailedPrecondition, since it would invalidate the promised ids.
+  Result<store::DocId> AddXml(std::string xml_text, std::string doc_name);
 
   /// Builds the data graph, full-text index and dataguide summary. Call once
   /// after loading documents; afterwards the instance is immutable and all
@@ -108,6 +126,19 @@ class Seda {
   Result<olap::Cube> ToOlapCube(const cube::StarSchema& schema) const;
 
  private:
+  struct PendingDocument {
+    std::string xml_text;
+    std::string name;
+  };
+
+  /// Stage 1 of Finalize(): parses queued documents in parallel and appends
+  /// them to the store in queue order.
+  Status IngestPending(ThreadPool* pool);
+
+  std::vector<PendingDocument> pending_docs_;
+  /// Store size when the first pending document was queued; AddXml() DocId
+  /// promises are relative to it, and IngestPending() verifies it still holds.
+  size_t pending_base_ = 0;
   std::unique_ptr<store::DocumentStore> store_;
   std::unique_ptr<graph::DataGraph> graph_;
   std::unique_ptr<text::InvertedIndex> index_;

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "common/strings.h"
+#include "common/thread_pool.h"
 
 namespace seda::dataguide {
 
@@ -99,14 +100,36 @@ DataguideCollection DataguideCollection::Build(const store::DocumentStore& store
   BuildStats stats;
   stats.documents = store.DocumentCount();
 
+  // Reused per-document probe buffers (only touched on the parallel path).
+  std::vector<char> contains;
+  std::vector<double> overlaps;
+
   for (store::DocId doc = 0; doc < store.DocumentCount(); ++doc) {
     const std::vector<store::PathId>& doc_paths = store.DocumentPathSet(doc);
+    size_t guide_count = collection.guides_.size();
+
+    // The probe of this document against every existing dataguide (the O(m)
+    // inner loop of the paper's O(n*m) build) is read-only, so it can fan out
+    // across workers. Selection stays sequential and index-ordered below,
+    // which keeps the incremental merge identical to a single-threaded build.
+    bool parallel_probe =
+        options.pool != nullptr && options.pool->size() >= 1 && guide_count >= 8;
+    if (parallel_probe) {
+      contains.assign(guide_count, 0);
+      overlaps.assign(guide_count, 0.0);
+      options.pool->ParallelFor(guide_count, [&](size_t g) {
+        contains[g] = collection.guides_[g].Contains(doc_paths) ? 1 : 0;
+        overlaps[g] = collection.guides_[g].Overlap(doc_paths);
+      });
+    }
 
     // Pass 1: subset / equality short-circuit (paper: "we do not need to do
-    // any further processing").
+    // any further processing"). First matching guide wins.
     bool placed = false;
-    for (size_t g = 0; g < collection.guides_.size(); ++g) {
-      if (collection.guides_[g].Contains(doc_paths)) {
+    for (size_t g = 0; g < guide_count; ++g) {
+      bool is_contained =
+          parallel_probe ? contains[g] != 0 : collection.guides_[g].Contains(doc_paths);
+      if (is_contained) {
         collection.guides_[g].AddMember(doc);
         collection.guide_of_doc_[doc] = g;
         ++stats.absorbed;
@@ -116,11 +139,13 @@ DataguideCollection DataguideCollection::Build(const store::DocumentStore& store
     }
     if (placed) continue;
 
-    // Pass 2: best-overlap merge.
+    // Pass 2: best-overlap merge (strictly-greater, so ties keep the lowest
+    // guide index — the same winner the sequential scan picks).
     double best_overlap = 0;
     size_t best_guide = SIZE_MAX;
-    for (size_t g = 0; g < collection.guides_.size(); ++g) {
-      double overlap = collection.guides_[g].Overlap(doc_paths);
+    for (size_t g = 0; g < guide_count; ++g) {
+      double overlap =
+          parallel_probe ? overlaps[g] : collection.guides_[g].Overlap(doc_paths);
       if (overlap > best_overlap) {
         best_overlap = overlap;
         best_guide = g;

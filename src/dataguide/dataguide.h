@@ -11,6 +11,10 @@
 #include "graph/data_graph.h"
 #include "store/document_store.h"
 
+namespace seda {
+class ThreadPool;
+}
+
 namespace seda::dataguide {
 
 /// A dataguide: the set of distinct root-to-leaf paths of one or more
@@ -93,6 +97,11 @@ class DataguideCollection {
     /// uses 0.4. Threshold > 1 disables merging entirely (one dataguide per
     /// distinct document schema).
     double overlap_threshold = 0.4;
+    /// When set, each document's probe against existing dataguides (the inner
+    /// O(m) loop) fans out over the pool. The incremental merge itself stays
+    /// sequential in document order, so the result is independent of the
+    /// worker count.
+    ThreadPool* pool = nullptr;
   };
 
   /// Builds the collection over every document in `store`. Cost O(n·m) as in

@@ -3,26 +3,52 @@
 #include <algorithm>
 #include <deque>
 #include <unordered_set>
+#include <utility>
 
 #include "common/strings.h"
+#include "common/thread_pool.h"
 
 namespace seda::graph {
 
 namespace {
 
-/// Collects id -> NodeId for all elements carrying an "id" attribute.
-std::unordered_map<std::string, store::NodeId> CollectIdTargets(
-    const store::DocumentStore& store) {
-  std::unordered_map<std::string, store::NodeId> targets;
-  store.ForEachNode([&](const store::NodeId& id, xml::Node* node) {
-    if (node->kind() != xml::NodeKind::kElement) return;
-    for (const auto& child : node->children()) {
-      if (child->kind() == xml::NodeKind::kAttribute &&
-          ToLower(child->name()) == "id") {
-        targets.emplace(child->text(), id);
-      }
-    }
+/// Runs a per-document scan over the whole store, fanning documents out over
+/// `pool`. Each document fills its own Shard (in node visit order); the
+/// returned vector is indexed by DocId, so callers can merge shards in
+/// document order and stay byte-identical to a sequential scan.
+template <typename Shard, typename ScanFn>
+std::vector<Shard> ScanDocuments(const store::DocumentStore& store,
+                                 ThreadPool* pool, const ScanFn& scan) {
+  std::vector<Shard> shards(store.DocumentCount());
+  RunParallel(pool, store.DocumentCount(), [&](size_t d) {
+    store::DocId doc = static_cast<store::DocId>(d);
+    store.document(doc).ForEachNode([&](xml::Node* node) {
+      scan(&shards[d], store::NodeId{doc, node->dewey()}, node);
+    });
   });
+  return shards;
+}
+
+/// Collects id -> NodeId for all elements carrying an "id" attribute. The
+/// first occurrence in document order wins, matching the sequential scan.
+std::unordered_map<std::string, store::NodeId> CollectIdTargets(
+    const store::DocumentStore& store, ThreadPool* pool) {
+  using IdShard = std::vector<std::pair<std::string, store::NodeId>>;
+  std::vector<IdShard> shards = ScanDocuments<IdShard>(
+      store, pool,
+      [](IdShard* shard, const store::NodeId& id, xml::Node* node) {
+        if (node->kind() != xml::NodeKind::kElement) return;
+        for (const auto& child : node->children()) {
+          if (child->kind() == xml::NodeKind::kAttribute &&
+              ToLower(child->name()) == "id") {
+            shard->emplace_back(child->text(), id);
+          }
+        }
+      });
+  std::unordered_map<std::string, store::NodeId> targets;
+  for (const IdShard& shard : shards) {
+    for (const auto& [value, id] : shard) targets.emplace(value, id);
+  }
   return targets;
 }
 
@@ -54,52 +80,89 @@ void DataGraph::AddEdge(const store::NodeId& from, const store::NodeId& to,
   ++edge_count_;
 }
 
-size_t DataGraph::ResolveIdRefs() {
-  auto targets = CollectIdTargets(*store_);
+size_t DataGraph::ResolveLinks(bool idrefs, bool xlinks, ThreadPool* pool) {
+  if (!idrefs && !xlinks) return 0;
+  auto targets = CollectIdTargets(*store_, pool);
   size_t added = 0;
-  store_->ForEachNode([&](const store::NodeId& id, xml::Node* node) {
-    if (node->kind() != xml::NodeKind::kAttribute) return;
-    std::string attr = ToLower(node->name());
-    if (attr != "idref" && attr != "idrefs") return;
-    store::NodeId owner = ParentOf(id);
-    for (const std::string& ref : SplitSkipEmpty(node->text(), ' ')) {
-      auto it = targets.find(ref);
-      if (it == targets.end()) continue;  // dangling IDREF: tolerated
-      // The relationship label is the attribute's element name, matching the
-      // labeled dashed edges of the paper's Figure 1.
-      xml::Node* owner_node = store_->GetNode(owner);
-      std::string label = owner_node != nullptr ? owner_node->name() : "idref";
-      AddEdge(owner, it->second, EdgeType::kIdRef, label);
-      ++added;
-    }
-  });
+  if (idrefs) added += ResolveIdRefs(targets, pool);
+  if (xlinks) added += ResolveXLinks(targets, pool);
   return added;
 }
 
-size_t DataGraph::ResolveXLinks() {
-  auto targets = CollectIdTargets(*store_);
-  // Also index documents by name for doc-level links "name#id".
-  std::unordered_map<std::string, store::DocId> docs_by_name;
-  for (store::DocId d = 0; d < store_->DocumentCount(); ++d) {
-    docs_by_name.emplace(store_->document(d).name(), d);
-  }
+size_t DataGraph::ResolveIdRefs(ThreadPool* pool) {
+  return ResolveIdRefs(CollectIdTargets(*store_, pool), pool);
+}
+
+size_t DataGraph::ResolveIdRefs(const IdTargetMap& targets, ThreadPool* pool) {
+  // Parallel stage: collect (owner, ref) candidates per document.
+  struct RefCandidate {
+    store::NodeId owner;
+    std::string ref;
+    std::string label;
+  };
+  using RefShard = std::vector<RefCandidate>;
+  std::vector<RefShard> shards = ScanDocuments<RefShard>(
+      *store_, pool,
+      [this](RefShard* shard, const store::NodeId& id, xml::Node* node) {
+        if (node->kind() != xml::NodeKind::kAttribute) return;
+        std::string attr = ToLower(node->name());
+        if (attr != "idref" && attr != "idrefs") return;
+        store::NodeId owner = ParentOf(id);
+        // The relationship label is the attribute's element name, matching
+        // the labeled dashed edges of the paper's Figure 1.
+        xml::Node* owner_node = store_->GetNode(owner);
+        std::string label = owner_node != nullptr ? owner_node->name() : "idref";
+        for (const std::string& ref : SplitSkipEmpty(node->text(), ' ')) {
+          shard->push_back({owner, ref, label});
+        }
+      });
+  // Sequential stage: commit edges in document order.
   size_t added = 0;
-  store_->ForEachNode([&](const store::NodeId& id, xml::Node* node) {
-    if (node->kind() != xml::NodeKind::kAttribute) return;
-    std::string attr = ToLower(node->name());
-    if (attr != "xlink:href" && attr != "href") return;
-    const std::string& value = node->text();
-    size_t hash_pos = value.find('#');
-    if (hash_pos == std::string::npos) return;
-    std::string fragment = value.substr(hash_pos + 1);
-    auto it = targets.find(fragment);
-    if (it == targets.end()) return;
-    store::NodeId owner = ParentOf(id);
-    xml::Node* owner_node = store_->GetNode(owner);
-    std::string label = owner_node != nullptr ? owner_node->name() : "xlink";
-    AddEdge(owner, it->second, EdgeType::kXLink, label);
-    ++added;
-  });
+  for (const RefShard& shard : shards) {
+    for (const RefCandidate& candidate : shard) {
+      auto it = targets.find(candidate.ref);
+      if (it == targets.end()) continue;  // dangling IDREF: tolerated
+      AddEdge(candidate.owner, it->second, EdgeType::kIdRef, candidate.label);
+      ++added;
+    }
+  }
+  return added;
+}
+
+size_t DataGraph::ResolveXLinks(ThreadPool* pool) {
+  return ResolveXLinks(CollectIdTargets(*store_, pool), pool);
+}
+
+size_t DataGraph::ResolveXLinks(const IdTargetMap& targets, ThreadPool* pool) {
+  struct LinkCandidate {
+    store::NodeId owner;
+    std::string fragment;
+    std::string label;
+  };
+  using LinkShard = std::vector<LinkCandidate>;
+  std::vector<LinkShard> shards = ScanDocuments<LinkShard>(
+      *store_, pool,
+      [this](LinkShard* shard, const store::NodeId& id, xml::Node* node) {
+        if (node->kind() != xml::NodeKind::kAttribute) return;
+        std::string attr = ToLower(node->name());
+        if (attr != "xlink:href" && attr != "href") return;
+        const std::string& value = node->text();
+        size_t hash_pos = value.find('#');
+        if (hash_pos == std::string::npos) return;
+        store::NodeId owner = ParentOf(id);
+        xml::Node* owner_node = store_->GetNode(owner);
+        std::string label = owner_node != nullptr ? owner_node->name() : "xlink";
+        shard->push_back({owner, value.substr(hash_pos + 1), label});
+      });
+  size_t added = 0;
+  for (const LinkShard& shard : shards) {
+    for (const LinkCandidate& candidate : shard) {
+      auto it = targets.find(candidate.fragment);
+      if (it == targets.end()) continue;
+      AddEdge(candidate.owner, it->second, EdgeType::kXLink, candidate.label);
+      ++added;
+    }
+  }
   return added;
 }
 

@@ -10,6 +10,10 @@
 #include "common/status.h"
 #include "store/document_store.h"
 
+namespace seda {
+class ThreadPool;
+}
+
 namespace seda::graph {
 
 /// The four relationship kinds of Definition 2 in the paper.
@@ -50,11 +54,19 @@ class DataGraph {
   /// Scans all documents and adds IDREF edges: any attribute named "idref"
   /// (or "idrefs", whitespace-separated) links to the element carrying an
   /// "id" attribute with the same value. Returns the number of edges added.
-  size_t ResolveIdRefs();
+  /// The document scan fans out over `pool` when given; edges are committed
+  /// in document order either way, so results are scheduling-independent.
+  size_t ResolveIdRefs(ThreadPool* pool = nullptr);
 
   /// Scans for XLink-style attributes ("xlink:href" or "href") whose value is
-  /// "#id" or "doc-name#id" and links to the target element.
-  size_t ResolveXLinks();
+  /// "#id" or "doc-name#id" and links to the target element. Parallel scan as
+  /// in ResolveIdRefs.
+  size_t ResolveXLinks(ThreadPool* pool = nullptr);
+
+  /// Resolves both link kinds with a single shared id-target scan — cheaper
+  /// than calling ResolveIdRefs + ResolveXLinks back to back, which would
+  /// each rebuild the same id -> node map. Returns total edges added.
+  size_t ResolveLinks(bool idrefs, bool xlinks, ThreadPool* pool = nullptr);
 
   /// Adds value-based (PK/FK) edges between nodes at `pk_path` and nodes at
   /// `fk_path` with equal content. Labels them `label`. Returns edges added.
@@ -93,6 +105,12 @@ class DataGraph {
                                        size_t max_depth = 12) const;
 
  private:
+  /// id attribute value -> element carrying it (first occurrence wins).
+  using IdTargetMap = std::unordered_map<std::string, store::NodeId>;
+
+  size_t ResolveIdRefs(const IdTargetMap& targets, ThreadPool* pool);
+  size_t ResolveXLinks(const IdTargetMap& targets, ThreadPool* pool);
+
   const store::DocumentStore* store_;
   std::unordered_map<store::NodeId, std::vector<Edge>, store::NodeIdHasher> out_edges_;
   std::unordered_map<store::NodeId, std::vector<Edge>, store::NodeIdHasher> in_edges_;

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <unordered_set>
+#include <utility>
 
+#include "common/thread_pool.h"
 #include "text/analyzer.h"
 
 namespace seda::text {
@@ -90,19 +92,51 @@ std::vector<store::PathId> SubtractSorted(const std::vector<store::PathId>& a,
 
 }  // namespace
 
-InvertedIndex::InvertedIndex(const store::DocumentStore* store) : store_(store) {
-  // Per-term last doc seen, for document frequencies.
-  std::unordered_map<std::string, store::DocId> last_doc;
+struct InvertedIndex::DocShard {
+  std::unordered_map<std::string, std::vector<NodePosting>> node_postings;
+  std::unordered_map<std::string, std::vector<store::PathId>> path_postings;
+  std::unordered_map<std::string, std::unordered_map<store::PathId, uint64_t>>
+      path_counts;
+  /// Distinct content tokens of the document (document frequency units).
+  std::unordered_set<std::string> doc_terms;
+  /// (path, node) pairs in node visit order.
+  std::vector<std::pair<store::PathId, store::NodeId>> path_nodes;
+  uint64_t indexed_nodes = 0;
+};
+
+InvertedIndex::InvertedIndex(const store::DocumentStore* store, ThreadPool* pool)
+    : store_(store) {
   nodes_by_path_.resize(store_->paths().size());
 
-  store_->ForEachNode([&](const store::NodeId& id, xml::Node* node) {
+  // Stage 1 (parallel): one partial index per document. Documents are
+  // independent, and every shard container appends in node visit order.
+  size_t doc_count = store_->DocumentCount();
+  std::vector<DocShard> shards(doc_count);
+  RunParallel(pool, doc_count, [&](size_t d) {
+    shards[d] = BuildDocShard(static_cast<store::DocId>(d));
+  });
+
+  // Stage 2 (sequential, deterministic): merge in DocId order, which
+  // reproduces exactly the append order of a single-threaded pass.
+  for (DocShard& shard : shards) MergeShard(std::move(shard));
+
+  // Finalize path postings: sort + dedupe.
+  for (auto& [term, paths] : path_postings_) {
+    std::sort(paths.begin(), paths.end());
+    paths.erase(std::unique(paths.begin(), paths.end()), paths.end());
+  }
+}
+
+InvertedIndex::DocShard InvertedIndex::BuildDocShard(store::DocId doc) const {
+  DocShard shard;
+  store_->document(doc).ForEachNode([&](xml::Node* node) {
     if (node->kind() == xml::NodeKind::kText) return;
+    store::NodeId id{doc, node->dewey()};
     std::string path_text = node->ContextPath();
     store::PathId path = store_->paths().Find(path_text);
     if (path == store::kInvalidPathId) return;
-    if (path >= nodes_by_path_.size()) nodes_by_path_.resize(path + 1);
-    nodes_by_path_[path].push_back(id);
-    ++indexed_nodes_;
+    shard.path_nodes.emplace_back(path, id);
+    ++shard.indexed_nodes;
 
     std::vector<std::string> tokens = Tokenize(node->ContentString());
     // Path postings (Fig. 8) index only the text a node *directly* contains,
@@ -119,42 +153,47 @@ InvertedIndex::InvertedIndex(const store::DocumentStore* store) : store_(store) 
         }
       }
     }
-    IndexNode(id, path, tokens, Tokenize(direct_text));
+    IndexNode(&shard, id, path, tokens, Tokenize(direct_text));
 
     // Tag names are indexed as keywords too (paper §5), pointing at the
     // node's own path.
     std::string tag = NormalizeToken(node->name());
     if (!tag.empty()) {
-      path_postings_[tag].push_back(path);
-      path_counts_[tag][path] += 1;
+      shard.path_postings[tag].push_back(path);
+      shard.path_counts[tag][path] += 1;
     }
 
-    // Document frequency per content token.
-    std::unordered_set<std::string> distinct(tokens.begin(), tokens.end());
-    for (const auto& t : distinct) {
-      auto it = last_doc.find(t);
-      if (it == last_doc.end() || it->second != id.doc) {
-        // Only count once per document: ancestors repeat descendant tokens,
-        // so guard on the last doc that incremented this term.
-        if (it == last_doc.end()) {
-          last_doc.emplace(t, id.doc);
-          doc_freq_[t] += 1;
-        } else {
-          it->second = id.doc;
-          doc_freq_[t] += 1;
-        }
-      }
-    }
+    // Document frequency per content token: a term counts once per document,
+    // no matter how many nodes repeat it (ancestors repeat descendant text).
+    shard.doc_terms.insert(tokens.begin(), tokens.end());
   });
-
-  // Finalize path postings: sort + dedupe.
-  for (auto& [term, paths] : path_postings_) {
-    std::sort(paths.begin(), paths.end());
-    paths.erase(std::unique(paths.begin(), paths.end()), paths.end());
-  }
+  return shard;
 }
 
-void InvertedIndex::IndexNode(const store::NodeId& id, store::PathId path,
+void InvertedIndex::MergeShard(DocShard&& shard) {
+  for (auto& [term, postings] : shard.node_postings) {
+    auto& dst = node_postings_[term];
+    dst.insert(dst.end(), std::make_move_iterator(postings.begin()),
+               std::make_move_iterator(postings.end()));
+  }
+  for (auto& [term, paths] : shard.path_postings) {
+    auto& dst = path_postings_[term];
+    dst.insert(dst.end(), paths.begin(), paths.end());
+  }
+  for (auto& [term, counts] : shard.path_counts) {
+    auto& dst = path_counts_[term];
+    for (const auto& [path, count] : counts) dst[path] += count;
+  }
+  for (const std::string& term : shard.doc_terms) doc_freq_[term] += 1;
+  for (const auto& [path, node] : shard.path_nodes) {
+    if (path >= nodes_by_path_.size()) nodes_by_path_.resize(path + 1);
+    nodes_by_path_[path].push_back(node);
+  }
+  indexed_nodes_ += shard.indexed_nodes;
+}
+
+void InvertedIndex::IndexNode(DocShard* shard, const store::NodeId& id,
+                              store::PathId path,
                               const std::vector<std::string>& tokens,
                               const std::vector<std::string>& direct_tokens) {
   // Gather positions per distinct token in this node.
@@ -167,11 +206,11 @@ void InvertedIndex::IndexNode(const store::NodeId& id, store::PathId path,
     posting.node = id;
     posting.path = path;
     posting.positions = std::move(pos_list);
-    node_postings_[term].push_back(std::move(posting));
+    shard->node_postings[term].push_back(std::move(posting));
   }
   for (const std::string& term : direct_tokens) {
-    path_postings_[term].push_back(path);
-    path_counts_[term][path] += 1;
+    shard->path_postings[term].push_back(path);
+    shard->path_counts[term][path] += 1;
   }
 }
 

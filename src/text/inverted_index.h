@@ -10,6 +10,10 @@
 #include "store/document_store.h"
 #include "text/text_expr.h"
 
+namespace seda {
+class ThreadPool;
+}
+
 namespace seda::text {
 
 /// One node entry in a term's posting list. Postings are kept in document
@@ -46,7 +50,14 @@ struct NodeMatch {
 class InvertedIndex {
  public:
   /// Builds the index over every document currently in `store`.
-  explicit InvertedIndex(const store::DocumentStore* store);
+  explicit InvertedIndex(const store::DocumentStore* store)
+      : InvertedIndex(store, nullptr) {}
+
+  /// Builds the index with per-document posting construction fanned out over
+  /// `pool` (nullptr or a 1-worker pool builds inline). Document shards are
+  /// merged in DocId order, so the result is identical to a single-threaded
+  /// build regardless of scheduling.
+  InvertedIndex(const store::DocumentStore* store, ThreadPool* pool);
 
   const store::DocumentStore& store() const { return *store_; }
 
@@ -89,9 +100,16 @@ class InvertedIndex {
   uint64_t IndexedNodeCount() const { return indexed_nodes_; }
 
  private:
-  void IndexNode(const store::NodeId& id, store::PathId path,
-                 const std::vector<std::string>& tokens,
-                 const std::vector<std::string>& direct_tokens);
+  /// Per-document partial index: every container appends in node visit order,
+  /// so concatenating shards in DocId order reproduces the sequential build.
+  struct DocShard;
+
+  DocShard BuildDocShard(store::DocId doc) const;
+  void MergeShard(DocShard&& shard);
+  static void IndexNode(DocShard* shard, const store::NodeId& id,
+                        store::PathId path,
+                        const std::vector<std::string>& tokens,
+                        const std::vector<std::string>& direct_tokens);
 
   const store::DocumentStore* store_;
   std::unordered_map<std::string, std::vector<NodePosting>> node_postings_;

@@ -10,12 +10,16 @@ DeweyId DeweyId::Parse(const std::string& text) {
   std::vector<uint32_t> parts;
   if (text.empty()) return DeweyId();
   for (const std::string& piece : Split(text, '.')) {
-    uint32_t value = 0;
+    if (piece.empty()) return DeweyId();
+    uint64_t value = 0;
     for (char c : piece) {
       if (c < '0' || c > '9') return DeweyId();
-      value = value * 10 + static_cast<uint32_t>(c - '0');
+      value = value * 10 + static_cast<uint64_t>(c - '0');
+      // Components above 2^32-1 would silently wrap to a bogus but
+      // valid-looking id; reject the whole string instead.
+      if (value > 0xFFFFFFFFull) return DeweyId();
     }
-    parts.push_back(value);
+    parts.push_back(static_cast<uint32_t>(value));
   }
   return DeweyId(std::move(parts));
 }

@@ -145,6 +145,35 @@ TEST(RngTest, RangeStaysInBounds) {
   }
 }
 
+TEST(RngTest, UniformZeroBoundReturnsZero) {
+  // Uniform(0) used to be a modulo-by-zero (UB); it now returns the only
+  // sensible value for an empty range.
+  Rng rng(11);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.Uniform(0), 0u);
+}
+
+TEST(RngTest, RangeHandlesExtremeBounds) {
+  // hi - lo + 1 used to overflow int64 for spans wider than 2^63. The span is
+  // now computed in uint64_t, and the full-width range draws raw 64-bit
+  // values (so both halves must be reachable).
+  Rng rng(13);
+  bool saw_negative = false, saw_positive = false;
+  for (int i = 0; i < 256; ++i) {
+    int64_t v = rng.Range(INT64_MIN, INT64_MAX);
+    saw_negative = saw_negative || v < 0;
+    saw_positive = saw_positive || v > 0;
+  }
+  EXPECT_TRUE(saw_negative);
+  EXPECT_TRUE(saw_positive);
+
+  for (int i = 0; i < 256; ++i) {
+    int64_t v = rng.Range(INT64_MIN, INT64_MIN + 1);
+    EXPECT_TRUE(v == INT64_MIN || v == INT64_MIN + 1);
+    EXPECT_EQ(rng.Range(INT64_MAX, INT64_MAX), INT64_MAX);
+    EXPECT_EQ(rng.Range(INT64_MIN, INT64_MIN), INT64_MIN);
+  }
+}
+
 TEST(RngTest, NextDoubleInUnitInterval) {
   Rng rng(17);
   for (int i = 0; i < 1000; ++i) {

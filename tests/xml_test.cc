@@ -21,6 +21,23 @@ TEST(DeweyTest, ParseRejectsGarbage) {
   EXPECT_TRUE(DeweyId::Parse("1.x.3").empty());
 }
 
+TEST(DeweyTest, ParseRejectsOverflowingComponents) {
+  // 2^32 and above used to wrap around uint32 silently, producing a bogus
+  // but valid-looking id (4294967296 -> 0). The whole string is rejected.
+  EXPECT_TRUE(DeweyId::Parse("4294967296").empty());
+  EXPECT_TRUE(DeweyId::Parse("1.4294967296.2").empty());
+  EXPECT_TRUE(DeweyId::Parse("99999999999999999999").empty());
+  // The largest representable component still parses.
+  DeweyId max = DeweyId::Parse("1.4294967295");
+  ASSERT_EQ(max.depth(), 2u);
+  EXPECT_EQ(max.components()[1], 4294967295u);
+}
+
+TEST(DeweyTest, ParseRejectsEmptyComponents) {
+  EXPECT_TRUE(DeweyId::Parse("1..2").empty());
+  EXPECT_TRUE(DeweyId::Parse(".").empty());
+}
+
 TEST(DeweyTest, ChildAndParent) {
   DeweyId root({1});
   DeweyId child = root.Child(2);
