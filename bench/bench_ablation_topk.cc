@@ -33,9 +33,9 @@ int main() {
   };
 
   std::printf("=== Ablation A1: TA top-k vs naive enumeration ===\n");
-  std::printf("%-14s %6s | %10s %10s %9s | %10s %10s %9s | %5s\n", "query", "k",
-              "TA docs", "TA tuples", "TA ms", "naive docs", "nv tuples",
-              "naive ms", "same");
+  std::printf("%-14s %6s | %10s %10s %9s | %10s %10s %9s | %5s | %9s %8s %7s\n",
+              "query", "k", "TA docs", "TA tuples", "TA ms", "naive docs",
+              "nv tuples", "naive ms", "same", "postings", "dskip", "evict");
   for (const char* text : queries) {
     auto query = seda::query::ParseQuery(text).value();
     for (size_t k : {5ul, 20ul}) {
@@ -66,13 +66,17 @@ int main() {
       }
       std::string label(text);
       if (label.size() > 14) label = label.substr(0, 11) + "...";
-      std::printf("%-14s %6zu | %10llu %10llu %9.2f | %10llu %10llu %9.2f | %5s\n",
+      std::printf("%-14s %6zu | %10llu %10llu %9.2f | %10llu %10llu %9.2f | %5s "
+                  "| %9llu %8llu %7llu\n",
                   label.c_str(), k,
                   static_cast<unsigned long long>(ta_stats.docs_scored),
                   static_cast<unsigned long long>(ta_stats.tuples_scored), ta_ms,
                   static_cast<unsigned long long>(naive_stats.docs_scored),
                   static_cast<unsigned long long>(naive_stats.tuples_scored),
-                  naive_ms, same ? "YES" : "NO");
+                  naive_ms, same ? "YES" : "NO",
+                  static_cast<unsigned long long>(ta_stats.postings_advanced),
+                  static_cast<unsigned long long>(ta_stats.docs_skipped),
+                  static_cast<unsigned long long>(ta_stats.heap_evictions));
       if (!same) return 1;
     }
   }

@@ -5,6 +5,8 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "core/seda.h"
 #include "data/generators.h"
@@ -21,15 +23,23 @@ constexpr const char* kTrade = "/country/economy/import_partners/item/trade_coun
 constexpr const char* kPct = "/country/economy/import_partners/item/percentage";
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  double scale = 0.25;  // ~400 documents
+  std::string out_path = "BENCH_pipeline.json";
+  for (int i = 1; i + 1 < argc; i += 2) {
+    if (std::strcmp(argv[i], "--scale") == 0) scale = std::atof(argv[i + 1]);
+    if (std::strcmp(argv[i], "--out") == 0) out_path = argv[i + 1];
+  }
   std::printf("=== Figure 6: SEDA control flow, stage by stage ===\n");
   seda::core::Seda seda;
   seda::data::WorldFactbookGenerator::Options data_options;
-  data_options.scale = 0.25;  // ~400 documents
+  data_options.scale = scale;
   auto ingest_start = Clock::now();
   seda::data::WorldFactbookGenerator(data_options).Populate(seda.mutable_store());
+  std::vector<std::pair<std::string, double>> stages;
+  stages.emplace_back("ingest", Ms(ingest_start));
   std::printf("%-42s %8.1f ms  (%zu docs, %llu nodes)\n", "ingest",
-              Ms(ingest_start), seda.store().DocumentCount(),
+              stages.back().second, seda.store().DocumentCount(),
               static_cast<unsigned long long>(seda.store().TotalNodeCount()));
 
   // Single-threaded reference finalize on an identical copy of the corpus,
@@ -50,8 +60,9 @@ int main() {
   parallel.num_threads = 0;  // one worker per hardware core
   auto finalize_start = Clock::now();
   if (!seda.Finalize(parallel).ok()) return 1;
+  stages.emplace_back("finalize", Ms(finalize_start));
   std::printf("%-42s %8.1f ms  (%zu workers, %zu dataguides, %zu distinct paths)\n",
-              "finalize (graph + index + dataguides)", Ms(finalize_start),
+              "finalize (graph + index + dataguides)", stages.back().second,
               seda::ThreadPool::DefaultThreadCount(), seda.dataguides().size(),
               seda.store().paths().size());
 
@@ -77,8 +88,9 @@ int main() {
     std::printf("search failed: %s\n", response.status().ToString().c_str());
     return 1;
   }
+  stages.emplace_back("search", Ms(search_start));
   std::printf("%-42s %8.1f ms  (top-%zu, %llu combinations)\n",
-              "top-k search + context/connection summary", Ms(search_start),
+              "top-k search + context/connection summary", stages.back().second,
               response.value().topk.size(),
               static_cast<unsigned long long>(
                   response.value().contexts.CombinationCount()));
@@ -97,15 +109,17 @@ int main() {
   auto refine_start = Clock::now();
   auto refined_response = seda.Search(refined.value());
   if (!refined_response.ok()) return 1;
+  stages.emplace_back("refined_search", Ms(refine_start));
   std::printf("%-42s %8.1f ms  (top-%zu)\n", "refined search (contexts chosen)",
-              Ms(refine_start), refined_response.value().topk.size());
+              stages.back().second, refined_response.value().topk.size());
 
   // Stage 3: complete result set.
   auto complete_start = Clock::now();
   auto result = seda.CompleteResults(refined.value(), {kName, kTrade, kPct}, {});
   if (!result.ok()) return 1;
+  stages.emplace_back("complete_results", Ms(complete_start));
   std::printf("%-42s %8.1f ms  (%zu tuples, %zu twigs)\n",
-              "complete result set (twig joins)", Ms(complete_start),
+              "complete result set (twig joins)", stages.back().second,
               result.value().tuples.size(), result.value().twig_count);
 
   // Stage 4: data cube.
@@ -115,8 +129,9 @@ int main() {
     std::printf("cube failed: %s\n", schema.status().ToString().c_str());
     return 1;
   }
+  stages.emplace_back("star_schema", Ms(cube_start));
   std::printf("%-42s %8.1f ms  (%zu fact rows, %zu dims)\n",
-              "star schema generation", Ms(cube_start),
+              "star schema generation", stages.back().second,
               schema.value().fact_tables[0].rows.size(),
               schema.value().dimension_tables.size());
 
@@ -127,8 +142,39 @@ int main() {
                                     seda::olap::AggFn::kAvg,
                                     "import-trade-percentage");
   if (!rollup.ok()) return 1;
-  std::printf("%-42s %8.1f ms  (%zu cuboids)\n", "OLAP rollup", Ms(olap_start),
-              rollup.value().size());
+  stages.emplace_back("olap_rollup", Ms(olap_start));
+  std::printf("%-42s %8.1f ms  (%zu cuboids)\n", "OLAP rollup",
+              stages.back().second, rollup.value().size());
+
+  // Machine-readable emission for the perf trajectory (CI smoke step).
+  const seda::topk::SearchStats& stats = response.value().stats;
+  if (FILE* json = std::fopen(out_path.c_str(), "w")) {
+    std::fprintf(json,
+                 "{\n  \"bench\": \"fig6_pipeline\",\n  \"scale\": %.4f,\n"
+                 "  \"documents\": %zu,\n  \"stages_ms\": {",
+                 scale, seda.store().DocumentCount());
+    for (size_t i = 0; i < stages.size(); ++i) {
+      std::fprintf(json, "%s\"%s\": %.4f", i == 0 ? "" : ", ",
+                   stages[i].first.c_str(), stages[i].second);
+    }
+    double search_ms = 0;
+    for (const auto& [name, ms] : stages) {
+      if (name == "search" || name == "refined_search") search_ms += ms;
+    }
+    std::fprintf(
+        json,
+        "},\n  \"search_qps\": %.2f,\n  \"docs_scored\": %llu,\n"
+        "  \"tuples_scored\": %llu,\n  \"early_terminated\": %s,\n"
+        "  \"postings_advanced\": %llu,\n  \"heap_evictions\": %llu\n}\n",
+        search_ms > 0 ? 2000.0 / search_ms : 0.0,
+        static_cast<unsigned long long>(stats.docs_scored),
+        static_cast<unsigned long long>(stats.tuples_scored),
+        stats.early_terminated ? "true" : "false",
+        static_cast<unsigned long long>(stats.postings_advanced),
+        static_cast<unsigned long long>(stats.heap_evictions));
+    std::fclose(json);
+    std::printf("wrote %s\n", out_path.c_str());
+  }
   std::printf("\nprecise data, ready for analysis: YES\n");
   return 0;
 }

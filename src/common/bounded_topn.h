@@ -1,0 +1,66 @@
+#ifndef SEDA_COMMON_BOUNDED_TOPN_H_
+#define SEDA_COMMON_BOUNDED_TOPN_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace seda {
+
+/// Bounded top-N buffer: keeps the `cap` best elements under a strict weak
+/// ordering `less` (where less(a, b) means "a ranks before b"). The backing
+/// heap uses `less` directly as the heap comparator, so the front is always
+/// the worst kept element. Displacement is strict — an element that ties the
+/// worst under `less` does not replace it — which preserves insertion-order
+/// tie-breaking exactly like a stable sort followed by truncation.
+///
+/// cap == 0 means unbounded: everything is kept and TakeSorted() sorts once.
+template <typename T, typename Less>
+class BoundedTopN {
+ public:
+  BoundedTopN(size_t cap, Less less) : cap_(cap), less_(std::move(less)) {}
+
+  bool Full() const { return cap_ > 0 && items_.size() >= cap_; }
+  size_t size() const { return items_.size(); }
+
+  /// Worst kept element (the heap front). Requires Full() with cap > 0.
+  const T& Worst() const { return items_.front(); }
+
+  /// Inserts `item` if it ranks before the current worst (or the buffer has
+  /// room). When `evictions` is non-null, counts displacements into it.
+  void Insert(T item, uint64_t* evictions = nullptr) {
+    if (cap_ == 0) {
+      items_.push_back(std::move(item));
+      return;
+    }
+    if (items_.size() < cap_) {
+      items_.push_back(std::move(item));
+      std::push_heap(items_.begin(), items_.end(), less_);
+      return;
+    }
+    if (less_(item, items_.front())) {
+      std::pop_heap(items_.begin(), items_.end(), less_);
+      items_.back() = std::move(item);
+      std::push_heap(items_.begin(), items_.end(), less_);
+      if (evictions != nullptr) ++*evictions;
+    }
+  }
+
+  /// Returns the kept elements sorted by `less` (best first), emptying the
+  /// buffer.
+  std::vector<T> TakeSorted() {
+    std::sort(items_.begin(), items_.end(), less_);
+    return std::move(items_);
+  }
+
+ private:
+  size_t cap_;
+  Less less_;
+  std::vector<T> items_;
+};
+
+}  // namespace seda
+
+#endif  // SEDA_COMMON_BOUNDED_TOPN_H_

@@ -1,5 +1,6 @@
 #include "core/seda.h"
 
+#include "exec/candidates.h"
 #include "xml/parser.h"
 
 namespace seda::core {
@@ -93,7 +94,17 @@ Status Seda::Finalize(const SedaOptions& options) {
       dataguide::DataguideCollection::Build(*store_, dg_options));
   guides_->AddLinksFromGraph(*graph_);
 
-  searcher_ = std::make_unique<topk::TopKSearcher>(index_.get(), graph_.get());
+  // Query-time pool: as with ingestion, the searching thread participates in
+  // every scoring batch, so spawn one fewer worker than the requested
+  // parallelism.
+  size_t query_threads = options.query_threads == 0
+                             ? ThreadPool::DefaultThreadCount()
+                             : options.query_threads;
+  if (query_threads > 1) {
+    query_pool_ = std::make_unique<ThreadPool>(query_threads - 1);
+  }
+  searcher_ = std::make_unique<topk::TopKSearcher>(index_.get(), graph_.get(),
+                                                   query_pool_.get());
   return Status::OK();
 }
 
@@ -104,13 +115,28 @@ Result<query::Query> Seda::Parse(const std::string& text) const {
 Result<SearchResponse> Seda::Search(const query::Query& query) const {
   if (!finalized()) return Status::FailedPrecondition("call Finalize() first");
   SearchResponse response;
-  auto topk_result = searcher_->Search(query, options_.topk, &response.stats);
+
+  // One cursor-built candidate set per query, shared by the top-k engine and
+  // the summary generators instead of re-evaluating the expressions.
+  exec::CandidateSet candidates = exec::BuildCandidates(
+      *index_, query, options_.topk.max_candidates_per_term);
+
+  auto topk_result =
+      searcher_->Search(query, options_.topk, candidates, &response.stats);
   if (!topk_result.ok()) return topk_result.status();
   response.topk = std::move(topk_result).value();
 
   summary::ContextSummaryGenerator context_gen(index_.get());
-  response.contexts = context_gen.Generate(query);
+  std::vector<const std::vector<store::PathId>*> resolved_contexts;
+  resolved_contexts.reserve(candidates.terms.size());
+  for (const exec::TermCandidates& term : candidates.terms) {
+    resolved_contexts.push_back(term.context_restricted ? &term.context_paths
+                                                        : nullptr);
+  }
+  response.contexts = context_gen.Generate(query, resolved_contexts);
 
+  // The connection summary consumes the engine's top-k tuples directly (the
+  // §6.1 instance validation), so it inherits the shared candidate set too.
   summary::ConnectionSummaryGenerator connection_gen(guides_.get(), graph_.get());
   response.connections = connection_gen.Generate(response.topk);
   return response;

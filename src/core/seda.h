@@ -42,6 +42,14 @@ struct SedaOptions {
   /// Any value yields byte-identical indexes and dataguides: parallel stages
   /// only produce per-document shards, which are merged in document order.
   size_t num_threads = 0;
+  /// Worker threads for query execution: each Search() fans per-document
+  /// tuple scoring (ConnectionSize) out across a pool kept alive for the
+  /// instance's lifetime. 0 = one per hardware core; 1 = fully inline. Any
+  /// value returns byte-identical SearchResponses — scored batches are
+  /// merged in enumeration order. Search() stays safe to call concurrently:
+  /// ThreadPool::ParallelFor keeps per-call state, so concurrent queries
+  /// only contend for workers.
+  size_t query_threads = 0;
   /// Value-based PK/FK relationships provided as input (paper §3: "we assume
   /// instances of ... value-based relationships are provided as input").
   struct ValueEdge {
@@ -143,6 +151,8 @@ class Seda {
   std::unique_ptr<graph::DataGraph> graph_;
   std::unique_ptr<text::InvertedIndex> index_;
   std::unique_ptr<dataguide::DataguideCollection> guides_;
+  /// Query-time pool (tuple scoring); outlives searcher_, which borrows it.
+  std::unique_ptr<ThreadPool> query_pool_;
   std::unique_ptr<topk::TopKSearcher> searcher_;
   cube::Catalog catalog_;
   SedaOptions options_;

@@ -1,0 +1,117 @@
+#include "exec/candidates.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/bounded_topn.h"
+
+namespace seda::exec {
+
+namespace {
+
+/// Keeps the `cap` best matches under (score desc, arrival asc) — the exact
+/// set and order std::stable_sort-by-score + resize(cap) used to produce,
+/// but in O(n log cap) and without holding the full stream. Arrival-order
+/// tie-breaking comes from BoundedTopN's strict displacement: a newcomer
+/// (always the largest arrival index) never replaces an equal-score keeper.
+class TopScoreSelector {
+ public:
+  explicit TopScoreSelector(size_t cap) : top_(cap, Better) {}
+
+  void Offer(const text::NodeMatch& match) {
+    top_.Insert(Entry{match, next_seq_++});
+  }
+
+  /// True when no remaining cursor output (bounded by `max_score`) can be
+  /// accepted anymore, so draining can stop.
+  bool Saturated(double max_score) const {
+    return top_.Full() && top_.Worst().match.score >= max_score;
+  }
+
+  std::vector<text::NodeMatch> Take() {
+    std::vector<text::NodeMatch> out;
+    for (Entry& e : top_.TakeSorted()) out.push_back(std::move(e.match));
+    return out;
+  }
+
+ private:
+  struct Entry {
+    text::NodeMatch match;
+    uint64_t seq = 0;
+  };
+  /// Ranking order ("less" = ranks before): score desc, then arrival asc.
+  static bool Better(const Entry& a, const Entry& b) {
+    if (a.match.score != b.match.score) return a.match.score > b.match.score;
+    return a.seq < b.seq;
+  }
+
+  uint64_t next_seq_ = 0;
+  BoundedTopN<Entry, bool (*)(const Entry&, const Entry&)> top_;
+};
+
+/// Structure-only term: candidates are the context's path occurrences at a
+/// constant tiny score. Enumeration is path-major (ResolvePathIds order,
+/// document order within a path) — the order the old engine produced — and
+/// stops at the cap since every score ties.
+TermCandidates BuildStructureOnlyTerm(const text::InvertedIndex& index,
+                                      const query::QueryTerm& term, size_t cap,
+                                      CursorStats* stats) {
+  TermCandidates out;
+  out.structure_only = true;
+  out.max_score = kStructureOnlyScore;
+  out.context_restricted = !term.context.unrestricted();
+  out.context_paths = term.context.ResolvePathIds(index.store().paths());
+  for (store::PathId path : out.context_paths) {
+    for (const store::NodeId& node : index.NodesWithPath(path)) {
+      ++stats->postings_advanced;
+      out.matches.push_back({node, path, kStructureOnlyScore});
+      if (cap > 0 && out.matches.size() >= cap) return out;
+    }
+  }
+  return out;
+}
+
+TermCandidates BuildContentTerm(const text::InvertedIndex& index,
+                                const query::QueryTerm& term, size_t cap,
+                                CursorStats* stats) {
+  TermCandidates out;
+  out.context_restricted = !term.context.unrestricted();
+  std::unordered_set<store::PathId> allowed;
+  const std::unordered_set<store::PathId>* filter = nullptr;
+  if (out.context_restricted) {
+    out.context_paths = term.context.ResolvePathIds(index.store().paths());
+    allowed.insert(out.context_paths.begin(), out.context_paths.end());
+    filter = &allowed;
+  }
+  auto cursor = BuildCursor(index, *term.search, filter, stats);
+  out.max_score = cursor->MaxScore();
+  TopScoreSelector selector(cap);
+  for (; !cursor->AtEnd(); cursor->Next()) {
+    selector.Offer(cursor->Current());
+    if (selector.Saturated(cursor->MaxScore())) break;
+  }
+  out.matches = selector.Take();
+  return out;
+}
+
+}  // namespace
+
+CandidateSet BuildCandidates(const text::InvertedIndex& index,
+                             const query::Query& query,
+                             size_t max_candidates_per_term) {
+  CandidateSet set;
+  set.terms.reserve(query.terms.size());
+  for (const query::QueryTerm& term : query.terms) {
+    bool structure_only =
+        !term.search || term.search->kind == text::TextExpr::Kind::kAll;
+    set.terms.push_back(
+        structure_only
+            ? BuildStructureOnlyTerm(index, term, max_candidates_per_term,
+                                     &set.stats)
+            : BuildContentTerm(index, term, max_candidates_per_term,
+                               &set.stats));
+  }
+  return set;
+}
+
+}  // namespace seda::exec

@@ -1,0 +1,59 @@
+#ifndef SEDA_EXEC_CANDIDATES_H_
+#define SEDA_EXEC_CANDIDATES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "exec/cursor.h"
+#include "query/query.h"
+#include "store/document_store.h"
+#include "text/inverted_index.h"
+
+namespace seda::exec {
+
+/// One query term's candidate stream, built by draining its cursor tree
+/// through a bounded top-N selection (score-descending, ties in document
+/// order). This is the sorted access stream of the paper's §4 TA scan.
+struct TermCandidates {
+  /// Candidates sorted by descending content score; ties keep cursor
+  /// (document) order — exactly the old stable_sort + truncate output.
+  std::vector<text::NodeMatch> matches;
+  /// Resolved context path ids (sorted, deduped). Populated when the term's
+  /// context is restricted or the term is structure-only; shared with the
+  /// context summary so ResolvePathIds runs once per query.
+  std::vector<store::PathId> context_paths;
+  bool context_restricted = false;
+  /// True for (context, *) terms, whose candidates come from the context's
+  /// paths at kStructureOnlyScore instead of from posting lists.
+  bool structure_only = false;
+  /// Cursor-level upper bound on any candidate score of this term.
+  double max_score = 0.0;
+};
+
+/// The per-query candidate set: one cursor-built stream per term plus the
+/// cursor execution counters. Built once per query and shared by the top-k
+/// engine and the summary generators.
+struct CandidateSet {
+  std::vector<TermCandidates> terms;
+  CursorStats stats;
+
+  uint64_t CandidatesTotal() const {
+    uint64_t total = 0;
+    for (const TermCandidates& t : terms) total += t.matches.size();
+    return total;
+  }
+};
+
+/// Builds all candidate streams for `query`. `max_candidates_per_term`
+/// bounds each stream (0 = unlimited) via an incremental bounded selection:
+/// when a cursor's MaxScore can no longer beat the kept minimum — always the
+/// case for constant-score cursors such as NOT-rooted expressions and
+/// structure-only terms — the drain stops early instead of materializing the
+/// node universe.
+CandidateSet BuildCandidates(const text::InvertedIndex& index,
+                             const query::Query& query,
+                             size_t max_candidates_per_term);
+
+}  // namespace seda::exec
+
+#endif  // SEDA_EXEC_CANDIDATES_H_

@@ -28,7 +28,8 @@ std::string ContextSummary::ToString() const {
 }
 
 ContextBucket ContextSummaryGenerator::GenerateBucket(
-    const query::QueryTerm& term) const {
+    const query::QueryTerm& term,
+    const std::vector<store::PathId>* resolved_context) const {
   ContextBucket bucket;
   bucket.term_text = term.ToString();
   const store::PathDictionary& dict = index_->store().paths();
@@ -42,11 +43,13 @@ ContextBucket ContextSummaryGenerator::GenerateBucket(
   }
 
   // Context constraint (§5): full path probes via its last tag + exact path
-  // filter; tag pattern probes via the tag.
+  // filter; tag pattern probes via the tag. The resolution is reused from
+  // the engine's candidate set when the caller already has it.
   std::vector<store::PathId> allowed;
   bool constrained = !term.context.unrestricted();
   if (constrained) {
-    allowed = term.context.ResolvePathIds(dict);
+    allowed = resolved_context != nullptr ? *resolved_context
+                                          : term.context.ResolvePathIds(dict);
   }
 
   std::vector<store::PathId> result;
@@ -79,6 +82,19 @@ ContextSummary ContextSummaryGenerator::Generate(const query::Query& query) cons
   ContextSummary summary;
   for (const query::QueryTerm& term : query.terms) {
     summary.buckets.push_back(GenerateBucket(term));
+  }
+  return summary;
+}
+
+ContextSummary ContextSummaryGenerator::Generate(
+    const query::Query& query,
+    const std::vector<const std::vector<store::PathId>*>& resolved_contexts)
+    const {
+  ContextSummary summary;
+  for (size_t i = 0; i < query.terms.size(); ++i) {
+    const std::vector<store::PathId>* resolved =
+        i < resolved_contexts.size() ? resolved_contexts[i] : nullptr;
+    summary.buckets.push_back(GenerateBucket(query.terms[i], resolved));
   }
   return summary;
 }

@@ -50,9 +50,24 @@ class ContextSummaryGenerator {
 
   ContextSummary Generate(const query::Query& query) const;
 
+  /// Generate() consuming per-term context path sets already resolved by the
+  /// execution engine (exec::CandidateSet::context_paths), so a restricted
+  /// context is resolved once per query instead of once per consumer. Each
+  /// entry may be null (resolve locally); non-null entries must be the
+  /// sorted ResolvePathIds output for the corresponding term.
+  ContextSummary Generate(
+      const query::Query& query,
+      const std::vector<const std::vector<store::PathId>*>& resolved_contexts)
+      const;
+
   /// Bucket for a single term (exposed for tests and for the refinement
   /// loop, which regenerates buckets after the user picks contexts).
-  ContextBucket GenerateBucket(const query::QueryTerm& term) const;
+  ContextBucket GenerateBucket(const query::QueryTerm& term) const {
+    return GenerateBucket(term, nullptr);
+  }
+  ContextBucket GenerateBucket(
+      const query::QueryTerm& term,
+      const std::vector<store::PathId>* resolved_context) const;
 
  private:
   const text::InvertedIndex* index_;

@@ -67,6 +67,23 @@ std::vector<NodeMatch> SubtractMatches(const std::vector<NodeMatch>& a,
   return out;
 }
 
+/// Complement against the node universe in one streaming pass: every
+/// element/attribute node not present in `excluded` (which must be in
+/// document order) is emitted with score 0. Unlike materializing kAll and
+/// then subtracting, this allocates only the output.
+std::vector<NodeMatch> ComplementMatches(const store::DocumentStore& store,
+                                         const std::vector<NodeMatch>& excluded) {
+  std::vector<NodeMatch> out;
+  size_t j = 0;
+  store.ForEachNode([&](const store::NodeId& id, xml::Node* node) {
+    if (node->kind() == xml::NodeKind::kText) return;
+    while (j < excluded.size() && excluded[j].node < id) ++j;
+    if (j < excluded.size() && excluded[j].node == id) return;
+    out.push_back({id, store.paths().Find(node->ContextPath()), 0.0});
+  });
+  return out;
+}
+
 std::vector<store::PathId> IntersectSorted(const std::vector<store::PathId>& a,
                                            const std::vector<store::PathId>& b) {
   std::vector<store::PathId> out;
@@ -172,6 +189,10 @@ InvertedIndex::DocShard InvertedIndex::BuildDocShard(store::DocId doc) const {
 
 void InvertedIndex::MergeShard(DocShard&& shard) {
   for (auto& [term, postings] : shard.node_postings) {
+    uint32_t& max_tf = max_tf_[term];
+    for (const NodePosting& p : postings) {
+      max_tf = std::max(max_tf, static_cast<uint32_t>(p.positions.size()));
+    }
     auto& dst = node_postings_[term];
     dst.insert(dst.end(), std::make_move_iterator(postings.begin()),
                std::make_move_iterator(postings.end()));
@@ -238,6 +259,11 @@ uint64_t InvertedIndex::DocumentFrequency(const std::string& term) const {
   return it == doc_freq_.end() ? 0 : it->second;
 }
 
+uint32_t InvertedIndex::MaxTermFrequency(const std::string& term) const {
+  auto it = max_tf_.find(term);
+  return it == max_tf_.end() ? 0 : it->second;
+}
+
 double InvertedIndex::Idf(const std::string& term) const {
   double n = static_cast<double>(store_->DocumentCount());
   double df = static_cast<double>(DocumentFrequency(term));
@@ -259,8 +285,7 @@ std::vector<NodeMatch> InvertedIndex::EvaluateNodes(const TextExpr& expr) const 
       std::vector<NodeMatch> out;
       double idf = Idf(expr.term);
       for (const NodePosting& p : Postings(expr.term)) {
-        double tf = static_cast<double>(p.positions.size());
-        out.push_back({p.node, p.path, idf * (1.0 + std::log(1.0 + tf))});
+        out.push_back({p.node, p.path, TermContentScore(idf, p.positions.size())});
       }
       return out;
     }
@@ -332,8 +357,14 @@ std::vector<NodeMatch> InvertedIndex::EvaluateNodes(const TextExpr& expr) const 
         }
       }
       if (!have_positive) {
-        // Pure negation: complement against all nodes.
-        positive = EvaluateNodes(*TextExpr::All());
+        // Pure negation: complement the union of the negatives against the
+        // universe in one pass (identical to materializing kAll and
+        // subtracting each negative, minus the universe-sized temporaries).
+        std::vector<NodeMatch> excluded;
+        for (const TextExpr* neg : negatives) {
+          excluded = UnionMatches(excluded, EvaluateNodes(*neg));
+        }
+        return ComplementMatches(*store_, excluded);
       }
       for (const TextExpr* neg : negatives) {
         positive = SubtractMatches(positive, EvaluateNodes(*neg));
@@ -348,8 +379,9 @@ std::vector<NodeMatch> InvertedIndex::EvaluateNodes(const TextExpr& expr) const 
       return out;
     }
     case TextExpr::Kind::kNot: {
-      auto universe = EvaluateNodes(*TextExpr::All());
-      return SubtractMatches(universe, EvaluateNodes(*expr.children.front()));
+      // Anti-join against the universe without materializing it twice: the
+      // old universe-then-subtract allocated two universe-sized vectors.
+      return ComplementMatches(*store_, EvaluateNodes(*expr.children.front()));
     }
   }
   return {};

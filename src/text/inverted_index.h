@@ -1,6 +1,7 @@
 #ifndef SEDA_TEXT_INVERTED_INDEX_H_
 #define SEDA_TEXT_INVERTED_INDEX_H_
 
+#include <cmath>
 #include <cstdint>
 #include <string>
 #include <unordered_map>
@@ -31,6 +32,14 @@ struct NodeMatch {
   store::PathId path = store::kInvalidPathId;
   double score = 0.0;
 };
+
+/// Per-node content score of one term occurrence: idf * (1 + log(1 + tf)).
+/// The single definition shared by EvaluateNodes and the exec cursor layer,
+/// so both assign bit-identical scores. Phrase matches score the sum of
+/// their tokens' Idf() values (tf-independent) in both evaluators.
+inline double TermContentScore(double idf, size_t tf) {
+  return idf * (1.0 + std::log(1.0 + static_cast<double>(tf)));
+}
 
 /// From-scratch full-text index (the paper's Lucene substitute) with the two
 /// posting families SEDA relies on:
@@ -78,12 +87,24 @@ class InvertedIndex {
   /// Number of documents whose content contains `term`.
   uint64_t DocumentFrequency(const std::string& term) const;
 
+  /// Maximum within-node term frequency of `term` across its postings
+  /// (0 when absent). Precomputed at build time; the cursor layer derives
+  /// per-term score upper bounds from it without scanning posting lists.
+  uint32_t MaxTermFrequency(const std::string& term) const;
+
   /// Inverse document frequency with add-one smoothing.
   double Idf(const std::string& term) const;
 
   /// Evaluates a full-text expression to scored node matches in document
   /// order. kAll yields every element/attribute node (score 0), so callers
   /// should constrain kAll terms by context instead when possible.
+  ///
+  /// Compatibility shim: the query engine streams expressions through the
+  /// cursor layer (src/exec/) instead of materializing them here;
+  /// exec::EvaluateWithCursor produces exactly this output. This entry point
+  /// remains for tests and one-shot callers, with NOT/pure-negation rewritten
+  /// as a single-pass anti-join so the node universe is never materialized as
+  /// an intermediate.
   std::vector<NodeMatch> EvaluateNodes(const TextExpr& expr) const;
 
   /// Evaluates to the distinct set of paths satisfying the expression, using
@@ -117,6 +138,7 @@ class InvertedIndex {
   std::unordered_map<std::string, std::unordered_map<store::PathId, uint64_t>>
       path_counts_;
   std::unordered_map<std::string, uint64_t> doc_freq_;
+  std::unordered_map<std::string, uint32_t> max_tf_;
   std::vector<std::vector<store::NodeId>> nodes_by_path_;
   uint64_t indexed_nodes_ = 0;
 

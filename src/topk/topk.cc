@@ -2,20 +2,22 @@
 
 #include <algorithm>
 #include <map>
-#include <set>
-#include <unordered_map>
-#include <unordered_set>
+#include <optional>
+
+#include "common/bounded_topn.h"
+#include "common/thread_pool.h"
 
 namespace seda::topk {
 
 namespace {
 
-constexpr double kAllTermScore = 0.01;  // structure-only terms carry tiny weight
-
 double Compactness(size_t connection_size) {
   return 1.0 / (1.0 + static_cast<double>(connection_size));
 }
 
+/// Ranking order: score desc, ties by document order of the first differing
+/// node. A total order over distinct tuples, so the kept top-k set does not
+/// depend on insertion order.
 bool TupleLess(const ScoredTuple& a, const ScoredTuple& b) {
   if (a.score != b.score) return a.score > b.score;
   for (size_t i = 0; i < a.nodes.size() && i < b.nodes.size(); ++i) {
@@ -25,6 +27,11 @@ bool TupleLess(const ScoredTuple& a, const ScoredTuple& b) {
   }
   return false;
 }
+
+/// Bounded top-k buffer under the ranking order, replacing the old
+/// sort-on-every-insert.
+using TupleHeap =
+    BoundedTopN<ScoredTuple, bool (*)(const ScoredTuple&, const ScoredTuple&)>;
 
 }  // namespace
 
@@ -41,41 +48,11 @@ std::string ScoredTuple::ToString(const store::DocumentStore& store) const {
 
 std::vector<std::vector<text::NodeMatch>> TopKSearcher::CandidateStreams(
     const query::Query& query, const TopKOptions& options) const {
+  auto set = exec::BuildCandidates(*index_, query, options.max_candidates_per_term);
   std::vector<std::vector<text::NodeMatch>> streams;
-  streams.reserve(query.terms.size());
-  const auto& dict = index_->store().paths();
-
-  for (const query::QueryTerm& term : query.terms) {
-    std::vector<text::NodeMatch> matches;
-    bool all_content = !term.search || term.search->kind == text::TextExpr::Kind::kAll;
-    if (all_content) {
-      // Structure-only term: candidates come from the context's paths.
-      std::vector<store::PathId> paths = term.context.ResolvePathIds(dict);
-      for (store::PathId path : paths) {
-        for (const store::NodeId& node : index_->NodesWithPath(path)) {
-          matches.push_back({node, path, kAllTermScore});
-        }
-      }
-    } else {
-      matches = index_->EvaluateNodes(*term.search);
-      if (!term.context.unrestricted()) {
-        std::vector<store::PathId> paths = term.context.ResolvePathIds(dict);
-        std::unordered_set<store::PathId> allowed(paths.begin(), paths.end());
-        std::erase_if(matches, [&](const text::NodeMatch& m) {
-          return !allowed.count(m.path);
-        });
-      }
-    }
-    // Sort by descending content score (sorted access order for TA).
-    std::stable_sort(matches.begin(), matches.end(),
-                     [](const text::NodeMatch& a, const text::NodeMatch& b) {
-                       return a.score > b.score;
-                     });
-    if (options.max_candidates_per_term > 0 &&
-        matches.size() > options.max_candidates_per_term) {
-      matches.resize(options.max_candidates_per_term);
-    }
-    streams.push_back(std::move(matches));
+  streams.reserve(set.terms.size());
+  for (exec::TermCandidates& term : set.terms) {
+    streams.push_back(std::move(term.matches));
   }
   return streams;
 }
@@ -83,28 +60,46 @@ std::vector<std::vector<text::NodeMatch>> TopKSearcher::CandidateStreams(
 Result<std::vector<ScoredTuple>> TopKSearcher::Search(const query::Query& query,
                                                       const TopKOptions& options,
                                                       SearchStats* stats) const {
-  return SearchImpl(query, options, /*threshold_stop=*/true, stats);
+  return SearchImpl(query, options, /*threshold_stop=*/true, nullptr, stats);
+}
+
+Result<std::vector<ScoredTuple>> TopKSearcher::Search(
+    const query::Query& query, const TopKOptions& options,
+    const exec::CandidateSet& candidates, SearchStats* stats) const {
+  return SearchImpl(query, options, /*threshold_stop=*/true, &candidates, stats);
 }
 
 Result<std::vector<ScoredTuple>> TopKSearcher::NaiveSearch(
     const query::Query& query, const TopKOptions& options, SearchStats* stats) const {
-  return SearchImpl(query, options, /*threshold_stop=*/false, stats);
+  return SearchImpl(query, options, /*threshold_stop=*/false, nullptr, stats);
 }
 
 Result<std::vector<ScoredTuple>> TopKSearcher::SearchImpl(
     const query::Query& query, const TopKOptions& options, bool threshold_stop,
-    SearchStats* stats) const {
+    const exec::CandidateSet* shared_candidates, SearchStats* stats) const {
   if (query.terms.empty()) {
     return Status::InvalidArgument("empty query");
   }
   const size_t m = query.terms.size();
-  auto streams = CandidateStreams(query, options);
+
+  exec::CandidateSet local_candidates;
+  const exec::CandidateSet* candidates = shared_candidates;
+  if (candidates == nullptr) {
+    local_candidates =
+        exec::BuildCandidates(*index_, query, options.max_candidates_per_term);
+    candidates = &local_candidates;
+  }
 
   SearchStats local_stats;
-  for (const auto& s : streams) local_stats.candidates_total += s.size();
+  local_stats.candidates_total = candidates->CandidatesTotal();
+  local_stats.postings_advanced = candidates->stats.postings_advanced;
+  local_stats.docs_skipped = candidates->stats.docs_skipped;
 
-  // Group candidates per document per term, remembering each term's best
-  // (maximum) content score inside the document for the TA upper bound.
+  // Document-at-a-time alignment: the per-term score-sorted streams are
+  // regrouped by candidate document, remembering each term's best content
+  // score inside the document for the TA upper bound. Per-document buckets
+  // keep stream (score) order, so the per-doc cap retains the best
+  // candidates.
   struct DocGroup {
     std::vector<std::vector<const text::NodeMatch*>> per_term;
     double upper_bound = 0;  // sum of per-term max scores, compactness <= 1
@@ -112,7 +107,7 @@ Result<std::vector<ScoredTuple>> TopKSearcher::SearchImpl(
   };
   std::map<store::DocId, DocGroup> groups;
   for (size_t t = 0; t < m; ++t) {
-    for (const text::NodeMatch& match : streams[t]) {
+    for (const text::NodeMatch& match : candidates->terms[t].matches) {
       auto [it, inserted] = groups.try_emplace(match.node.doc, m);
       auto& bucket = it->second.per_term[t];
       if (options.max_per_doc_per_term > 0 &&
@@ -182,23 +177,25 @@ Result<std::vector<ScoredTuple>> TopKSearcher::SearchImpl(
   });
   local_stats.docs_considered = order.size();
 
-  std::vector<ScoredTuple> best;
-  auto maybe_keep = [&](ScoredTuple tuple) {
-    best.push_back(std::move(tuple));
-    std::sort(best.begin(), best.end(), TupleLess);
-    if (best.size() > options.k) best.resize(options.k);
-  };
+  TupleHeap best(options.k, TupleLess);
+  // Per-document scratch, reused across the scan: the tuples awaiting
+  // ConnectionSize and their resulting sizes.
+  std::vector<ScoredTuple> batch;
+  std::vector<std::optional<size_t>> sizes;
 
   for (const auto& [bound, doc] : order) {
-    if (threshold_stop && best.size() >= options.k &&
-        best.back().score >= bound * Compactness(0)) {
+    if (options.k == 0) break;  // nothing to keep; skip the scan entirely
+    if (threshold_stop && best.Full() &&
+        best.Worst().score >= bound * Compactness(0)) {
       local_stats.early_terminated = true;
       break;
     }
     const DocGroup& group = groups.at(doc);
     ++local_stats.docs_scored;
 
-    // Enumerate the per-term cross product within this document group.
+    // Enumerate the per-term cross product within this document group into a
+    // batch of distinct tuples.
+    batch.clear();
     std::vector<size_t> idx(m, 0);
     while (true) {
       ScoredTuple tuple;
@@ -218,17 +215,8 @@ Result<std::vector<ScoredTuple>> TopKSearcher::SearchImpl(
         content += match->score;
       }
       if (distinct) {
-        std::vector<store::NodeId> node_ids;
-        node_ids.reserve(m);
-        for (const auto& nm : tuple.nodes) node_ids.push_back(nm.node);
-        auto size = graph_->ConnectionSize(node_ids, options.max_connect_depth);
-        ++local_stats.tuples_scored;
-        if (size.has_value()) {
-          tuple.content_score = content;
-          tuple.connection_size = *size;
-          tuple.score = content * Compactness(*size);
-          maybe_keep(std::move(tuple));
-        }
+        tuple.content_score = content;
+        batch.push_back(std::move(tuple));
       }
       // Advance the odometer.
       size_t t = 0;
@@ -238,10 +226,31 @@ Result<std::vector<ScoredTuple>> TopKSearcher::SearchImpl(
       }
       if (t == m) break;
     }
+
+    // Score the batch: ConnectionSize per tuple is independent read-only
+    // graph work, so it fans out across the pool; merging back in
+    // enumeration order keeps results identical at any worker count.
+    local_stats.tuples_scored += batch.size();
+    sizes.assign(batch.size(), std::nullopt);
+    ThreadPool* pool =
+        batch.size() >= options.parallel_batch_min ? pool_ : nullptr;
+    RunParallel(pool, batch.size(), [&](size_t i) {
+      std::vector<store::NodeId> node_ids;
+      node_ids.reserve(m);
+      for (const auto& nm : batch[i].nodes) node_ids.push_back(nm.node);
+      sizes[i] = graph_->ConnectionSize(node_ids, options.max_connect_depth);
+    });
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if (!sizes[i].has_value()) continue;
+      ScoredTuple& tuple = batch[i];
+      tuple.connection_size = *sizes[i];
+      tuple.score = tuple.content_score * Compactness(*sizes[i]);
+      best.Insert(std::move(tuple), &local_stats.heap_evictions);
+    }
   }
 
   if (stats != nullptr) *stats = local_stats;
-  return best;
+  return best.TakeSorted();
 }
 
 }  // namespace seda::topk

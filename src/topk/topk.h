@@ -7,9 +7,14 @@
 #include <vector>
 
 #include "common/status.h"
+#include "exec/candidates.h"
 #include "graph/data_graph.h"
 #include "query/query.h"
 #include "text/inverted_index.h"
+
+namespace seda {
+class ThreadPool;
+}
 
 namespace seda::topk {
 
@@ -31,6 +36,10 @@ struct SearchStats {
   uint64_t docs_scored = 0;          ///< documents whose tuples were enumerated
   uint64_t tuples_scored = 0;        ///< tuples fully scored (ConnectionSize calls)
   bool early_terminated = false;     ///< TA threshold fired before exhausting docs
+  // Cursor-level counters (streaming candidate construction, src/exec/):
+  uint64_t postings_advanced = 0;    ///< posting entries / universe nodes stepped
+  uint64_t docs_skipped = 0;         ///< doc distance jumped by cursor seeks
+  uint64_t heap_evictions = 0;       ///< top-k bounded heap displacements
 };
 
 /// Options controlling the search.
@@ -46,24 +55,43 @@ struct TopKOptions {
   size_t max_connect_depth = 10;
   /// Follow non-tree edges to join candidates from linked documents.
   bool allow_cross_document = true;
+  /// Minimum tuples in one document's scoring batch before the batch fans
+  /// out across the searcher's thread pool; smaller batches stay inline to
+  /// avoid scheduling overhead. Results are identical either way.
+  size_t parallel_batch_min = 4;
 };
 
-/// Top-k search unit (paper §4): retrieves per-term candidate streams from
-/// the full-text index sorted by content score and runs a Threshold-Algorithm
-/// style scan (Fagin et al. [8]) grouped by candidate document. The score of
-/// a tuple is its content score discounted by the compactness of the minimal
-/// graph connecting its nodes; the TA threshold uses compactness 1 as the
-/// monotone upper bound, so the scan can stop as soon as the k-th best tuple
-/// dominates every unexamined document's bound.
+/// Top-k search unit (paper §4), rebuilt as a streaming engine: per-term
+/// candidate streams come from cursor trees composed directly over posting
+/// lists (src/exec/), the Threshold-Algorithm scan (Fagin et al. [8])
+/// consumes candidate documents in upper-bound order, the running top-k is a
+/// bounded heap, and each document's tuple enumeration + ConnectionSize
+/// scoring fans out across an optional ThreadPool with results merged in
+/// enumeration order — so any worker count returns byte-identical rankings.
+/// The score of a tuple is its content score discounted by the compactness
+/// of the minimal graph connecting its nodes; the TA threshold uses
+/// compactness 1 as the monotone upper bound, so the scan stops as soon as
+/// the k-th best tuple dominates every unexamined document's bound.
 class TopKSearcher {
  public:
-  TopKSearcher(const text::InvertedIndex* index, const graph::DataGraph* graph)
-      : index_(index), graph_(graph) {}
+  /// `pool` (optional) parallelizes per-document tuple scoring. Concurrent
+  /// Search calls may share the pool — ParallelFor state is per call — they
+  /// just contend for its workers.
+  TopKSearcher(const text::InvertedIndex* index, const graph::DataGraph* graph,
+               ThreadPool* pool = nullptr)
+      : index_(index), graph_(graph), pool_(pool) {}
 
   /// Runs the TA search. Results are sorted by descending score; ties break
   /// by document order of the first differing node.
   Result<std::vector<ScoredTuple>> Search(const query::Query& query,
                                           const TopKOptions& options,
+                                          SearchStats* stats = nullptr) const;
+
+  /// TA search over a pre-built candidate set (one cursor evaluation shared
+  /// across the engine and the summary generators; see Seda::Search).
+  Result<std::vector<ScoredTuple>> Search(const query::Query& query,
+                                          const TopKOptions& options,
+                                          const exec::CandidateSet& candidates,
                                           SearchStats* stats = nullptr) const;
 
   /// Baseline for the A1 ablation: enumerates and scores every candidate
@@ -73,19 +101,20 @@ class TopKSearcher {
                                                SearchStats* stats = nullptr) const;
 
   /// Per-term candidate matches (index evaluation restricted to the term's
-  /// context), sorted by descending content score. Exposed for the summary
-  /// generators, which reuse the candidate streams.
+  /// context), sorted by descending content score. Thin wrapper over
+  /// exec::BuildCandidates, kept for callers that want bare streams.
   std::vector<std::vector<text::NodeMatch>> CandidateStreams(
       const query::Query& query, const TopKOptions& options) const;
 
  private:
-  Result<std::vector<ScoredTuple>> SearchImpl(const query::Query& query,
-                                              const TopKOptions& options,
-                                              bool threshold_stop,
-                                              SearchStats* stats) const;
+  Result<std::vector<ScoredTuple>> SearchImpl(
+      const query::Query& query, const TopKOptions& options,
+      bool threshold_stop, const exec::CandidateSet* shared_candidates,
+      SearchStats* stats) const;
 
   const text::InvertedIndex* index_;
   const graph::DataGraph* graph_;
+  ThreadPool* pool_;
 };
 
 }  // namespace seda::topk

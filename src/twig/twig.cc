@@ -7,6 +7,7 @@
 #include <unordered_set>
 
 #include "common/strings.h"
+#include "exec/cursor.h"
 
 namespace seda::twig {
 
@@ -304,16 +305,20 @@ std::vector<std::vector<text::NodeMatch>> CompleteResultGenerator::TermStreams(
       for (const NodeId& node : index_->NodesWithPath(pid)) {
         matches.push_back({node, pid, 0.0});
       }
+      // NodesWithPath is per-path append order; normalize to Dewey order.
+      std::sort(matches.begin(), matches.end(),
+                [](const text::NodeMatch& a, const text::NodeMatch& b) {
+                  return a.node < b.node;
+                });
     } else {
-      matches = index_->EvaluateNodes(*term.search);
-      std::erase_if(matches,
-                    [pid](const text::NodeMatch& m) { return m.path != pid; });
+      // Streamed through the cursor layer with the chosen context pushed
+      // down to the leaves; cursors emit in document (Dewey) order, the
+      // order the holistic structural join consumes.
+      std::unordered_set<store::PathId> allowed{pid};
+      exec::CursorStats cursor_stats;
+      matches = exec::EvaluateWithCursor(*index_, *term.search, &allowed,
+                                         &cursor_stats);
     }
-    // Document (Dewey) order for the structural join.
-    std::sort(matches.begin(), matches.end(),
-              [](const text::NodeMatch& a, const text::NodeMatch& b) {
-                return a.node < b.node;
-              });
     streams.push_back(std::move(matches));
   }
   return streams;

@@ -162,6 +162,92 @@ TEST_F(TopKTest, StatsArePopulated) {
   EXPECT_GT(stats.candidates_total, 0u);
   EXPECT_GT(stats.docs_considered, 0u);
   EXPECT_GT(stats.tuples_scored, 0u);
+  EXPECT_GT(stats.postings_advanced, 0u);
+}
+
+// Regression for the bounded-heap top-k buffer: NaiveSearch at small k must
+// return exactly the prefix of the full ranking (same tuples, same order,
+// same tie-breaks) that the old sort-on-every-insert produced.
+TEST_F(TopKTest, BoundedHeapMatchesFullRankingPrefix) {
+  query::Query query = Q("(trade_country, *) AND (percentage, *)");
+  TopKOptions full_options;
+  full_options.k = 100000;  // large enough to keep everything
+  auto full = searcher_->NaiveSearch(query, full_options);
+  ASSERT_TRUE(full.ok());
+  ASSERT_GT(full.value().size(), 5u);
+  for (size_t k : {1ul, 2ul, 5ul}) {
+    TopKOptions options;
+    options.k = k;
+    auto result = searcher_->NaiveSearch(query, options);
+    ASSERT_TRUE(result.ok());
+    ASSERT_EQ(result.value().size(), k);
+    for (size_t i = 0; i < k; ++i) {
+      EXPECT_EQ(result.value()[i].score, full.value()[i].score) << "rank " << i;
+      ASSERT_EQ(result.value()[i].nodes.size(), full.value()[i].nodes.size());
+      for (size_t t = 0; t < result.value()[i].nodes.size(); ++t) {
+        EXPECT_EQ(result.value()[i].nodes[t].node, full.value()[i].nodes[t].node)
+            << "rank " << i << " term " << t;
+      }
+    }
+  }
+}
+
+// Hand-built corpus where the TA bound order disagrees with the final score
+// order, so the bounded heap must evict; and where two tuples tie exactly,
+// so the document-order tie-break is observable.
+class TupleHeapSemanticsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Doc 0: 'a' and 'b' far apart (large connection size, low final score).
+    ASSERT_TRUE(store_
+                    .AddXml("<r><a>apple</a><m><n><o><b>berry</b></o></n></m></r>",
+                            "far")
+                    .ok());
+    // Docs 1 and 2: identical adjacent pairs (high, tying final scores).
+    ASSERT_TRUE(store_.AddXml("<r><c><a>apple</a><b>berry</b></c></r>", "near1").ok());
+    ASSERT_TRUE(store_.AddXml("<r><c><a>apple</a><b>berry</b></c></r>", "near2").ok());
+    graph_ = std::make_unique<graph::DataGraph>(&store_);
+    index_ = std::make_unique<text::InvertedIndex>(&store_);
+    searcher_ = std::make_unique<TopKSearcher>(index_.get(), graph_.get());
+  }
+
+  query::Query Q(const std::string& text) {
+    auto q = query::ParseQuery(text);
+    EXPECT_TRUE(q.ok()) << q.status().ToString();
+    return std::move(q).value();
+  }
+
+  store::DocumentStore store_;
+  std::unique_ptr<graph::DataGraph> graph_;
+  std::unique_ptr<text::InvertedIndex> index_;
+  std::unique_ptr<TopKSearcher> searcher_;
+};
+
+TEST_F(TupleHeapSemanticsTest, EvictsWhenBetterTupleArrivesLater) {
+  TopKOptions options;
+  options.k = 1;
+  SearchStats stats;
+  auto result =
+      searcher_->NaiveSearch(Q("(a, apple) AND (b, berry)"), options, &stats);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().size(), 1u);
+  // The winner is an adjacent pair, not doc 0's far pair...
+  EXPECT_EQ(result.value()[0].connection_size, 2u);
+  // ...which requires the heap to have displaced doc 0's earlier tuple.
+  EXPECT_GT(stats.heap_evictions, 0u);
+}
+
+TEST_F(TupleHeapSemanticsTest, ExactTiesBreakByDocumentOrder) {
+  TopKOptions options;
+  options.k = 3;
+  auto result = searcher_->Search(Q("(a, apple) AND (b, berry)"), options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().size(), 3u);
+  // Docs 1 and 2 tie exactly; document order must decide rank 0 vs rank 1.
+  EXPECT_EQ(result.value()[0].score, result.value()[1].score);
+  EXPECT_EQ(result.value()[0].nodes[0].node.doc, 1u);
+  EXPECT_EQ(result.value()[1].nodes[0].node.doc, 2u);
+  EXPECT_EQ(result.value()[2].nodes[0].node.doc, 0u);
 }
 
 }  // namespace
