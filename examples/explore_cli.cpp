@@ -1,7 +1,9 @@
 // Scripted exploration CLI: the textual equivalent of the paper's GUI
-// (Figures 4/5/7). Loads the synthetic World Factbook, executes the queries
-// given on the command line (or a default exploration session), and prints
-// the result, context-summary and connection-summary panels for each.
+// (Figures 4/5/7). Loads the synthetic World Factbook, opens one Session
+// (the whole exploration is a single stateful handle pinned to one snapshot
+// epoch), executes the queries given on the command line (or a default
+// exploration session), and prints the result, context-summary and
+// connection-summary panels for each.
 //
 //   build/examples/explore_cli                         # default session
 //   build/examples/explore_cli '(*, "Canada") (GDP, *)'  # your own queries
@@ -18,15 +20,20 @@ int main(int argc, char** argv) {
   options.scale = 0.15;
   seda::data::WorldFactbookGenerator(options).Populate(seda.mutable_store());
   if (!seda.Finalize().ok()) return 1;
-  std::printf("loaded %zu docs, %zu distinct paths, %zu dataguides\n\n",
-              seda.store().DocumentCount(), seda.store().paths().size(),
-              seda.dataguides().size());
 
-  std::vector<std::string> session;
+  auto session = seda.NewSession();
+  if (!session.ok()) return 1;
+  const seda::core::Snapshot& snap = session->snapshot();
+  std::printf("loaded %zu docs, %zu distinct paths, %zu dataguides (epoch %llu)\n\n",
+              snap.store().DocumentCount(), snap.store().paths().size(),
+              snap.dataguides().size(),
+              static_cast<unsigned long long>(session->epoch()));
+
+  std::vector<std::string> queries;
   if (argc > 1) {
-    for (int i = 1; i < argc; ++i) session.emplace_back(argv[i]);
+    for (int i = 1; i < argc; ++i) queries.emplace_back(argv[i]);
   } else {
-    session = {
+    queries = {
         R"((*, "United States"))",
         R"((*, "United States") AND (trade_country, *))",
         R"((trade_country, "China") AND (percentage, *))",
@@ -34,19 +41,20 @@ int main(int argc, char** argv) {
     };
   }
 
-  for (const std::string& text : session) {
+  for (const std::string& text : queries) {
     std::printf("==========================================================\n");
     std::printf("query> %s\n", text.c_str());
-    auto response = seda.Search(text);
+    auto response = session->Search(text);
     if (!response.ok()) {
       std::printf("error: %s\n\n", response.status().ToString().c_str());
       continue;
     }
-    std::printf("--- top-k ---\n");
+    std::printf("--- top-k (round %zu, epoch %llu) ---\n", session->rounds(),
+                static_cast<unsigned long long>(response->stats.epoch));
     size_t shown = 0;
     for (const auto& tuple : response.value().topk) {
       if (shown++ >= 5) break;
-      std::printf("  %s\n", tuple.ToString(seda.store()).c_str());
+      std::printf("  %s\n", tuple.ToString(snap.store()).c_str());
     }
     std::printf("--- contexts (top 5 per term, by collection frequency) ---\n");
     for (const auto& bucket : response.value().contexts.buckets) {

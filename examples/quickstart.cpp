@@ -1,5 +1,7 @@
-// Quickstart: load a few XML documents, run a keyword-style SEDA query, and
-// inspect the top-k results plus the context summary.
+// Quickstart: load a few XML documents, open an exploration Session, run a
+// keyword-style SEDA query, and inspect the top-k results plus the context
+// summary. Then demonstrates the incremental path: AddXml() + Commit() after
+// finalization, with the old session still pinned to its epoch.
 //
 //   build/examples/quickstart
 
@@ -20,19 +22,27 @@ int main() {
       "<year>1997</year></article>",
   };
   for (int i = 0; i < 3; ++i) {
-    auto added = seda.mutable_store()->AddXml(docs[i], "doc" + std::to_string(i));
+    auto added = seda.AddXml(docs[i], "doc" + std::to_string(i));
     if (!added.ok()) {
       std::printf("ingest failed: %s\n", added.status().ToString().c_str());
       return 1;
     }
   }
+  // Finalize() is the first Commit(): it parses the queue and publishes
+  // snapshot epoch 1.
   if (auto status = seda.Finalize(); !status.ok()) {
     std::printf("finalize failed: %s\n", status.ToString().c_str());
     return 1;
   }
 
+  // A Session pins one snapshot epoch and carries the Fig. 6 loop as state.
+  auto session = seda.NewSession();
+  if (!session.ok()) return 1;
+  std::printf("session pinned to epoch %llu\n\n",
+              static_cast<unsigned long long>(session->epoch()));
+
   // A SEDA query is a set of (context, search) terms — Definition 3.
-  auto response = seda.Search(R"((*, "Abiteboul") AND (year, *))");
+  auto response = session->Search(R"((*, "Abiteboul") AND (year, *))");
   if (!response.ok()) {
     std::printf("search failed: %s\n", response.status().ToString().c_str());
     return 1;
@@ -40,11 +50,36 @@ int main() {
 
   std::printf("top-k results:\n");
   for (const auto& tuple : response.value().topk) {
-    std::printf("  %s\n", tuple.ToString(seda.store()).c_str());
+    std::printf("  %s\n", tuple.ToString(session->snapshot().store()).c_str());
   }
   std::printf("\ncontext summary (distinct paths per term, §5):\n%s",
               response.value().contexts.ToString().c_str());
   std::printf("\nconnection summary (§6):\n%s",
               response.value().connections.ToString().c_str());
+
+  // Incremental ingestion: the store stays open after finalization. The
+  // pinned session keeps serving epoch 1; a fresh session sees epoch 2.
+  seda.AddXml(
+      "<book><title>Web Data Management</title><author>Abiteboul</author>"
+      "<year>2011</year></book>",
+      "doc3");
+  auto info = seda.Commit();
+  if (!info.ok()) {
+    std::printf("commit failed: %s\n", info.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\ncommitted epoch %llu (%zu new docs, incremental=%s)\n",
+              static_cast<unsigned long long>(info->epoch), info->docs_added,
+              info->incremental ? "yes" : "no");
+
+  auto fresh = seda.NewSession();
+  if (!fresh.ok()) return 1;
+  auto updated = fresh->Search(R"((*, "Abiteboul") AND (year, *))");
+  if (!updated.ok()) return 1;
+  std::printf("epoch %llu serves %zu results (pinned epoch %llu still serves %zu)\n",
+              static_cast<unsigned long long>(updated->stats.epoch),
+              updated->topk.size(),
+              static_cast<unsigned long long>(session->epoch()),
+              session->last_response()->topk.size());
   return 0;
 }

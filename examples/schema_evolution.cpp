@@ -1,22 +1,45 @@
-// Schema evolution (paper §7): the World Factbook renamed GDP to GDP_ppp in
-// 2005, so the GDP *fact* is defined by a ContextList with two contexts. This
-// example builds a cube over the heterogeneous fact and rolls it up by year,
-// demonstrating that one fact spans both schema variants.
+// Schema evolution (paper §7) as LIVE evolution: the World Factbook renamed
+// GDP to GDP_ppp in 2005, so the GDP *fact* is defined by a ContextList with
+// two contexts. This showcase ingests the two schema eras as two snapshot
+// epochs: epoch 1 holds the pre-2005 documents (/country/economy/GDP), then
+// a writer thread commits the post-2005 documents (GDP_ppp) WHILE a session
+// pinned to epoch 1 keeps querying — queries never block on, and never see a
+// torn view of, the running commit. A fresh session on epoch 2 then builds
+// one cube spanning both schema variants.
 //
 //   build/examples/schema_evolution
 
 #include <cstdio>
+#include <string>
+#include <thread>
 
 #include "core/seda.h"
-#include "data/generators.h"
 
 using seda::cube::RelativeKey;
 
+namespace {
+
+constexpr const char* kCountries[] = {"China", "India", "Brazil", "Norway"};
+
+std::string CountryDoc(const std::string& name, int year, const char* gdp_tag,
+                       int gdp) {
+  return "<country><name>" + name + "</name><year>" + std::to_string(year) +
+         "</year><economy><" + gdp_tag + ">" + std::to_string(gdp) + "</" +
+         gdp_tag + "></economy></country>";
+}
+
+}  // namespace
+
 int main() {
   seda::core::Seda seda;
-  seda::data::WorldFactbookGenerator::Options data_options;
-  data_options.scale = 0.08;  // ~20 countries x 6 years
-  seda::data::WorldFactbookGenerator(data_options).Populate(seda.mutable_store());
+
+  // Era 1: 2002-2004, the old schema (/country/economy/GDP).
+  for (const char* name : kCountries) {
+    for (int year = 2002; year <= 2004; ++year) {
+      (void)seda.AddXml(CountryDoc(name, year, "GDP", 1000 + year % 100),
+                        name + std::to_string(year));
+    }
+  }
   if (!seda.Finalize().ok()) return 1;
 
   const char* name = "/country/name";
@@ -34,22 +57,59 @@ int main() {
                              {"/country/economy/GDP_ppp",
                               RelativeKey::Parse({name, year})}});
 
-  // Two queries, one per era, bound to the era's context; union the rows by
-  // running the heterogeneous contexts one at a time and merging in OLAP.
-  auto query = seda.Parse(R"((name, "China") AND (GDP | GDP_ppp, *))");
-  if (!query.ok()) return 1;
+  const char* query = R"((name, "China") AND (GDP | GDP_ppp, *))";
 
-  std::printf("=== Context summary for the GDP term (both schema eras) ===\n");
-  auto response = seda.Search(query.value());
-  if (!response.ok()) return 1;
-  std::printf("%s\n", response.value().contexts.ToString().c_str());
+  // Pin a session to the pre-2005 epoch and remember what it serves.
+  auto era1 = seda.NewSession();
+  if (!era1.ok()) return 1;
+  auto baseline = era1->Search(query);
+  if (!baseline.ok()) return 1;
+  size_t era1_results = baseline->topk.size();
 
+  // Era 2 lands on another thread: AddXml() + Commit() build epoch 2 off to
+  // the side and swap it in atomically.
+  std::thread writer([&seda] {
+    for (const char* country : kCountries) {
+      for (int y = 2005; y <= 2007; ++y) {
+        (void)seda.AddXml(CountryDoc(country, y, "GDP_ppp", 2000 + y % 100),
+                          country + std::to_string(y));
+      }
+    }
+    (void)seda.Commit();
+  });
+
+  // ...while this thread keeps exploring epoch 1, undisturbed.
+  size_t stable_rounds = 0;
+  for (int round = 0; round < 50; ++round) {
+    auto during = era1->Search(query);
+    if (!during.ok()) return 1;
+    if (during->topk.size() == era1_results && during->stats.epoch == 1) {
+      ++stable_rounds;
+    }
+  }
+  writer.join();
+  std::printf("=== Live evolution ===\n");
+  std::printf("epoch 1 session: %zu/%d searches during the commit saw the "
+              "pinned epoch unchanged (%zu results each)\n",
+              stable_rounds, 50, era1_results);
+
+  auto era2 = seda.NewSession();
+  if (!era2.ok()) return 1;
+  auto merged = era2->Search(query);
+  if (!merged.ok()) return 1;
+  std::printf("epoch %llu session: %zu results — both schema eras\n\n",
+              static_cast<unsigned long long>(merged->stats.epoch),
+              merged->topk.size());
+
+  std::printf("=== Context summary for the GDP term (both schema eras) ===\n%s\n",
+              merged->contexts.ToString().c_str());
+
+  // Union the rows by running the heterogeneous contexts one at a time and
+  // merging in OLAP; the session carries the refined query between stages.
   for (const char* context : {"/country/economy/GDP", "/country/economy/GDP_ppp"}) {
-    auto refined =
-        seda.RefineContexts(query.value(), {{"/country/name"}, {context}});
+    auto refined = era2->RefineContexts({{"/country/name"}, {context}});
     if (!refined.ok()) return 1;
-    auto result = seda.CompleteResults(refined.value(),
-                                       {"/country/name", context}, {});
+    auto result = era2->CompleteResults({"/country/name", context}, {});
     if (!result.ok()) {
       std::printf("%s: %s\n", context, result.status().ToString().c_str());
       continue;
@@ -58,14 +118,14 @@ int main() {
       std::printf("%s: no tuples\n\n", context);
       continue;
     }
-    auto schema = seda.BuildCube(result.value());
+    auto schema = era2->BuildCube(result.value());
     if (!schema.ok()) {
       std::printf("%s: %s\n", context, schema.status().ToString().c_str());
       continue;
     }
     std::printf("--- context %s ---\n%s\n", context,
                 schema.value().fact_tables[0].ToString().c_str());
-    auto cube = seda.ToOlapCube(schema.value());
+    auto cube = era2->ToOlapCube(schema.value());
     if (!cube.ok()) continue;
     auto by_year = cube.value().Aggregate({"year"}, seda::olap::AggFn::kAvg, "GDP");
     if (by_year.ok()) {
@@ -73,6 +133,7 @@ int main() {
     }
   }
   std::printf("The same fact name covers both eras; pre-2005 rows come from\n"
-              "/country/economy/GDP and later rows from GDP_ppp.\n");
+              "/country/economy/GDP and later rows from GDP_ppp — ingested\n"
+              "as a second epoch while the first kept serving queries.\n");
   return 0;
 }

@@ -1,7 +1,9 @@
-// The paper's worked example (Example 1 + Figure 3), end to end: find the
-// import partners of "United States" and their trade percentages, refine by
-// context, inspect the two candidate connections, compute the complete
-// result and derive the star schema + OLAP cube.
+// The paper's worked example (Example 1 + Figure 3), end to end as ONE
+// Session: find the import partners of "United States" and their trade
+// percentages, refine by context, inspect the two candidate connections,
+// compute the complete result and derive the star schema + OLAP cube. The
+// session carries the refined query between stages — note how
+// CompleteResults() needs no query argument.
 //
 //   build/examples/trade_partners
 
@@ -37,36 +39,39 @@ int main() {
       "import-trade-percentage",
       {{kPct, RelativeKey::Parse({kName, kYear, "../trade_country"})}});
 
+  auto session = seda.NewSession();
+  if (!session.ok()) return 1;
+
   // --- Query panel ---------------------------------------------------
   const char* query_text =
       R"((*, "United States") AND (trade_country, *) AND (percentage, *))";
   std::printf("Query 1: %s\n\n", query_text);
-  auto query = seda.Parse(query_text);
-  if (!query.ok()) return 1;
 
-  auto response = seda.Search(query.value());
+  auto response = session->Search(query_text);
   if (!response.ok()) return 1;
-  std::printf("=== Result panel (top-k) ===\n");
+  std::printf("=== Result panel (top-k, epoch %llu) ===\n",
+              static_cast<unsigned long long>(response->stats.epoch));
   for (const auto& tuple : response.value().topk) {
-    std::printf("  %s\n", tuple.ToString(seda.store()).c_str());
+    std::printf("  %s\n", tuple.ToString(session->snapshot().store()).c_str());
   }
   std::printf("\n=== Context summary panel ===\n%s",
               response.value().contexts.ToString().c_str());
 
   // --- User picks the import contexts (the paper's refinement step) --
-  auto refined = seda.RefineContexts(query.value(), {{kName}, {kTrade}, {kPct}});
-  if (!refined.ok()) return 1;
-  auto refined_response = seda.Search(refined.value());
+  // RefineContexts applies the picks to the session's current query and
+  // re-runs the search in one step.
+  auto refined_response = session->RefineContexts({{kName}, {kTrade}, {kPct}});
   if (!refined_response.ok()) return 1;
-  std::printf("=== Connection summary panel (after refinement) ===\n%s",
+  std::printf("=== Connection summary panel (after refinement round %zu) ===\n%s",
+              session->rounds(),
               refined_response.value().connections.ToString().c_str());
 
   // --- Complete result + data cube panel ------------------------------
-  auto result = seda.CompleteResults(refined.value(), {kName, kTrade, kPct}, {});
+  auto result = session->CompleteResults({kName, kTrade, kPct}, {});
   if (!result.ok()) return 1;
   std::printf("\ncomplete result: %zu tuples\n\n", result.value().tuples.size());
 
-  auto schema = seda.BuildCube(result.value());
+  auto schema = session->BuildCube(result.value());
   if (!schema.ok()) {
     std::printf("cube failed: %s\n", schema.status().ToString().c_str());
     return 1;
@@ -74,7 +79,7 @@ int main() {
   std::printf("=== Data cube panel (star schema, Fig. 3c) ===\n%s",
               schema.value().ToString().c_str());
 
-  auto cube = seda.ToOlapCube(schema.value());
+  auto cube = session->ToOlapCube(schema.value());
   if (!cube.ok()) return 1;
   auto pivot = cube.value().Pivot("year", "import-country", seda::olap::AggFn::kSum,
                                   "import-trade-percentage");

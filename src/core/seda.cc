@@ -1,17 +1,10 @@
 #include "core/seda.h"
 
-#include "exec/candidates.h"
 #include "xml/parser.h"
 
 namespace seda::core {
 
 Result<store::DocId> Seda::AddXml(std::string xml_text, std::string doc_name) {
-  // Queueing after Finalize() would drop the document silently: Finalize()
-  // can never run again, so the promised id would never materialize.
-  if (finalized()) {
-    return Status::FailedPrecondition(
-        "AddXml after Finalize(): the queued document could never be ingested");
-  }
   if (pending_docs_.empty()) pending_base_ = store_->DocumentCount();
   store::DocId id =
       static_cast<store::DocId>(pending_base_ + pending_docs_.size());
@@ -22,9 +15,9 @@ Result<store::DocId> Seda::AddXml(std::string xml_text, std::string doc_name) {
 Status Seda::IngestPending(ThreadPool* pool) {
   if (pending_docs_.empty()) return Status::OK();
   if (store_->DocumentCount() != pending_base_) {
-    // An eager mutable_store() load slipped in after the first AddXml(); the
-    // DocIds promised by AddXml() would silently point at the wrong
-    // documents, so fail loudly instead.
+    // An eager mutable_store() load slipped in after the first AddXml() of
+    // this commit cycle; the DocIds promised by AddXml() would silently
+    // point at the wrong documents, so fail loudly instead.
     return Status::FailedPrecondition(
         "documents were added to the store after the first deferred AddXml(); "
         "queue all eager loads before deferring");
@@ -58,88 +51,123 @@ Status Seda::IngestPending(ThreadPool* pool) {
 }
 
 Status Seda::Finalize(const SedaOptions& options) {
-  if (finalized()) return Status::FailedPrecondition("Seda already finalized");
+  if (finalized()) {
+    return Status::FailedPrecondition(
+        "Seda already finalized; ingest later epochs with AddXml() + Commit()");
+  }
   options_ = options;
+  CommitInfo info;
+  return CommitInternal(/*force_full_rebuild=*/true, &info);
+}
 
-  // The ingestion pipeline (Fig. 6 left half) runs in four stages. Stages
-  // fan per-document work out over the pool; every merge happens in DocId
-  // order, so any worker count produces identical indexes and dataguides.
-  size_t threads =
-      options.num_threads == 0 ? ThreadPool::DefaultThreadCount() : options.num_threads;
-  std::unique_ptr<ThreadPool> pool;
-  // The calling thread participates in every ParallelFor, so spawn one fewer
+Result<Seda::CommitInfo> Seda::Commit(const CommitOptions& options) {
+  if (!finalized()) {
+    return Status::FailedPrecondition(
+        "call Finalize() first — it performs the first commit and fixes the "
+        "SedaOptions");
+  }
+  CommitInfo info;
+  SEDA_RETURN_IF_ERROR(CommitInternal(options.force_full_rebuild, &info));
+  return info;
+}
+
+Status Seda::CommitInternal(bool force_full_rebuild, CommitInfo* info) {
+  std::shared_ptr<const Snapshot> base = snapshot();
+  size_t base_docs = base != nullptr ? base->store().DocumentCount() : 0;
+
+  if (base != nullptr && !force_full_rebuild && pending_docs_.empty() &&
+      store_->DocumentCount() == base_docs) {
+    // Nothing new: the published epoch already serves exactly this state.
+    // Checked before any pool spawns, so a polling Commit() really is cheap.
+    info->epoch = base->epoch();
+    info->docs_added = 0;
+    info->docs_total = base_docs;
+    info->incremental = true;
+    return Status::OK();
+  }
+
+  // The commit pipeline (Fig. 6 left half) runs in four stages. Stages fan
+  // per-document work out over the pool; every merge happens in DocId order,
+  // so any worker count produces identical indexes and dataguides. The
+  // calling thread participates in every ParallelFor, so spawn one fewer
   // worker than the requested parallelism to avoid oversubscribing by one.
+  size_t threads = options_.num_threads == 0 ? ThreadPool::DefaultThreadCount()
+                                             : options_.num_threads;
+  std::unique_ptr<ThreadPool> pool;
   if (threads > 1) pool = std::make_unique<ThreadPool>(threads - 1);
 
-  // Stage 1: parse queued documents and load them into the store.
+  // Stage 1: parse queued documents and load them into the staging store.
   SEDA_RETURN_IF_ERROR(IngestPending(pool.get()));
 
-  // Stage 2: data graph construction (parallel per-document link scans,
-  // sharing one id-target scan between IDREF and XLink resolution).
-  graph_ = std::make_unique<graph::DataGraph>(store_.get());
-  graph_->ResolveLinks(options.resolve_idrefs, options.resolve_xlinks,
-                       pool.get());
-  for (const SedaOptions::ValueEdge& edge : options.value_edges) {
-    graph_->AddValueBasedEdges(edge.pk_path, edge.fk_path, edge.label);
+  // Query-time pool, shared by every epoch: the searching thread
+  // participates in every scoring batch, so spawn one fewer worker than the
+  // requested parallelism. Created once, at the first commit.
+  if (base == nullptr) {
+    size_t query_threads = options_.query_threads == 0
+                               ? ThreadPool::DefaultThreadCount()
+                               : options_.query_threads;
+    if (query_threads > 1) {
+      query_pool_ = std::make_shared<ThreadPool>(query_threads - 1);
+    }
   }
 
-  // Stage 3: inverted index (parallel per-document posting construction).
-  index_ = std::make_unique<text::InvertedIndex>(store_.get(), pool.get());
+  // Stages 2-4 run inside Snapshot::Build, off to the side of the published
+  // epoch: readers keep querying `base` undisturbed until the single atomic
+  // swap below.
+  const Snapshot* base_ptr = force_full_rebuild ? nullptr : base.get();
+  std::shared_ptr<const Snapshot> next =
+      Snapshot::Build(store_->Clone(), options_, next_epoch_, base_ptr,
+                      pool.get(), query_pool_);
+  ++next_epoch_;
 
-  // Stage 4: dataguide summary (parallel overlap probing).
-  dataguide::DataguideCollection::Options dg_options;
-  dg_options.overlap_threshold = options.dataguide_overlap_threshold;
-  dg_options.pool = pool.get();
-  guides_ = std::make_unique<dataguide::DataguideCollection>(
-      dataguide::DataguideCollection::Build(*store_, dg_options));
-  guides_->AddLinksFromGraph(*graph_);
+  info->epoch = next->epoch();
+  info->docs_total = store_->DocumentCount();
+  info->docs_added = info->docs_total - base_docs;
+  info->incremental = base_ptr != nullptr;
 
-  // Query-time pool: as with ingestion, the searching thread participates in
-  // every scoring batch, so spawn one fewer worker than the requested
-  // parallelism.
-  size_t query_threads = options.query_threads == 0
-                             ? ThreadPool::DefaultThreadCount()
-                             : options.query_threads;
-  if (query_threads > 1) {
-    query_pool_ = std::make_unique<ThreadPool>(query_threads - 1);
-  }
-  searcher_ = std::make_unique<topk::TopKSearcher>(index_.get(), graph_.get(),
-                                                   query_pool_.get());
+  snapshot_.store(std::move(next), std::memory_order_release);
   return Status::OK();
+}
+
+Result<Session> Seda::NewSession() const {
+  std::shared_ptr<const Snapshot> snap = snapshot();
+  if (snap == nullptr) {
+    return Status::FailedPrecondition("call Finalize() first");
+  }
+  return Session(std::move(snap), &catalog_);
+}
+
+// --- Legacy facade ----------------------------------------------------
+
+const store::DocumentStore& Seda::store() const {
+  std::shared_ptr<const Snapshot> snap = snapshot();
+  // Before the first commit the staging store is the only store there is;
+  // afterwards, queries (and the NodeIds they return) live against the
+  // published epoch's view.
+  return snap != nullptr ? snap->store() : *store_;
+}
+
+const graph::DataGraph& Seda::data_graph() const {
+  return snapshot()->data_graph();
+}
+
+const text::InvertedIndex& Seda::index() const { return snapshot()->index(); }
+
+const dataguide::DataguideCollection& Seda::dataguides() const {
+  return snapshot()->dataguides();
 }
 
 Result<query::Query> Seda::Parse(const std::string& text) const {
   return query::ParseQuery(text);
 }
 
+// Each shim pins the current snapshot for exactly one call — a one-shot
+// session without the Session object's state copies.
+
 Result<SearchResponse> Seda::Search(const query::Query& query) const {
-  if (!finalized()) return Status::FailedPrecondition("call Finalize() first");
-  SearchResponse response;
-
-  // One cursor-built candidate set per query, shared by the top-k engine and
-  // the summary generators instead of re-evaluating the expressions.
-  exec::CandidateSet candidates = exec::BuildCandidates(
-      *index_, query, options_.topk.max_candidates_per_term);
-
-  auto topk_result =
-      searcher_->Search(query, options_.topk, candidates, &response.stats);
-  if (!topk_result.ok()) return topk_result.status();
-  response.topk = std::move(topk_result).value();
-
-  summary::ContextSummaryGenerator context_gen(index_.get());
-  std::vector<const std::vector<store::PathId>*> resolved_contexts;
-  resolved_contexts.reserve(candidates.terms.size());
-  for (const exec::TermCandidates& term : candidates.terms) {
-    resolved_contexts.push_back(term.context_restricted ? &term.context_paths
-                                                        : nullptr);
-  }
-  response.contexts = context_gen.Generate(query, resolved_contexts);
-
-  // The connection summary consumes the engine's top-k tuples directly (the
-  // §6.1 instance validation), so it inherits the shared candidate set too.
-  summary::ConnectionSummaryGenerator connection_gen(guides_.get(), graph_.get());
-  response.connections = connection_gen.Generate(response.topk);
-  return response;
+  std::shared_ptr<const Snapshot> snap = snapshot();
+  if (snap == nullptr) return Status::FailedPrecondition("call Finalize() first");
+  return snap->Search(query);
 }
 
 Result<SearchResponse> Seda::Search(const std::string& query_text) const {
@@ -151,57 +179,29 @@ Result<SearchResponse> Seda::Search(const std::string& query_text) const {
 Result<query::Query> Seda::RefineContexts(
     const query::Query& query,
     const std::vector<std::vector<std::string>>& chosen_paths) const {
-  if (chosen_paths.size() != query.terms.size()) {
-    return Status::InvalidArgument("one context choice list per term required");
-  }
-  query::Query refined = query;  // deep-copies terms
-  for (size_t i = 0; i < refined.terms.size(); ++i) {
-    if (chosen_paths[i].empty()) continue;  // keep unrestricted
-    query::ContextSpec spec;
-    for (const std::string& path : chosen_paths[i]) {
-      if (path.empty() || path[0] != '/') {
-        return Status::InvalidArgument("context choices must be absolute paths; got '" +
-                                       path + "'");
-      }
-      spec.AddPath(path);
-    }
-    refined.terms[i].context = std::move(spec);
-  }
-  return refined;
+  return Snapshot::RefineContexts(query, chosen_paths);
 }
 
 Result<twig::CompleteResult> Seda::CompleteResults(
     const query::Query& query, const std::vector<std::string>& term_paths,
     const std::vector<twig::ChosenConnection>& connections) const {
-  if (!finalized()) return Status::FailedPrecondition("call Finalize() first");
-  if (term_paths.size() != query.terms.size()) {
-    return Status::InvalidArgument("one chosen path per term required");
-  }
-  std::vector<twig::TermBinding> bindings;
-  bindings.reserve(query.terms.size());
-  for (size_t i = 0; i < query.terms.size(); ++i) {
-    twig::TermBinding binding;
-    binding.path = term_paths[i];
-    binding.search = query.terms[i].search.get();
-    bindings.push_back(binding);
-  }
-  twig::CompleteResultGenerator generator(index_.get(), graph_.get());
-  return generator.Execute(bindings, connections);
+  std::shared_ptr<const Snapshot> snap = snapshot();
+  if (snap == nullptr) return Status::FailedPrecondition("call Finalize() first");
+  return snap->CompleteResults(query, term_paths, connections);
 }
 
 Result<cube::StarSchema> Seda::BuildCube(
     const twig::CompleteResult& result,
     const cube::CubeBuilder::Options& options) const {
-  if (!finalized()) return Status::FailedPrecondition("call Finalize() first");
-  cube::CubeBuilder builder(store_.get(), &catalog_);
-  return builder.Build(result, options);
+  std::shared_ptr<const Snapshot> snap = snapshot();
+  if (snap == nullptr) return Status::FailedPrecondition("call Finalize() first");
+  return snap->BuildCube(result, catalog_, options);
 }
 
 Result<olap::Cube> Seda::ToOlapCube(const cube::StarSchema& schema) const {
-  if (schema.fact_tables.empty()) {
-    return Status::FailedPrecondition("star schema has no fact table");
-  }
-  return olap::Cube::FromFactTable(schema.fact_tables.front());
+  std::shared_ptr<const Snapshot> snap = snapshot();
+  if (snap == nullptr) return Status::FailedPrecondition("call Finalize() first");
+  return snap->ToOlapCube(schema);
 }
 
 }  // namespace seda::core

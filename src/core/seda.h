@@ -1,103 +1,132 @@
 #ifndef SEDA_CORE_SEDA_H_
 #define SEDA_CORE_SEDA_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "common/thread_pool.h"
-#include "cube/cube_builder.h"
-#include "dataguide/dataguide.h"
-#include "graph/data_graph.h"
-#include "olap/olap.h"
-#include "query/query.h"
-#include "store/document_store.h"
-#include "summary/connection_summary.h"
-#include "summary/context_summary.h"
-#include "text/inverted_index.h"
-#include "topk/topk.h"
-#include "twig/twig.h"
+#include "core/session.h"
+#include "core/snapshot.h"
+#include "cube/catalog.h"
 
 namespace seda::core {
 
-/// Everything SEDA returns for one search interaction (paper Fig. 6): the
-/// top-k answers plus the two result summaries driving refinement.
-struct SearchResponse {
-  std::vector<topk::ScoredTuple> topk;
-  summary::ContextSummary contexts;
-  summary::ConnectionSummary connections;
-  topk::SearchStats stats;
-};
-
-/// Configuration of a Seda instance.
-struct SedaOptions {
-  double dataguide_overlap_threshold = 0.4;  ///< Table 1 uses 40%
-  topk::TopKOptions topk;
-  bool resolve_idrefs = true;
-  bool resolve_xlinks = true;
-  /// Worker threads for the Finalize() ingestion pipeline: per-document
-  /// parsing, link resolution and inverted-index posting construction fan out
-  /// across this many threads. 0 = one per hardware core; 1 = fully inline.
-  /// Any value yields byte-identical indexes and dataguides: parallel stages
-  /// only produce per-document shards, which are merged in document order.
-  size_t num_threads = 0;
-  /// Worker threads for query execution: each Search() fans per-document
-  /// tuple scoring (ConnectionSize) out across a pool kept alive for the
-  /// instance's lifetime. 0 = one per hardware core; 1 = fully inline. Any
-  /// value returns byte-identical SearchResponses — scored batches are
-  /// merged in enumeration order. Search() stays safe to call concurrently:
-  /// ThreadPool::ParallelFor keeps per-call state, so concurrent queries
-  /// only contend for workers.
-  size_t query_threads = 0;
-  /// Value-based PK/FK relationships provided as input (paper §3: "we assume
-  /// instances of ... value-based relationships are provided as input").
-  struct ValueEdge {
-    std::string pk_path;
-    std::string fk_path;
-    std::string label;
-  };
-  std::vector<ValueEdge> value_edges;
-};
-
-/// The SEDA system facade: wires storage, indexing, the execution engine and
-/// the cube processor into the Figure 6 control flow:
+/// The SEDA system, split into three layers (writer / snapshot / session):
 ///
-///   AddXml/AddDocument*  ->  Finalize()
+///  * **Writer path (this class).** AddXml() queues documents at any time —
+///    before or after finalization. Finalize() performs the first Commit();
+///    every later Commit() parses what is queued and builds the next epoch,
+///    reusing the previous snapshot's work for every stage new documents
+///    cannot invalidate (parsed documents are shared, the inverted index and
+///    dataguide summary are extended; only link resolution rescans). The new
+///    Snapshot is published atomically via std::shared_ptr, so in-flight
+///    queries are never blocked or torn. The writer itself is
+///    single-threaded: calls that mutate (AddXml, mutable_store, Commit,
+///    mutable_catalog) must be externally serialized. Reader threads may
+///    freely race with the writer through any call path that pins an epoch —
+///    snapshot(), a Session, or the one-shot query shims below; only the raw
+///    reference accessors (store()/data_graph()/index()/dataguides()) must
+///    not overlap a Commit(), see their note.
+///
+///  * **Snapshot.** One immutable epoch of everything query-side; see
+///    core/snapshot.h.
+///
+///  * **Session.** A stateful Fig. 6 exploration pinned to one snapshot; see
+///    core/session.h. NewSession() pins the current epoch.
+///
+/// The classic one-shot entry points (Search, RefineContexts,
+/// CompleteResults, BuildCube, ToOlapCube) remain as thin shims that create
+/// a single-use Session over the current snapshot, so pre-existing call
+/// sites compile and behave unchanged:
+///
+///   AddXml/AddDocument*  ->  Finalize()          (the first commit)
 ///   Search(query)        ->  top-k + context & connection summaries
 ///   (user picks contexts)    RefineContexts(query, picks) -> new Search
 ///   (user picks connections) CompleteResults(...)         -> full R(q)
 ///   BuildCube(...)       ->  star schema -> olap::Cube
+///   AddXml(...) + Commit() -> next epoch, queries keep running meanwhile
 class Seda {
  public:
   Seda() : store_(std::make_unique<store::DocumentStore>()) {}
 
-  /// Storage is mutable until Finalize() builds the indexes.
+  /// The writer-side staging store. Eager loads (generators, tests) land
+  /// here and become queryable at the next Finalize()/Commit(); published
+  /// snapshots hold their own immutable clone, so staging mutations never
+  /// disturb running queries.
   store::DocumentStore* mutable_store() { return store_.get(); }
 
   /// Queues an XML document for ingestion; parsing and Dewey assignment are
-  /// deferred to Finalize(), where queued documents parse in parallel.
-  /// Returns the DocId the document will receive (ids are assigned in queue
-  /// order after everything already in the store), or FailedPrecondition
-  /// after Finalize() — the queue can never be ingested then. A malformed
-  /// document surfaces as a ParseError from Finalize(). Eager loading via
-  /// mutable_store()->AddXml() remains available, but all eager loads must
-  /// happen before the first AddXml() — Finalize() rejects the interleaving
-  /// with FailedPrecondition, since it would invalidate the promised ids.
+  /// deferred to the next Finalize()/Commit(), where queued documents parse
+  /// in parallel. Legal at any time — after finalization the document joins
+  /// the epoch built by the next Commit(). Returns the DocId the document
+  /// will receive (ids are assigned in queue order after everything already
+  /// staged). A malformed document surfaces as a ParseError from the commit.
+  /// Eager loading via mutable_store()->AddXml() remains available, but all
+  /// eager loads of a commit cycle must happen before its first AddXml() —
+  /// the commit rejects the interleaving with FailedPrecondition, since it
+  /// would invalidate the promised ids.
   Result<store::DocId> AddXml(std::string xml_text, std::string doc_name);
 
-  /// Builds the data graph, full-text index and dataguide summary. Call once
-  /// after loading documents; afterwards the instance is immutable and all
-  /// query entry points become available.
+  /// Builds the first snapshot epoch (data graph, full-text index, dataguide
+  /// summary) and fixes the SedaOptions used by every later Commit(). Call
+  /// once; afterwards all query entry points are available and further
+  /// ingestion goes through AddXml() + Commit().
   Status Finalize(const SedaOptions& options);
   Status Finalize() { return Finalize(SedaOptions{}); }
 
-  bool finalized() const { return index_ != nullptr; }
+  struct CommitOptions {
+    /// Rebuild the inverted index and dataguide summary from scratch instead
+    /// of extending the previous epoch (results are identical either way;
+    /// this is the ablation/bench knob).
+    bool force_full_rebuild = false;
+  };
 
-  const store::DocumentStore& store() const { return *store_; }
-  const graph::DataGraph& data_graph() const { return *graph_; }
-  const text::InvertedIndex& index() const { return *index_; }
-  const dataguide::DataguideCollection& dataguides() const { return *guides_; }
+  /// What a Commit() did, for logging and the commit-latency bench.
+  struct CommitInfo {
+    uint64_t epoch = 0;      ///< epoch now being served
+    size_t docs_added = 0;   ///< documents new in this epoch
+    size_t docs_total = 0;   ///< documents in the epoch
+    bool incremental = false;  ///< previous epoch's index/guides were extended
+  };
+
+  /// Ingests everything staged since the last commit and atomically
+  /// publishes the next snapshot epoch. In-flight Search() calls and pinned
+  /// Sessions keep the epoch they started on; new queries see the new one.
+  /// With nothing staged this is a cheap no-op returning the current epoch.
+  /// Requires Finalize() first (it is the first commit and fixes the
+  /// options).
+  Result<CommitInfo> Commit(const CommitOptions& options);
+  Result<CommitInfo> Commit() { return Commit(CommitOptions{}); }
+
+  bool finalized() const { return snapshot() != nullptr; }
+
+  /// The currently-served epoch (nullptr before Finalize()). Lock-free
+  /// atomic load; the returned shared_ptr keeps the epoch alive for as long
+  /// as the caller holds it.
+  std::shared_ptr<const Snapshot> snapshot() const {
+    return snapshot_.load(std::memory_order_acquire);
+  }
+
+  /// Starts a Fig. 6 exploration pinned to the current epoch (and wired to
+  /// this instance's cube catalog). Fails before Finalize().
+  Result<Session> NewSession() const;
+
+  // --- Legacy facade: shims over the current snapshot -----------------
+  // The raw-reference accessors below return references into the currently
+  // published epoch. They stay valid until the next Commit() replaces that
+  // epoch (which frees it unless a Session or snapshot() shared_ptr still
+  // pins it) — like iterator invalidation, and UNLIKE the query shims they
+  // must not be called concurrently with a Commit(): the reference could
+  // outlive the epoch it points into. Threads racing the writer should hold
+  // a Session or snapshot() instead.
+
+  const store::DocumentStore& store() const;
+  const graph::DataGraph& data_graph() const;
+  const text::InvertedIndex& index() const;
+  const dataguide::DataguideCollection& dataguides() const;
   cube::Catalog* mutable_catalog() { return &catalog_; }
   const cube::Catalog& catalog() const { return catalog_; }
 
@@ -105,32 +134,31 @@ class Seda {
   ///   (*, "United States") AND (trade_country, *) AND (percentage, *)
   Result<query::Query> Parse(const std::string& text) const;
 
-  /// Runs top-k search and computes both summaries (Fig. 6 first stage).
+  /// One-shot search on the current epoch: creates an internal single-use
+  /// Session. The response's stats.epoch says which epoch served it.
   Result<SearchResponse> Search(const query::Query& query) const;
   Result<SearchResponse> Search(const std::string& query_text) const;
 
-  /// Context refinement (§5): restricts each term to the chosen context
-  /// paths (empty vector = keep the term unrestricted) and returns the
-  /// refined query for a new Search round.
+  /// Context refinement (§5); pure query rewrite, see
+  /// Snapshot::RefineContexts.
   Result<query::Query> RefineContexts(
       const query::Query& query,
       const std::vector<std::vector<std::string>>& chosen_paths) const;
 
-  /// Computes the complete result set (§7) for terms pinned to single
-  /// contexts, honoring the chosen connections.
+  /// Complete result set (§7) on the current epoch.
   Result<twig::CompleteResult> CompleteResults(
       const query::Query& query, const std::vector<std::string>& term_paths,
       const std::vector<twig::ChosenConnection>& connections) const;
 
-  /// Builds the star schema from a complete result (§7 steps 1-3).
-  Result<cube::StarSchema> BuildCube(const twig::CompleteResult& result,
-                                     const cube::CubeBuilder::Options& options) const;
+  /// Star schema from a complete result (§7 steps 1-3).
+  Result<cube::StarSchema> BuildCube(
+      const twig::CompleteResult& result,
+      const cube::CubeBuilder::Options& options) const;
   Result<cube::StarSchema> BuildCube(const twig::CompleteResult& result) const {
     return BuildCube(result, cube::CubeBuilder::Options{});
   }
 
-  /// Convenience: loads the first fact table of a star schema into the OLAP
-  /// engine (the paper feeds the tables to an off-the-shelf OLAP tool).
+  /// Loads the first fact table of a star schema into the OLAP engine.
   Result<olap::Cube> ToOlapCube(const cube::StarSchema& schema) const;
 
  private:
@@ -139,23 +167,31 @@ class Seda {
     std::string name;
   };
 
-  /// Stage 1 of Finalize(): parses queued documents in parallel and appends
-  /// them to the store in queue order.
+  /// Stage 1 of a commit: parses queued documents in parallel and appends
+  /// them to the staging store in queue order.
   Status IngestPending(ThreadPool* pool);
 
+  /// The commit pipeline shared by Finalize() and Commit(): ingests pending
+  /// documents, builds the next Snapshot off to the side (incrementally over
+  /// `base` unless forced full) and publishes it.
+  Status CommitInternal(bool force_full_rebuild, CommitInfo* info);
+
   std::vector<PendingDocument> pending_docs_;
-  /// Store size when the first pending document was queued; AddXml() DocId
-  /// promises are relative to it, and IngestPending() verifies it still holds.
+  /// Staging-store size when the first pending document was queued; AddXml()
+  /// DocId promises are relative to it, and IngestPending() verifies it
+  /// still holds.
   size_t pending_base_ = 0;
+  /// Writer-side staging store; every snapshot serves an immutable clone.
   std::unique_ptr<store::DocumentStore> store_;
-  std::unique_ptr<graph::DataGraph> graph_;
-  std::unique_ptr<text::InvertedIndex> index_;
-  std::unique_ptr<dataguide::DataguideCollection> guides_;
-  /// Query-time pool (tuple scoring); outlives searcher_, which borrows it.
-  std::unique_ptr<ThreadPool> query_pool_;
-  std::unique_ptr<topk::TopKSearcher> searcher_;
+  /// Query-time scoring pool, created once at the first commit and co-owned
+  /// by every published snapshot (commits never spawn query threads; null
+  /// when query_threads resolves to 1).
+  std::shared_ptr<ThreadPool> query_pool_;
+  /// Currently-published epoch; atomically swapped by CommitInternal.
+  std::atomic<std::shared_ptr<const Snapshot>> snapshot_{nullptr};
   cube::Catalog catalog_;
   SedaOptions options_;
+  uint64_t next_epoch_ = 1;
 };
 
 }  // namespace seda::core

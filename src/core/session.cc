@@ -1,0 +1,59 @@
+#include "core/session.h"
+
+namespace seda::core {
+
+Result<SearchResponse> Session::Search(const query::Query& query) {
+  auto response = snapshot_->Search(query);
+  if (!response.ok()) return response.status();
+  current_query_ = query;
+  last_response_ = response.value();
+  refinement_history_.clear();
+  ++rounds_;
+  return response;
+}
+
+Result<SearchResponse> Session::Search(const std::string& query_text) {
+  auto query = snapshot_->Parse(query_text);
+  if (!query.ok()) return query.status();
+  return Search(query.value());
+}
+
+Result<SearchResponse> Session::RefineContexts(
+    const std::vector<std::vector<std::string>>& chosen_paths) {
+  if (!current_query_.has_value()) {
+    return Status::FailedPrecondition(
+        "no query in this session; call Search() before RefineContexts()");
+  }
+  auto refined = Snapshot::RefineContexts(*current_query_, chosen_paths);
+  if (!refined.ok()) return refined.status();
+
+  auto response = snapshot_->Search(refined.value());
+  if (!response.ok()) return response.status();
+  current_query_ = std::move(refined).value();
+  last_response_ = response.value();
+  refinement_history_.push_back(chosen_paths);
+  ++rounds_;
+  return response;
+}
+
+Result<twig::CompleteResult> Session::CompleteResults(
+    const std::vector<std::string>& term_paths,
+    const std::vector<twig::ChosenConnection>& connections) const {
+  if (!current_query_.has_value()) {
+    return Status::FailedPrecondition(
+        "no query in this session; call Search() (or SetQuery) first");
+  }
+  return snapshot_->CompleteResults(*current_query_, term_paths, connections);
+}
+
+Result<cube::StarSchema> Session::BuildCube(
+    const twig::CompleteResult& result,
+    const cube::CubeBuilder::Options& options) const {
+  if (catalog_ == nullptr) {
+    return Status::FailedPrecondition(
+        "this session was created without a cube catalog");
+  }
+  return snapshot_->BuildCube(result, *catalog_, options);
+}
+
+}  // namespace seda::core

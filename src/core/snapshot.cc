@@ -1,0 +1,159 @@
+#include "core/snapshot.h"
+
+#include "exec/candidates.h"
+
+namespace seda::core {
+
+std::shared_ptr<const Snapshot> Snapshot::Build(
+    std::unique_ptr<store::DocumentStore> store, const SedaOptions& options,
+    uint64_t epoch, const Snapshot* base, ThreadPool* ingest_pool,
+    std::shared_ptr<ThreadPool> query_pool) {
+  // Not make_shared: the constructor is private, and a plain new keeps the
+  // control block separate so the (large) snapshot frees as soon as the last
+  // session drops it.
+  std::shared_ptr<Snapshot> snap(new Snapshot());
+  snap->epoch_ = epoch;
+  snap->options_ = options;
+  snap->store_ = std::move(store);
+
+  // Stage 2 (stage 1, parsing, happened on the writer side): data graph.
+  // Always a full rescan — a newly committed document may carry the id an
+  // old document's dangling IDREF/XLink points at, and value-based edges may
+  // span epochs, so link resolution is the one stage incremental commits
+  // cannot reuse without changing results.
+  snap->graph_ = std::make_unique<graph::DataGraph>(snap->store_.get());
+  snap->graph_->ResolveLinks(options.resolve_idrefs, options.resolve_xlinks,
+                             ingest_pool);
+  for (const SedaOptions::ValueEdge& edge : options.value_edges) {
+    snap->graph_->AddValueBasedEdges(edge.pk_path, edge.fk_path, edge.label);
+  }
+
+  // Stage 3: inverted index — with a base epoch, only the new documents'
+  // shards are built and merged (appending after the base postings, which is
+  // exactly where a from-scratch DocId-ordered merge would put them).
+  store::DocId base_docs =
+      base != nullptr ? static_cast<store::DocId>(base->store().DocumentCount())
+                      : 0;
+  if (base != nullptr) {
+    snap->index_ = std::make_unique<text::InvertedIndex>(
+        base->index(), snap->store_.get(), base_docs, ingest_pool);
+  } else {
+    snap->index_ =
+        std::make_unique<text::InvertedIndex>(snap->store_.get(), ingest_pool);
+  }
+
+  // Stage 4: dataguide summary — the paper's build is sequential in document
+  // order, so extending the base collection over the new documents makes the
+  // same merge decisions a cold build over the full store would.
+  dataguide::DataguideCollection::Options dg_options;
+  dg_options.overlap_threshold = options.dataguide_overlap_threshold;
+  dg_options.pool = ingest_pool;
+  snap->guides_ = std::make_unique<dataguide::DataguideCollection>(
+      base != nullptr
+          ? dataguide::DataguideCollection::Extend(base->dataguides(),
+                                                   *snap->store_, dg_options)
+          : dataguide::DataguideCollection::Build(*snap->store_, dg_options));
+  snap->guides_->AddLinksFromGraph(*snap->graph_);
+
+  snap->query_pool_ = std::move(query_pool);
+  snap->searcher_ = std::make_unique<topk::TopKSearcher>(
+      snap->index_.get(), snap->graph_.get(), snap->query_pool_.get());
+  return snap;
+}
+
+Result<query::Query> Snapshot::Parse(const std::string& text) const {
+  return query::ParseQuery(text);
+}
+
+Result<SearchResponse> Snapshot::Search(const query::Query& query) const {
+  SearchResponse response;
+
+  // One cursor-built candidate set per query, shared by the top-k engine and
+  // the summary generators instead of re-evaluating the expressions.
+  exec::CandidateSet candidates = exec::BuildCandidates(
+      *index_, query, options_.topk.max_candidates_per_term);
+
+  auto topk_result =
+      searcher_->Search(query, options_.topk, candidates, &response.stats);
+  if (!topk_result.ok()) return topk_result.status();
+  response.topk = std::move(topk_result).value();
+  response.stats.epoch = epoch_;
+
+  summary::ContextSummaryGenerator context_gen(index_.get());
+  std::vector<const std::vector<store::PathId>*> resolved_contexts;
+  resolved_contexts.reserve(candidates.terms.size());
+  for (const exec::TermCandidates& term : candidates.terms) {
+    resolved_contexts.push_back(term.context_restricted ? &term.context_paths
+                                                        : nullptr);
+  }
+  response.contexts = context_gen.Generate(query, resolved_contexts);
+
+  // The connection summary consumes the engine's top-k tuples directly (the
+  // §6.1 instance validation), so it inherits the shared candidate set too.
+  summary::ConnectionSummaryGenerator connection_gen(guides_.get(),
+                                                     graph_.get());
+  response.connections = connection_gen.Generate(response.topk);
+  return response;
+}
+
+Result<SearchResponse> Snapshot::Search(const std::string& query_text) const {
+  auto query = Parse(query_text);
+  if (!query.ok()) return query.status();
+  return Search(query.value());
+}
+
+Result<query::Query> Snapshot::RefineContexts(
+    const query::Query& query,
+    const std::vector<std::vector<std::string>>& chosen_paths) {
+  if (chosen_paths.size() != query.terms.size()) {
+    return Status::InvalidArgument("one context choice list per term required");
+  }
+  query::Query refined = query;  // deep-copies terms
+  for (size_t i = 0; i < refined.terms.size(); ++i) {
+    if (chosen_paths[i].empty()) continue;  // keep unrestricted
+    query::ContextSpec spec;
+    for (const std::string& path : chosen_paths[i]) {
+      if (path.empty() || path[0] != '/') {
+        return Status::InvalidArgument(
+            "context choices must be absolute paths; got '" + path + "'");
+      }
+      spec.AddPath(path);
+    }
+    refined.terms[i].context = std::move(spec);
+  }
+  return refined;
+}
+
+Result<twig::CompleteResult> Snapshot::CompleteResults(
+    const query::Query& query, const std::vector<std::string>& term_paths,
+    const std::vector<twig::ChosenConnection>& connections) const {
+  if (term_paths.size() != query.terms.size()) {
+    return Status::InvalidArgument("one chosen path per term required");
+  }
+  std::vector<twig::TermBinding> bindings;
+  bindings.reserve(query.terms.size());
+  for (size_t i = 0; i < query.terms.size(); ++i) {
+    twig::TermBinding binding;
+    binding.path = term_paths[i];
+    binding.search = query.terms[i].search.get();
+    bindings.push_back(binding);
+  }
+  twig::CompleteResultGenerator generator(index_.get(), graph_.get());
+  return generator.Execute(bindings, connections);
+}
+
+Result<cube::StarSchema> Snapshot::BuildCube(
+    const twig::CompleteResult& result, const cube::Catalog& catalog,
+    const cube::CubeBuilder::Options& options) const {
+  cube::CubeBuilder builder(store_.get(), &catalog);
+  return builder.Build(result, options);
+}
+
+Result<olap::Cube> Snapshot::ToOlapCube(const cube::StarSchema& schema) const {
+  if (schema.fact_tables.empty()) {
+    return Status::FailedPrecondition("star schema has no fact table");
+  }
+  return olap::Cube::FromFactTable(schema.fact_tables.front());
+}
+
+}  // namespace seda::core

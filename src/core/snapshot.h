@@ -1,0 +1,153 @@
+#ifndef SEDA_CORE_SNAPSHOT_H_
+#define SEDA_CORE_SNAPSHOT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "cube/cube_builder.h"
+#include "dataguide/dataguide.h"
+#include "graph/data_graph.h"
+#include "olap/olap.h"
+#include "query/query.h"
+#include "store/document_store.h"
+#include "summary/connection_summary.h"
+#include "summary/context_summary.h"
+#include "text/inverted_index.h"
+#include "topk/topk.h"
+#include "twig/twig.h"
+
+namespace seda::core {
+
+/// Everything SEDA returns for one search interaction (paper Fig. 6): the
+/// top-k answers plus the two result summaries driving refinement.
+struct SearchResponse {
+  std::vector<topk::ScoredTuple> topk;
+  summary::ContextSummary contexts;
+  summary::ConnectionSummary connections;
+  topk::SearchStats stats;
+};
+
+/// Configuration of a Seda instance, fixed by the first commit (Finalize())
+/// and reused by every later Commit().
+struct SedaOptions {
+  double dataguide_overlap_threshold = 0.4;  ///< Table 1 uses 40%
+  topk::TopKOptions topk;
+  bool resolve_idrefs = true;
+  bool resolve_xlinks = true;
+  /// Worker threads for the commit ingestion pipeline: per-document parsing,
+  /// link resolution and inverted-index posting construction fan out across
+  /// this many threads. 0 = one per hardware core; 1 = fully inline. Any
+  /// value yields byte-identical indexes and dataguides: parallel stages
+  /// only produce per-document shards, which are merged in document order.
+  size_t num_threads = 0;
+  /// Worker threads for query execution: each Search() fans per-document
+  /// tuple scoring (ConnectionSize) out across a pool owned by the serving
+  /// snapshot. 0 = one per hardware core; 1 = fully inline. Any value
+  /// returns byte-identical SearchResponses — scored batches are merged in
+  /// enumeration order. Search() stays safe to call concurrently:
+  /// ThreadPool::ParallelFor keeps per-call state, so concurrent queries
+  /// only contend for workers.
+  size_t query_threads = 0;
+  /// Value-based PK/FK relationships provided as input (paper §3: "we assume
+  /// instances of ... value-based relationships are provided as input").
+  struct ValueEdge {
+    std::string pk_path;
+    std::string fk_path;
+    std::string label;
+  };
+  std::vector<ValueEdge> value_edges;
+};
+
+/// One immutable, atomically-published epoch of the query side: the store
+/// view, data graph, inverted index, dataguide summary and top-k searcher a
+/// query needs, frozen at commit time. Snapshots are built off to the side
+/// by the Seda writer path and swapped in via std::shared_ptr, so readers
+/// never block on (and are never torn by) a concurrent Commit(): whoever
+/// holds a Snapshot keeps exactly the epoch it pinned, and the epoch is
+/// freed when its last holder lets go. All query entry points are const and
+/// safe to call from many threads at once.
+class Snapshot {
+ public:
+  /// Builds epoch `epoch` over `store` (ownership taken; the writer hands in
+  /// a DocumentStore::Clone so later ingestion never touches this view).
+  /// With a `base` snapshot, stages that new documents cannot invalidate are
+  /// extended instead of rebuilt: parsed documents are shared through the
+  /// store clone, the inverted index merges only the new documents' shards,
+  /// and the dataguide summary continues the sequential overlap merge — all
+  /// bit-identical to a from-scratch build over the same store. Only link
+  /// resolution always rescans, because a new document may carry the id an
+  /// old document's IDREF/XLink points at (and value edges may span epochs).
+  /// `query_pool` (may be null = inline scoring) is shared across epochs:
+  /// the writer owns one pool and every snapshot co-owns it, so commits
+  /// don't spawn threads and a Session outliving the writer keeps a working
+  /// searcher.
+  static std::shared_ptr<const Snapshot> Build(
+      std::unique_ptr<store::DocumentStore> store, const SedaOptions& options,
+      uint64_t epoch, const Snapshot* base, ThreadPool* ingest_pool,
+      std::shared_ptr<ThreadPool> query_pool);
+
+  /// Commit epoch id: 1 for the Finalize() epoch, +1 per Commit().
+  uint64_t epoch() const { return epoch_; }
+  const SedaOptions& options() const { return options_; }
+
+  const store::DocumentStore& store() const { return *store_; }
+  const graph::DataGraph& data_graph() const { return *graph_; }
+  const text::InvertedIndex& index() const { return *index_; }
+  const dataguide::DataguideCollection& dataguides() const { return *guides_; }
+
+  /// Parses the paper's query syntax, e.g.
+  ///   (*, "United States") AND (trade_country, *) AND (percentage, *)
+  Result<query::Query> Parse(const std::string& text) const;
+
+  /// Runs top-k search and computes both summaries (Fig. 6 first stage).
+  /// The response's stats carry this snapshot's epoch().
+  Result<SearchResponse> Search(const query::Query& query) const;
+  Result<SearchResponse> Search(const std::string& query_text) const;
+
+  /// Context refinement (§5): restricts each term to the chosen context
+  /// paths (empty vector = keep the term as is) and returns the refined
+  /// query for a new Search round. Pure query rewrite — needs no epoch
+  /// state, shared here by Session and the legacy Seda facade.
+  static Result<query::Query> RefineContexts(
+      const query::Query& query,
+      const std::vector<std::vector<std::string>>& chosen_paths);
+
+  /// Computes the complete result set (§7) for terms pinned to single
+  /// contexts, honoring the chosen connections.
+  Result<twig::CompleteResult> CompleteResults(
+      const query::Query& query, const std::vector<std::string>& term_paths,
+      const std::vector<twig::ChosenConnection>& connections) const;
+
+  /// Builds the star schema from a complete result (§7 steps 1-3). The
+  /// catalog (user-defined dimensions/facts) lives on the writer side and is
+  /// passed in per call.
+  Result<cube::StarSchema> BuildCube(
+      const twig::CompleteResult& result, const cube::Catalog& catalog,
+      const cube::CubeBuilder::Options& options) const;
+
+  /// Convenience: loads the first fact table of a star schema into the OLAP
+  /// engine (the paper feeds the tables to an off-the-shelf OLAP tool).
+  Result<olap::Cube> ToOlapCube(const cube::StarSchema& schema) const;
+
+ private:
+  Snapshot() = default;
+
+  uint64_t epoch_ = 0;
+  SedaOptions options_;
+  std::unique_ptr<store::DocumentStore> store_;
+  std::unique_ptr<graph::DataGraph> graph_;
+  std::unique_ptr<text::InvertedIndex> index_;
+  std::unique_ptr<dataguide::DataguideCollection> guides_;
+  /// Query-time pool (tuple scoring); co-owned with the writer and every
+  /// other live epoch, so a Session that outlives the writer keeps a working
+  /// searcher. Outlives searcher_, which borrows it.
+  std::shared_ptr<ThreadPool> query_pool_;
+  std::unique_ptr<topk::TopKSearcher> searcher_;
+};
+
+}  // namespace seda::core
+
+#endif  // SEDA_CORE_SNAPSHOT_H_

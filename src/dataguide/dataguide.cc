@@ -97,16 +97,35 @@ std::string Connection::ToString() const {
 DataguideCollection DataguideCollection::Build(const store::DocumentStore& store,
                                                const Options& options) {
   DataguideCollection collection(&store);
-  BuildStats stats;
+  collection.IngestDocuments(0, options);
+  return collection;
+}
+
+DataguideCollection DataguideCollection::Extend(const DataguideCollection& base,
+                                                const store::DocumentStore& store,
+                                                const Options& options) {
+  DataguideCollection collection(&store);
+  collection.guides_ = base.guides_;
+  collection.guide_of_doc_ = base.guide_of_doc_;
+  collection.build_stats_ = base.build_stats_;
+  collection.IngestDocuments(
+      static_cast<store::DocId>(base.build_stats_.documents), options);
+  return collection;
+}
+
+void DataguideCollection::IngestDocuments(store::DocId first_doc,
+                                          const Options& options) {
+  const store::DocumentStore& store = *store_;
+  BuildStats stats = build_stats_;
   stats.documents = store.DocumentCount();
 
   // Reused per-document probe buffers (only touched on the parallel path).
   std::vector<char> contains;
   std::vector<double> overlaps;
 
-  for (store::DocId doc = 0; doc < store.DocumentCount(); ++doc) {
+  for (store::DocId doc = first_doc; doc < store.DocumentCount(); ++doc) {
     const std::vector<store::PathId>& doc_paths = store.DocumentPathSet(doc);
-    size_t guide_count = collection.guides_.size();
+    size_t guide_count = guides_.size();
 
     // The probe of this document against every existing dataguide (the O(m)
     // inner loop of the paper's O(n*m) build) is read-only, so it can fan out
@@ -118,8 +137,8 @@ DataguideCollection DataguideCollection::Build(const store::DocumentStore& store
       contains.assign(guide_count, 0);
       overlaps.assign(guide_count, 0.0);
       options.pool->ParallelFor(guide_count, [&](size_t g) {
-        contains[g] = collection.guides_[g].Contains(doc_paths) ? 1 : 0;
-        overlaps[g] = collection.guides_[g].Overlap(doc_paths);
+        contains[g] = guides_[g].Contains(doc_paths) ? 1 : 0;
+        overlaps[g] = guides_[g].Overlap(doc_paths);
       });
     }
 
@@ -128,10 +147,10 @@ DataguideCollection DataguideCollection::Build(const store::DocumentStore& store
     bool placed = false;
     for (size_t g = 0; g < guide_count; ++g) {
       bool is_contained =
-          parallel_probe ? contains[g] != 0 : collection.guides_[g].Contains(doc_paths);
+          parallel_probe ? contains[g] != 0 : guides_[g].Contains(doc_paths);
       if (is_contained) {
-        collection.guides_[g].AddMember(doc);
-        collection.guide_of_doc_[doc] = g;
+        guides_[g].AddMember(doc);
+        guide_of_doc_[doc] = g;
         ++stats.absorbed;
         placed = true;
         break;
@@ -145,29 +164,28 @@ DataguideCollection DataguideCollection::Build(const store::DocumentStore& store
     size_t best_guide = SIZE_MAX;
     for (size_t g = 0; g < guide_count; ++g) {
       double overlap =
-          parallel_probe ? overlaps[g] : collection.guides_[g].Overlap(doc_paths);
+          parallel_probe ? overlaps[g] : guides_[g].Overlap(doc_paths);
       if (overlap > best_overlap) {
         best_overlap = overlap;
         best_guide = g;
       }
     }
     if (best_guide != SIZE_MAX && best_overlap >= options.overlap_threshold) {
-      collection.guides_[best_guide].Merge(doc_paths, doc);
-      collection.guide_of_doc_[doc] = best_guide;
+      guides_[best_guide].Merge(doc_paths, doc);
+      guide_of_doc_[doc] = best_guide;
       ++stats.merges;
     } else {
-      collection.guides_.emplace_back(doc_paths, doc);
-      collection.guide_of_doc_[doc] = collection.guides_.size() - 1;
+      guides_.emplace_back(doc_paths, doc);
+      guide_of_doc_[doc] = guides_.size() - 1;
     }
   }
 
-  stats.dataguides = collection.guides_.size();
+  stats.dataguides = guides_.size();
   stats.reduction_factor =
       stats.dataguides == 0
           ? 0
           : static_cast<double>(stats.documents) / static_cast<double>(stats.dataguides);
-  collection.build_stats_ = stats;
-  return collection;
+  build_stats_ = stats;
 }
 
 void DataguideCollection::AddLinksFromGraph(const graph::DataGraph& graph) {
@@ -258,24 +276,39 @@ void DataguideCollection::EnsureSummaryGraph() const {
 std::vector<Connection> DataguideCollection::FindConnections(
     const std::string& from_path, const std::string& to_path, size_t max_len,
     size_t max_count) const {
+  // The mutex guards the lazily-built mutable state — the summary graph, the
+  // cache and its counters — because snapshots are shared by concurrent
+  // queries, and this is the only read entry point that mutates. The search
+  // itself runs outside the lock: once built, the summary graph is immutable
+  // (until writer-side AddLinksFromGraph, which happens pre-publication), so
+  // two threads missing on the same pair at worst compute the same answer
+  // twice, instead of every query's connection summary serializing.
   auto key = std::make_pair(from_path, to_path);
-  if (cache_enabled_) {
-    auto it = connection_cache_.find(key);
-    if (it != connection_cache_.end()) {
-      ++cache_hits_;
-      return it->second;
+  {
+    std::lock_guard<std::mutex> lock(*summary_mu_);
+    EnsureSummaryGraph();
+    if (cache_enabled_) {
+      auto it = connection_cache_.find(key);
+      if (it != connection_cache_.end()) {
+        ++cache_hits_;
+        return it->second;
+      }
     }
+    ++cache_misses_;
   }
-  ++cache_misses_;
   auto connections = ComputeConnections(from_path, to_path, max_len, max_count);
-  if (cache_enabled_) connection_cache_.emplace(std::move(key), connections);
+  if (cache_enabled_) {
+    std::lock_guard<std::mutex> lock(*summary_mu_);
+    connection_cache_.emplace(std::move(key), connections);
+  }
   return connections;
 }
 
 std::vector<Connection> DataguideCollection::ComputeConnections(
     const std::string& from_path, const std::string& to_path, size_t max_len,
     size_t max_count) const {
-  EnsureSummaryGraph();
+  // Precondition: EnsureSummaryGraph() already ran (FindConnections does it
+  // under the lock); from here the summary graph is read-only.
   std::vector<Connection> out;
   std::set<std::string> signatures;
 

@@ -3,6 +3,8 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -109,6 +111,19 @@ class DataguideCollection {
   static DataguideCollection Build(const store::DocumentStore& store,
                                    const Options& options);
 
+  /// Incremental-commit constructor: continues `base`'s sequential
+  /// overlap-threshold merge over the documents `base` has not seen
+  /// (`store`'s document prefix must be identical to the store `base` was
+  /// built over). Because the paper's build is a strictly document-ordered
+  /// incremental algorithm, extending an epoch-N collection over the new
+  /// documents makes exactly the merge decisions a from-scratch build over
+  /// the whole store would — only the new documents pay the O(m) probe.
+  /// Link edges and the lazy summary graph are *not* carried over; call
+  /// AddLinksFromGraph with the new epoch's data graph as usual.
+  static DataguideCollection Extend(const DataguideCollection& base,
+                                    const store::DocumentStore& store,
+                                    const Options& options);
+
   const std::vector<Dataguide>& guides() const { return guides_; }
   size_t size() const { return guides_.size(); }
   const BuildStats& build_stats() const { return build_stats_; }
@@ -138,6 +153,11 @@ class DataguideCollection {
 
  private:
   explicit DataguideCollection(const store::DocumentStore* store) : store_(store) {}
+
+  /// The shared tail of Build and Extend: runs the sequential
+  /// overlap-threshold merge over documents [first_doc, DocumentCount) and
+  /// refreshes the build statistics.
+  void IngestDocuments(store::DocId first_doc, const Options& options);
 
   /// Summary-graph node: a path prefix inside one dataguide.
   struct SummaryNode {
@@ -181,6 +201,12 @@ class DataguideCollection {
       connection_cache_;
   mutable uint64_t cache_hits_ = 0;
   mutable uint64_t cache_misses_ = 0;
+
+  /// Serializes the lazy summary-graph build and the connection cache so
+  /// concurrent queries against one published snapshot can share the
+  /// collection. Behind a unique_ptr to keep the collection movable (Build
+  /// and Extend return by value).
+  mutable std::unique_ptr<std::mutex> summary_mu_ = std::make_unique<std::mutex>();
 };
 
 }  // namespace seda::dataguide

@@ -40,6 +40,14 @@ struct Edge {
 /// set of element/attribute nodes in the DocumentStore; parent/child edges are
 /// implicit in the stored trees, while IDREF, XLink and value-based edges are
 /// materialized in adjacency lists here.
+///
+/// Epoch semantics: a DataGraph is built fresh for every snapshot commit
+/// (core/snapshot.cc) and is the one ingestion stage incremental commits
+/// never extend — a newly committed document can carry the id an older
+/// document's dangling IDREF/XLink points at, and value-based edges can span
+/// epochs, so only a full rescan reproduces a from-scratch build exactly.
+/// After construction the graph is immutable and all read entry points are
+/// const and thread-safe.
 class DataGraph {
  public:
   explicit DataGraph(const store::DocumentStore* store) : store_(store) {}

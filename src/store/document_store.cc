@@ -19,8 +19,8 @@ uint64_t NodeId::Hash() const {
 DocId DocumentStore::AddDocument(std::unique_ptr<xml::Document> doc) {
   DocId id = static_cast<DocId>(docs_.size());
   docs_.push_back(std::move(doc));
-  doc_path_sets_.emplace_back();
 
+  std::vector<PathId> path_set;
   std::unordered_set<PathId> seen_in_doc;
   docs_[id]->ForEachNode([&](xml::Node* node) {
     ++total_nodes_;
@@ -33,11 +33,25 @@ DocId DocumentStore::AddDocument(std::unique_ptr<xml::Document> doc) {
         existing == kInvalidPathId || !seen_in_doc.count(existing);
     PathId pid = path_dict_.Intern(path, first_in_doc);
     if (seen_in_doc.insert(pid).second) {
-      doc_path_sets_[id].push_back(pid);
+      path_set.push_back(pid);
     }
   });
-  std::sort(doc_path_sets_[id].begin(), doc_path_sets_[id].end());
+  std::sort(path_set.begin(), path_set.end());
+  doc_path_sets_.push_back(
+      std::make_shared<const std::vector<PathId>>(std::move(path_set)));
   return id;
+}
+
+std::unique_ptr<DocumentStore> DocumentStore::Clone() const {
+  auto clone = std::make_unique<DocumentStore>();
+  // Documents and per-document path sets are immutable once added, so both
+  // are shared by pointer: a clone costs two pointer-vector copies plus the
+  // path dictionary, independent of document sizes.
+  clone->docs_ = docs_;
+  clone->doc_path_sets_ = doc_path_sets_;
+  clone->path_dict_ = path_dict_;
+  clone->total_nodes_ = total_nodes_;
+  return clone;
 }
 
 Result<DocId> DocumentStore::AddXml(const std::string& xml_text,

@@ -53,6 +53,15 @@ class DocumentStore {
   /// per-document path sets (used by the dataguide builder).
   DocId AddDocument(std::unique_ptr<xml::Document> doc);
 
+  /// Snapshot support: a new store sharing ownership of every parsed document
+  /// (documents are immutable once stored, so sharing is safe) with copies of
+  /// the path dictionary and per-document path sets. Mutating the original
+  /// afterwards — appending more documents — never disturbs the clone, which
+  /// is what lets an immutable query snapshot coexist with a writer that
+  /// keeps ingesting. DocIds, PathIds and node pointers are identical in both
+  /// stores.
+  std::unique_ptr<DocumentStore> Clone() const;
+
   /// Parses `xml_text` and adds the resulting document.
   Result<DocId> AddXml(const std::string& xml_text, const std::string& doc_name);
 
@@ -75,7 +84,7 @@ class DocumentStore {
 
   /// Distinct path ids appearing in a document (its dataguide path set).
   const std::vector<PathId>& DocumentPathSet(DocId id) const {
-    return doc_path_sets_[id];
+    return *doc_path_sets_[id];
   }
 
   /// Visits every (NodeId, Node*) in document order across the collection.
@@ -89,8 +98,10 @@ class DocumentStore {
   }
 
  private:
-  std::vector<std::unique_ptr<xml::Document>> docs_;
-  std::vector<std::vector<PathId>> doc_path_sets_;
+  std::vector<std::shared_ptr<xml::Document>> docs_;
+  /// Per-document path sets are immutable once the document is added, so —
+  /// like the documents themselves — epoch clones share them by pointer.
+  std::vector<std::shared_ptr<const std::vector<PathId>>> doc_path_sets_;
   PathDictionary path_dict_;
   uint64_t total_nodes_ = 0;
 };

@@ -123,22 +123,54 @@ struct InvertedIndex::DocShard {
 
 InvertedIndex::InvertedIndex(const store::DocumentStore* store, ThreadPool* pool)
     : store_(store) {
+  IndexRange(0, pool);
+}
+
+InvertedIndex::InvertedIndex(const InvertedIndex& base,
+                             const store::DocumentStore* store,
+                             store::DocId first_new_doc, ThreadPool* pool)
+    : store_(store),
+      node_postings_(base.node_postings_),
+      path_postings_(base.path_postings_),
+      path_counts_(base.path_counts_),
+      doc_freq_(base.doc_freq_),
+      max_tf_(base.max_tf_),
+      nodes_by_path_(base.nodes_by_path_),
+      indexed_nodes_(base.indexed_nodes_) {
+  IndexRange(first_new_doc, pool);
+}
+
+void InvertedIndex::IndexRange(store::DocId first_doc, ThreadPool* pool) {
   nodes_by_path_.resize(store_->paths().size());
 
   // Stage 1 (parallel): one partial index per document. Documents are
   // independent, and every shard container appends in node visit order.
   size_t doc_count = store_->DocumentCount();
-  std::vector<DocShard> shards(doc_count);
-  RunParallel(pool, doc_count, [&](size_t d) {
-    shards[d] = BuildDocShard(static_cast<store::DocId>(d));
+  size_t new_count = doc_count > first_doc ? doc_count - first_doc : 0;
+  std::vector<DocShard> shards(new_count);
+  RunParallel(pool, new_count, [&](size_t d) {
+    shards[d] = BuildDocShard(static_cast<store::DocId>(first_doc + d));
   });
 
   // Stage 2 (sequential, deterministic): merge in DocId order, which
-  // reproduces exactly the append order of a single-threaded pass.
-  for (DocShard& shard : shards) MergeShard(std::move(shard));
+  // reproduces exactly the append order of a single-threaded pass. Terms
+  // whose path postings this range touches are tracked so the normalize
+  // pass below is O(delta vocabulary), not O(total vocabulary) — the point
+  // of an incremental commit.
+  std::unordered_set<std::string> touched_path_terms;
+  for (DocShard& shard : shards) {
+    for (const auto& [term, paths] : shard.path_postings) {
+      touched_path_terms.insert(term);
+    }
+    MergeShard(std::move(shard));
+  }
 
-  // Finalize path postings: sort + dedupe.
-  for (auto& [term, paths] : path_postings_) {
+  // Finalize touched path postings: sort + dedupe. On the incremental path
+  // the base lists are already sorted-distinct; re-normalizing the
+  // concatenation yields the same set a from-scratch build sorts out of its
+  // raw appends, and untouched terms are already normalized.
+  for (const std::string& term : touched_path_terms) {
+    std::vector<store::PathId>& paths = path_postings_[term];
     std::sort(paths.begin(), paths.end());
     paths.erase(std::unique(paths.begin(), paths.end()), paths.end());
   }

@@ -68,6 +68,16 @@ class InvertedIndex {
   /// build regardless of scheduling.
   InvertedIndex(const store::DocumentStore* store, ThreadPool* pool);
 
+  /// Incremental-commit constructor: copies `base` (built over the first
+  /// `first_new_doc` documents of a store whose document prefix is identical
+  /// to `store`) and indexes only documents [first_new_doc, DocumentCount).
+  /// Because new DocIds sort after every base DocId, appending the new
+  /// shards in DocId order reproduces exactly the postings a from-scratch
+  /// build over `store` would produce — same lists, same max-tf, same
+  /// document frequencies — without re-tokenizing a single old document.
+  InvertedIndex(const InvertedIndex& base, const store::DocumentStore* store,
+                store::DocId first_new_doc, ThreadPool* pool);
+
   const store::DocumentStore& store() const { return *store_; }
 
   /// Number of distinct terms indexed.
@@ -125,6 +135,9 @@ class InvertedIndex {
   /// so concatenating shards in DocId order reproduces the sequential build.
   struct DocShard;
 
+  /// Shards, merges and finalizes documents [first_doc, DocumentCount): the
+  /// shared tail of both the from-scratch and the incremental constructor.
+  void IndexRange(store::DocId first_doc, ThreadPool* pool);
   DocShard BuildDocShard(store::DocId doc) const;
   void MergeShard(DocShard&& shard);
   static void IndexNode(DocShard* shard, const store::NodeId& id,

@@ -40,6 +40,10 @@ struct SearchStats {
   uint64_t postings_advanced = 0;    ///< posting entries / universe nodes stepped
   uint64_t docs_skipped = 0;         ///< doc distance jumped by cursor seeks
   uint64_t heap_evictions = 0;       ///< top-k bounded heap displacements
+  /// Commit epoch of the snapshot that served the query (1 = the Finalize()
+  /// epoch; 0 only when the searcher runs outside a core::Snapshot). Lets a
+  /// client correlate results with the data version while commits race.
+  uint64_t epoch = 0;
 };
 
 /// Options controlling the search.

@@ -210,12 +210,33 @@ TEST(SedaAddXml, DeferredParseAssignsPromisedDocIds) {
   EXPECT_EQ(seda.store().document(b.value()).name(), "b.xml");
 }
 
-TEST(SedaAddXml, RejectedAfterFinalize) {
+TEST(SedaAddXml, StagedAfterFinalizeUntilCommit) {
   core::Seda seda;
+  seda.AddXml("<a><b>first</b></a>", "first.xml");
   ASSERT_TRUE(seda.Finalize().ok());
-  auto result = seda.AddXml("<a><b>late</b></a>", "late.xml");
-  ASSERT_FALSE(result.ok());
-  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+
+  // Post-finalize AddXml is legal now: the document is staged and invisible
+  // to the published epoch until the next Commit() swaps in its successor.
+  auto late = seda.AddXml("<a><b>late</b></a>", "late.xml");
+  ASSERT_TRUE(late.ok());
+  EXPECT_EQ(late.value(), 1u);
+  EXPECT_EQ(seda.store().DocumentCount(), 1u);
+
+  auto info = seda.Commit();
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info->epoch, 2u);
+  EXPECT_EQ(info->docs_added, 1u);
+  EXPECT_TRUE(info->incremental);
+  EXPECT_EQ(seda.store().DocumentCount(), 2u);
+  EXPECT_EQ(seda.store().document(late.value()).name(), "late.xml");
+}
+
+TEST(SedaAddXml, CommitBeforeFinalizeRejected) {
+  core::Seda seda;
+  seda.AddXml("<a><b>x</b></a>", "x.xml");
+  auto info = seda.Commit();
+  ASSERT_FALSE(info.ok());
+  EXPECT_EQ(info.status().code(), StatusCode::kFailedPrecondition);
 }
 
 TEST(SedaAddXml, EagerLoadAfterDeferredQueueIsRejected) {

@@ -1,0 +1,366 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/seda.h"
+#include "data/generators.h"
+
+namespace seda::core {
+namespace {
+
+constexpr const char* kQuery1 =
+    R"((*, "United States") AND (trade_country, *) AND (percentage, *))";
+
+SedaOptions ScenarioOptions() {
+  SedaOptions options;
+  options.value_edges.push_back(
+      {"/country/name", "/country/economy/import_partners/item/trade_country",
+       "trade_partner"});
+  return options;
+}
+
+/// A synthetic second-epoch document crafted to land in Query 1's top-k: its
+/// name contains the phrase "United States" and it carries trade_country /
+/// percentage leaves, so any commit leakage into a pinned epoch changes
+/// results visibly. Deliberately does NOT trade with the United States —
+/// that would mint value-based edges onto the US name hub and blow up
+/// cross-document tuple enumeration, which is noise for these tests.
+std::string EpochTwoCountry(int i) {
+  return "<country><name>New United States " + std::to_string(i) +
+         "</name><year>2010</year><economy><import_partners><item>"
+         "<trade_country>Canada</trade_country><percentage>" +
+         std::to_string(40 + i) +
+         ".5</percentage></item></import_partners></economy></country>";
+}
+
+/// Byte-exact serialization of everything a SearchResponse carries that a
+/// user can observe: ranked tuples with exact (hex-float) scores, both
+/// summaries, and the serving epoch unless masked for cross-epoch compares.
+std::string ResponseFingerprint(const SearchResponse& response,
+                                const store::DocumentStore& store,
+                                bool include_epoch = true) {
+  std::string out;
+  char buf[96];
+  for (const topk::ScoredTuple& tuple : response.topk) {
+    out += tuple.ToString(store);
+    std::snprintf(buf, sizeof(buf), " c=%a n=%zu s=%a\n", tuple.content_score,
+                  tuple.connection_size, tuple.score);
+    out += buf;
+  }
+  out += response.contexts.ToString();
+  out += response.connections.ToString();
+  if (include_epoch) {
+    out += "epoch=" + std::to_string(response.stats.epoch);
+  }
+  return out;
+}
+
+/// Canonical dump of everything a snapshot serves (mirrors the Finalize
+/// fingerprint in parallel_test.cc), for incremental-vs-cold equivalence.
+std::string EpochFingerprint(const Snapshot& snap) {
+  std::string out;
+  out += "docs=" + std::to_string(snap.store().DocumentCount());
+  out += " nodes=" + std::to_string(snap.store().TotalNodeCount());
+  out += " paths=" + std::to_string(snap.store().paths().size());
+  out += " edges=" + std::to_string(snap.data_graph().EdgeCount());
+  out += " terms=" + std::to_string(snap.index().TermCount());
+  out += " indexed=" + std::to_string(snap.index().IndexedNodeCount());
+  out += "\n";
+  const auto& guides = snap.dataguides();
+  out += "guides=" + std::to_string(guides.size());
+  out += " merges=" + std::to_string(guides.build_stats().merges);
+  out += " absorbed=" + std::to_string(guides.build_stats().absorbed);
+  out += " links=" + std::to_string(guides.LinkCount());
+  out += "\n";
+  for (const auto& guide : guides.guides()) {
+    out += "g:";
+    for (auto path : guide.paths()) out += " " + std::to_string(path);
+    out += " |";
+    for (auto doc : guide.members()) out += " " + std::to_string(doc);
+    out += "\n";
+  }
+  for (const char* term :
+       {"united", "states", "new", "trade_country", "percentage", "gdp"}) {
+    out += std::string("t:") + term;
+    out += " df=" + std::to_string(snap.index().DocumentFrequency(term));
+    out += " maxtf=" + std::to_string(snap.index().MaxTermFrequency(term));
+    for (const auto& posting : snap.index().Postings(term)) {
+      out += " " + posting.node.ToString() + "/" + std::to_string(posting.path);
+      for (uint32_t pos : posting.positions) out += "." + std::to_string(pos);
+    }
+    out += " paths:";
+    for (auto path : snap.index().TermPaths(term)) {
+      out += " " + std::to_string(path);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+TEST(CommitTest, AddXmlAndCommitAfterFinalizeServesNewDocuments) {
+  Seda seda;
+  data::PopulateScenario(seda.mutable_store());
+  ASSERT_TRUE(seda.Finalize(ScenarioOptions()).ok());
+  auto before = seda.Search(kQuery1);
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before->stats.epoch, 1u);
+
+  for (int i = 0; i < 3; ++i) {
+    auto id = seda.AddXml(EpochTwoCountry(i), "newland-" + std::to_string(i));
+    ASSERT_TRUE(id.ok());
+  }
+  auto info = seda.Commit();
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info->epoch, 2u);
+  EXPECT_EQ(info->docs_added, 3u);
+  EXPECT_TRUE(info->incremental);
+
+  auto after = seda.Search(kQuery1);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->stats.epoch, 2u);
+  // The new countries import from the United States, so they must surface.
+  EXPECT_NE(ResponseFingerprint(before.value(), seda.store(), false),
+            ResponseFingerprint(after.value(), seda.store(), false));
+  EXPECT_GT(seda.index().DocumentFrequency("2010"), 0u);
+}
+
+TEST(CommitTest, IncrementalCommitIsByteIdenticalToColdBuild) {
+  // Cold: one epoch over the full corpus.
+  Seda cold;
+  data::PopulateScenario(cold.mutable_store());
+  for (int i = 0; i < 5; ++i) {
+    cold.AddXml(EpochTwoCountry(i), "newland-" + std::to_string(i));
+  }
+  ASSERT_TRUE(cold.Finalize(ScenarioOptions()).ok());
+
+  // Incremental: same corpus split across two commits.
+  Seda inc;
+  data::PopulateScenario(inc.mutable_store());
+  ASSERT_TRUE(inc.Finalize(ScenarioOptions()).ok());
+  for (int i = 0; i < 5; ++i) {
+    inc.AddXml(EpochTwoCountry(i), "newland-" + std::to_string(i));
+  }
+  auto info = inc.Commit();
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  ASSERT_TRUE(info->incremental);
+
+  EXPECT_EQ(EpochFingerprint(*cold.snapshot()), EpochFingerprint(*inc.snapshot()));
+
+  auto cold_response = cold.Search(kQuery1);
+  auto inc_response = inc.Search(kQuery1);
+  ASSERT_TRUE(cold_response.ok());
+  ASSERT_TRUE(inc_response.ok());
+  // Epochs differ by construction (1 vs 2); everything observable must not.
+  EXPECT_EQ(ResponseFingerprint(cold_response.value(), cold.store(), false),
+            ResponseFingerprint(inc_response.value(), inc.store(), false));
+  EXPECT_EQ(cold_response->stats.epoch, 1u);
+  EXPECT_EQ(inc_response->stats.epoch, 2u);
+}
+
+TEST(CommitTest, ForcedFullRebuildMatchesIncrementalEpoch) {
+  Seda seda;
+  data::PopulateScenario(seda.mutable_store());
+  ASSERT_TRUE(seda.Finalize(ScenarioOptions()).ok());
+  for (int i = 0; i < 4; ++i) {
+    seda.AddXml(EpochTwoCountry(i), "newland-" + std::to_string(i));
+  }
+  ASSERT_TRUE(seda.Commit().ok());
+  std::string incremental = EpochFingerprint(*seda.snapshot());
+
+  Seda::CommitOptions full;
+  full.force_full_rebuild = true;
+  auto info = seda.Commit(full);
+  ASSERT_TRUE(info.ok());
+  EXPECT_FALSE(info->incremental);
+  EXPECT_EQ(EpochFingerprint(*seda.snapshot()), incremental);
+}
+
+TEST(CommitTest, EmptyCommitIsANoOp) {
+  Seda seda;
+  data::PopulateScenario(seda.mutable_store());
+  ASSERT_TRUE(seda.Finalize(ScenarioOptions()).ok());
+  auto first = seda.snapshot();
+  auto info = seda.Commit();
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->epoch, 1u);
+  EXPECT_EQ(info->docs_added, 0u);
+  EXPECT_EQ(seda.snapshot().get(), first.get());
+}
+
+TEST(SessionTest, PinsItsEpochAcrossCommits) {
+  Seda seda;
+  data::PopulateScenario(seda.mutable_store());
+  ASSERT_TRUE(seda.Finalize(ScenarioOptions()).ok());
+
+  auto pinned = seda.NewSession();
+  ASSERT_TRUE(pinned.ok());
+  EXPECT_EQ(pinned->epoch(), 1u);
+  auto first = pinned->Search(kQuery1);
+  ASSERT_TRUE(first.ok());
+  std::string expected =
+      ResponseFingerprint(first.value(), pinned->snapshot().store());
+
+  for (int i = 0; i < 3; ++i) {
+    seda.AddXml(EpochTwoCountry(i), "newland-" + std::to_string(i));
+  }
+  ASSERT_TRUE(seda.Commit().ok());
+
+  // The pinned session replays the exact pre-commit epoch...
+  auto replay = pinned->Search(kQuery1);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(replay->stats.epoch, 1u);
+  EXPECT_EQ(ResponseFingerprint(replay.value(), pinned->snapshot().store()),
+            expected);
+
+  // ...while a fresh session serves the new epoch.
+  auto fresh = seda.NewSession();
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(fresh->epoch(), 2u);
+  auto updated = fresh->Search(kQuery1);
+  ASSERT_TRUE(updated.ok());
+  EXPECT_EQ(updated->stats.epoch, 2u);
+  EXPECT_NE(ResponseFingerprint(updated.value(), fresh->snapshot().store(), false),
+            ResponseFingerprint(replay.value(), pinned->snapshot().store(), false));
+}
+
+TEST(SessionTest, CarriesRefinementStateThroughTheFig6Loop) {
+  Seda seda;
+  data::PopulateScenario(seda.mutable_store());
+  ASSERT_TRUE(seda.Finalize(ScenarioOptions()).ok());
+  auto session = seda.NewSession();
+  ASSERT_TRUE(session.ok());
+
+  // Refinement before any search is a session-state error.
+  EXPECT_FALSE(session->RefineContexts({{}, {}, {}}).ok());
+  EXPECT_FALSE(session->CompleteResults({}, {}).ok());
+
+  ASSERT_TRUE(session->Search(kQuery1).ok());
+  EXPECT_EQ(session->rounds(), 1u);
+  ASSERT_TRUE(session->has_query());
+
+  const char* kName = "/country/name";
+  const char* kTrade = "/country/economy/import_partners/item/trade_country";
+  const char* kPct = "/country/economy/import_partners/item/percentage";
+  auto refined = session->RefineContexts({{kName}, {kTrade}, {kPct}});
+  ASSERT_TRUE(refined.ok()) << refined.status().ToString();
+  EXPECT_EQ(session->rounds(), 2u);
+  ASSERT_EQ(session->refinement_history().size(), 1u);
+  for (const auto& bucket : refined->contexts.buckets) {
+    EXPECT_EQ(bucket.entries.size(), 1u);
+  }
+
+  // The refined query is the session's current query: CompleteResults picks
+  // it up without re-passing it.
+  auto result = session->CompleteResults({kName, kTrade, kPct}, {});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->tuples.size(), 8u);
+
+  // A fresh Search resets the refinement trail.
+  ASSERT_TRUE(session->Search("(name, *)").ok());
+  EXPECT_TRUE(session->refinement_history().empty());
+  EXPECT_EQ(session->rounds(), 3u);
+}
+
+TEST(SearchStatsTest, ServingEpochIsSurfacedInEveryResponse) {
+  Seda seda;
+  data::PopulateScenario(seda.mutable_store());
+  ASSERT_TRUE(seda.Finalize(ScenarioOptions()).ok());
+
+  auto r1 = seda.Search(kQuery1);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(r1->stats.epoch, 1u);
+
+  seda.AddXml(EpochTwoCountry(0), "newland-0");
+  ASSERT_TRUE(seda.Commit().ok());
+  auto r2 = seda.Search(kQuery1);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->stats.epoch, 2u);
+
+  // The raw searcher (outside any snapshot) reports epoch 0: "no epoch".
+  topk::SearchStats stats;
+  topk::TopKSearcher searcher(&seda.index(), &seda.data_graph());
+  auto query = seda.Parse(kQuery1);
+  ASSERT_TRUE(query.ok());
+  ASSERT_TRUE(searcher.Search(query.value(), topk::TopKOptions{}, &stats).ok());
+  EXPECT_EQ(stats.epoch, 0u);
+}
+
+/// The acceptance-criterion race: a Session pinned to epoch 1 must return
+/// byte-identical results to a single-epoch reference run while real
+/// Commit()s (parse + graph/index/dataguide builds + snapshot swap) land on
+/// another thread.
+TEST(SnapshotConcurrencyTest, SearchDuringCommitMatchesSingleEpochRunExactly) {
+  // Reference: an isolated single-epoch instance over the same corpus.
+  Seda reference;
+  data::PopulateScenario(reference.mutable_store());
+  ASSERT_TRUE(reference.Finalize(ScenarioOptions()).ok());
+  auto reference_response = reference.Search(kQuery1);
+  ASSERT_TRUE(reference_response.ok());
+  const std::string expected =
+      ResponseFingerprint(reference_response.value(), reference.store());
+
+  Seda seda;
+  data::PopulateScenario(seda.mutable_store());
+  ASSERT_TRUE(seda.Finalize(ScenarioOptions()).ok());
+  auto session = seda.NewSession();
+  ASSERT_TRUE(session.ok());
+
+  constexpr int kCommits = 4;
+  constexpr int kDocsPerCommit = 5;
+  std::atomic<bool> done{false};
+  std::atomic<int> commits_ok{0};
+  std::thread writer([&] {
+    for (int c = 0; c < kCommits; ++c) {
+      for (int d = 0; d < kDocsPerCommit; ++d) {
+        int i = c * kDocsPerCommit + d;
+        auto id = seda.AddXml(EpochTwoCountry(i), "newland-" + std::to_string(i));
+        EXPECT_TRUE(id.ok());
+      }
+      auto info = seda.Commit();
+      EXPECT_TRUE(info.ok()) << info.status().ToString();
+      if (info.ok()) commits_ok.fetch_add(1);
+    }
+    done.store(true);
+  });
+
+  // Keep querying the pinned epoch while the commits land; every response
+  // must be byte-identical to the single-epoch reference.
+  size_t checks = 0;
+  while (!done.load(std::memory_order_acquire) || checks < 3) {
+    auto response = session->Search(kQuery1);
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    ASSERT_EQ(ResponseFingerprint(response.value(), session->snapshot().store()),
+              expected)
+        << "pinned epoch perturbed after " << checks << " checks";
+    ++checks;
+
+    // The legacy shim races the swap too: it may serve any published epoch,
+    // but never a torn one.
+    auto shim = seda.Search(kQuery1);
+    ASSERT_TRUE(shim.ok());
+    EXPECT_GE(shim->stats.epoch, 1u);
+    EXPECT_LE(shim->stats.epoch, 1u + kCommits);
+    EXPECT_FALSE(shim->topk.empty());
+  }
+  writer.join();
+  ASSERT_EQ(commits_ok.load(), kCommits);
+  EXPECT_GE(checks, 3u);
+
+  // After the dust settles: the pinned session still replays epoch 1, and
+  // the final epoch serves all added documents.
+  auto replay = session->Search(kQuery1);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(ResponseFingerprint(replay.value(), session->snapshot().store()),
+            expected);
+  auto final_snapshot = seda.snapshot();
+  EXPECT_EQ(final_snapshot->epoch(), 1u + kCommits);
+  EXPECT_EQ(final_snapshot->store().DocumentCount(),
+            reference.store().DocumentCount() + kCommits * kDocsPerCommit);
+}
+
+}  // namespace
+}  // namespace seda::core
