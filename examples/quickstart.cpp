@@ -1,11 +1,14 @@
 // Quickstart: load a few XML documents, open an exploration Session, run a
 // keyword-style SEDA query, and inspect the top-k results plus the context
-// summary. Then demonstrates the incremental path: AddXml() + Commit() after
-// finalization, with the old session still pinned to its epoch.
+// summary. Then demonstrates the incremental path — AddXml() + Commit() after
+// finalization, with the old session still pinned to its epoch — and the
+// persistence path: Save() the served epoch to a binary image and Open() it
+// in a second instance without re-running any ingestion.
 //
 //   build/examples/quickstart
 
 #include <cstdio>
+#include <string>
 
 #include "core/seda.h"
 
@@ -81,5 +84,27 @@ int main() {
               updated->topk.size(),
               static_cast<unsigned long long>(session->epoch()),
               session->last_response()->topk.size());
+
+  // Persistence: Save() writes the served epoch as a checksummed binary
+  // image; Open() on a fresh instance maps it back — no XML parsing, no
+  // re-indexing — and serves byte-identical answers. A reopened instance is
+  // a full writer too: AddXml() + Commit() continues from the loaded epoch.
+  const std::string image = "quickstart_snapshot.img";
+  if (auto saved = seda.Save(image); !saved.ok()) {
+    std::printf("save failed: %s\n", saved.ToString().c_str());
+    return 1;
+  }
+  seda::core::Seda reopened;
+  if (auto opened = reopened.Open(image); !opened.ok()) {
+    std::printf("open failed: %s\n", opened.ToString().c_str());
+    return 1;
+  }
+  auto replay = reopened.Search(R"((*, "Abiteboul") AND (year, *))");
+  if (!replay.ok()) return 1;
+  std::printf("\nreopened %s: epoch %llu serves %zu results without re-ingestion\n",
+              image.c_str(),
+              static_cast<unsigned long long>(replay->stats.epoch),
+              replay->topk.size());
+  std::remove(image.c_str());
   return 0;
 }

@@ -60,6 +60,52 @@ Status Seda::Finalize(const SedaOptions& options) {
   return CommitInternal(/*force_full_rebuild=*/true, &info);
 }
 
+Status Seda::Open(const std::string& path) {
+  if (finalized()) {
+    return Status::FailedPrecondition(
+        "Open() requires a fresh Seda instance (already finalized)");
+  }
+  if (!pending_docs_.empty() || store_->DocumentCount() > 0) {
+    return Status::FailedPrecondition(
+        "Open() requires an empty staging store; load images before staging "
+        "documents");
+  }
+  SEDA_ASSIGN_OR_RETURN(auto image, persist::MappedImage::Open(path));
+  SEDA_ASSIGN_OR_RETURN(options_, ReadSedaOptions(*image));
+
+  // Pools are sized from the restored options, mirroring CommitInternal: a
+  // transient ingest-shaped pool for parallel document materialization, and
+  // the long-lived query pool every epoch co-owns.
+  size_t threads = options_.num_threads == 0 ? ThreadPool::DefaultThreadCount()
+                                             : options_.num_threads;
+  std::unique_ptr<ThreadPool> load_pool;
+  if (threads > 1) load_pool = std::make_unique<ThreadPool>(threads - 1);
+  size_t query_threads = options_.query_threads == 0
+                             ? ThreadPool::DefaultThreadCount()
+                             : options_.query_threads;
+  if (query_threads > 1) {
+    query_pool_ = std::make_shared<ThreadPool>(query_threads - 1);
+  }
+
+  SEDA_ASSIGN_OR_RETURN(
+      std::shared_ptr<const Snapshot> snap,
+      Snapshot::Load(std::move(image), load_pool.get(), query_pool_));
+  // The staging store continues from the loaded epoch's view (documents are
+  // shared, not copied), so the next Commit() extends it incrementally.
+  store_ = snap->store().Clone();
+  next_epoch_ = snap->epoch() + 1;
+  snapshot_.store(std::move(snap), std::memory_order_release);
+  return Status::OK();
+}
+
+Status Seda::Save(const std::string& path) const {
+  std::shared_ptr<const Snapshot> snap = snapshot();
+  if (snap == nullptr) {
+    return Status::FailedPrecondition("call Finalize() or Open() first");
+  }
+  return snap->Save(path);
+}
+
 Result<Seda::CommitInfo> Seda::Commit(const CommitOptions& options) {
   if (!finalized()) {
     return Status::FailedPrecondition(

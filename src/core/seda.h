@@ -77,6 +77,23 @@ class Seda {
   Status Finalize(const SedaOptions& options);
   Status Finalize() { return Finalize(SedaOptions{}); }
 
+  /// Reopens a saved snapshot image (Save()) as this instance's first served
+  /// epoch — the persistence counterpart of Finalize(): the image's options
+  /// become the instance options, its epoch is served immediately, and
+  /// further AddXml() + Commit() build epoch N+1 incrementally on top of the
+  /// loaded state, exactly as if this process had built epoch N itself.
+  /// Requires a fresh instance (nothing staged, not finalized). Cost is
+  /// O(image size): no XML parsing, tokenization, link resolution or
+  /// dataguide probing. Many processes may Open() the same image
+  /// concurrently — the file is mapped read-only — which is what enables
+  /// one-writer/many-reader multi-process serving.
+  Status Open(const std::string& path);
+
+  /// Serializes the currently-served epoch to `path` (Snapshot::Save).
+  /// Fails before Finalize(). Safe to call while queries run; a concurrent
+  /// Commit() simply determines which epoch gets saved.
+  Status Save(const std::string& path) const;
+
   struct CommitOptions {
     /// Rebuild the inverted index and dataguide summary from scratch instead
     /// of extending the previous epoch (results are identical either way;

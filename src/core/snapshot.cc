@@ -61,6 +61,101 @@ std::shared_ptr<const Snapshot> Snapshot::Build(
   return snap;
 }
 
+void WriteSedaOptions(persist::ImageWriter* writer, const SedaOptions& options) {
+  writer->PutDouble(options.dataguide_overlap_threshold);
+  writer->PutU8(options.resolve_idrefs ? 1 : 0);
+  writer->PutU8(options.resolve_xlinks ? 1 : 0);
+  writer->PutU64(options.num_threads);
+  writer->PutU64(options.query_threads);
+  const topk::TopKOptions& topk = options.topk;
+  writer->PutU64(topk.k);
+  writer->PutU64(topk.max_candidates_per_term);
+  writer->PutU64(topk.max_per_doc_per_term);
+  writer->PutU64(topk.max_connect_depth);
+  writer->PutU8(topk.allow_cross_document ? 1 : 0);
+  writer->PutU64(topk.parallel_batch_min);
+  writer->PutU64(topk.max_hub_degree);
+  writer->PutU64(topk.max_tuples_per_query);
+  writer->PutU64(topk.max_connect_visits);
+  writer->PutU64(options.value_edges.size());
+  for (const SedaOptions::ValueEdge& edge : options.value_edges) {
+    writer->PutString(edge.pk_path);
+    writer->PutString(edge.fk_path);
+    writer->PutString(edge.label);
+  }
+}
+
+Result<SedaOptions> ReadSedaOptions(const persist::MappedImage& image) {
+  SEDA_ASSIGN_OR_RETURN(persist::SectionCursor cursor,
+                        persist::OpenSection(image, persist::SectionId::kOptions));
+  SedaOptions options;
+  options.dataguide_overlap_threshold = cursor.GetDouble();
+  options.resolve_idrefs = cursor.GetU8() != 0;
+  options.resolve_xlinks = cursor.GetU8() != 0;
+  options.num_threads = static_cast<size_t>(cursor.GetU64());
+  options.query_threads = static_cast<size_t>(cursor.GetU64());
+  options.topk.k = static_cast<size_t>(cursor.GetU64());
+  options.topk.max_candidates_per_term = static_cast<size_t>(cursor.GetU64());
+  options.topk.max_per_doc_per_term = static_cast<size_t>(cursor.GetU64());
+  options.topk.max_connect_depth = static_cast<size_t>(cursor.GetU64());
+  options.topk.allow_cross_document = cursor.GetU8() != 0;
+  options.topk.parallel_batch_min = static_cast<size_t>(cursor.GetU64());
+  options.topk.max_hub_degree = static_cast<size_t>(cursor.GetU64());
+  options.topk.max_tuples_per_query = static_cast<size_t>(cursor.GetU64());
+  options.topk.max_connect_visits = static_cast<size_t>(cursor.GetU64());
+  uint64_t edge_count = cursor.GetU64();
+  options.value_edges.reserve(cursor.BoundedCount(edge_count, 12));
+  for (uint64_t i = 0; i < edge_count && !cursor.failed(); ++i) {
+    SedaOptions::ValueEdge edge;
+    edge.pk_path = cursor.GetString();
+    edge.fk_path = cursor.GetString();
+    edge.label = cursor.GetString();
+    options.value_edges.push_back(std::move(edge));
+  }
+  SEDA_RETURN_IF_ERROR(cursor.status());
+  return options;
+}
+
+Status Snapshot::Save(const std::string& path) const {
+  persist::ImageWriter writer;
+  SEDA_RETURN_IF_ERROR(writer.Open(path));
+  writer.BeginSection(persist::SectionId::kOptions);
+  WriteSedaOptions(&writer, options_);
+  SEDA_RETURN_IF_ERROR(writer.EndSection());
+  SEDA_RETURN_IF_ERROR(store_->SaveTo(&writer));
+  SEDA_RETURN_IF_ERROR(graph_->SaveTo(&writer));
+  SEDA_RETURN_IF_ERROR(index_->SaveTo(&writer));
+  SEDA_RETURN_IF_ERROR(guides_->SaveTo(&writer));
+  return writer.Finish(epoch_);
+}
+
+Result<std::shared_ptr<const Snapshot>> Snapshot::Load(
+    std::shared_ptr<const persist::MappedImage> image, ThreadPool* load_pool,
+    std::shared_ptr<ThreadPool> query_pool) {
+  std::shared_ptr<Snapshot> snap(new Snapshot());
+  snap->epoch_ = image->epoch();
+  SEDA_ASSIGN_OR_RETURN(snap->options_, ReadSedaOptions(*image));
+  SEDA_ASSIGN_OR_RETURN(snap->store_,
+                        store::DocumentStore::LoadFrom(*image, load_pool));
+  SEDA_ASSIGN_OR_RETURN(
+      snap->graph_, graph::DataGraph::LoadFrom(*image, snap->store_.get()));
+  SEDA_ASSIGN_OR_RETURN(
+      snap->index_, text::InvertedIndex::LoadFrom(image, snap->store_.get()));
+  SEDA_ASSIGN_OR_RETURN(auto guides, dataguide::DataguideCollection::LoadFrom(
+                                         *image, snap->store_.get()));
+  snap->guides_ = std::make_unique<dataguide::DataguideCollection>(
+      std::move(guides));
+  snap->query_pool_ = std::move(query_pool);
+  snap->searcher_ = std::make_unique<topk::TopKSearcher>(
+      snap->index_.get(), snap->graph_.get(), snap->query_pool_.get());
+  return std::shared_ptr<const Snapshot>(std::move(snap));
+}
+
+Result<std::shared_ptr<const Snapshot>> Snapshot::Load(const std::string& path) {
+  SEDA_ASSIGN_OR_RETURN(auto image, persist::MappedImage::Open(path));
+  return Load(std::move(image), nullptr, nullptr);
+}
+
 Result<query::Query> Snapshot::Parse(const std::string& text) const {
   return query::ParseQuery(text);
 }

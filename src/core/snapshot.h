@@ -7,6 +7,8 @@
 
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "persist/reader.h"
+#include "persist/writer.h"
 #include "cube/cube_builder.h"
 #include "dataguide/dataguide.h"
 #include "graph/data_graph.h"
@@ -89,6 +91,26 @@ class Snapshot {
       uint64_t epoch, const Snapshot* base, ThreadPool* ingest_pool,
       std::shared_ptr<ThreadPool> query_pool);
 
+  /// Serializes this epoch to a versioned, checksummed binary image at
+  /// `path` (src/persist/ format): options, path dictionary, document trees,
+  /// data-graph edge log, inverted index and dataguide summary as aligned,
+  /// offset-addressed sections. Load()/Seda::Open() reopen the image without
+  /// re-parsing or re-indexing anything and serve byte-identical
+  /// SearchResponses. Snapshots are immutable, so Save can run concurrently
+  /// with searches and commits.
+  Status Save(const std::string& path) const;
+
+  /// Reopens a saved epoch from a validated image: documents materialize in
+  /// parallel over `load_pool`, posting lists and dataguides decode straight
+  /// out of the mapping, and nothing is re-tokenized or re-resolved —
+  /// making reopen O(image size) instead of O(re-ingestion). The loaded
+  /// snapshot is a full epoch: it serves queries (scoring fans out over
+  /// `query_pool` when given) and can be the base of further Commit()s.
+  static Result<std::shared_ptr<const Snapshot>> Load(
+      std::shared_ptr<const persist::MappedImage> image, ThreadPool* load_pool,
+      std::shared_ptr<ThreadPool> query_pool);
+  static Result<std::shared_ptr<const Snapshot>> Load(const std::string& path);
+
   /// Commit epoch id: 1 for the Finalize() epoch, +1 per Commit().
   uint64_t epoch() const { return epoch_; }
   const SedaOptions& options() const { return options_; }
@@ -147,6 +169,12 @@ class Snapshot {
   std::shared_ptr<ThreadPool> query_pool_;
   std::unique_ptr<topk::TopKSearcher> searcher_;
 };
+
+/// SedaOptions codec for the image's options section, shared by
+/// Snapshot::Save/Load and Seda::Open (which must restore the options before
+/// it can size the thread pools).
+void WriteSedaOptions(persist::ImageWriter* writer, const SedaOptions& options);
+Result<SedaOptions> ReadSedaOptions(const persist::MappedImage& image);
 
 }  // namespace seda::core
 

@@ -6,6 +6,8 @@
 
 #include "common/strings.h"
 #include "common/thread_pool.h"
+#include "persist/reader.h"
+#include "persist/writer.h"
 
 namespace seda::dataguide {
 
@@ -188,6 +190,69 @@ void DataguideCollection::IngestDocuments(store::DocId first_doc,
   build_stats_ = stats;
 }
 
+Status DataguideCollection::SaveTo(persist::ImageWriter* writer) const {
+  writer->BeginSection(persist::SectionId::kDataguides);
+  writer->PutU64(guides_.size());
+  for (const Dataguide& guide : guides_) {
+    writer->PutU32Array(guide.paths());
+    writer->PutU32Array(guide.members());
+  }
+  writer->PutU64(build_stats_.documents);
+  writer->PutU64(build_stats_.dataguides);
+  writer->PutU64(build_stats_.merges);
+  writer->PutU64(build_stats_.absorbed);
+  writer->PutDouble(build_stats_.reduction_factor);
+  writer->PutU64(pending_links_.size());
+  for (const PendingLink& link : pending_links_) {
+    writer->PutU64(link.guide_a);
+    writer->PutU64(link.guide_b);
+    writer->PutString(link.path_a);
+    writer->PutString(link.path_b);
+    writer->PutString(link.label);
+  }
+  return writer->EndSection();
+}
+
+Result<DataguideCollection> DataguideCollection::LoadFrom(
+    const persist::MappedImage& image, const store::DocumentStore* store) {
+  SEDA_ASSIGN_OR_RETURN(persist::SectionCursor cursor,
+                        persist::OpenSection(image, persist::SectionId::kDataguides));
+  DataguideCollection collection(store);
+
+  uint64_t guide_count = cursor.GetU64();
+  collection.guides_.reserve(cursor.BoundedCount(guide_count, 8));
+  for (uint64_t g = 0; g < guide_count && !cursor.failed(); ++g) {
+    std::vector<store::PathId> paths = cursor.GetU32Array();
+    std::vector<store::DocId> members = cursor.GetU32Array();
+    for (store::DocId doc : members) {
+      // Every document belongs to exactly one guide, so membership doubles
+      // as the doc -> guide map and needs no separate serialization.
+      collection.guide_of_doc_[doc] = static_cast<size_t>(g);
+    }
+    collection.guides_.push_back(
+        Dataguide::FromParts(std::move(paths), std::move(members)));
+  }
+  collection.build_stats_.documents = cursor.GetU64();
+  collection.build_stats_.dataguides = cursor.GetU64();
+  collection.build_stats_.merges = cursor.GetU64();
+  collection.build_stats_.absorbed = cursor.GetU64();
+  collection.build_stats_.reduction_factor = cursor.GetDouble();
+  uint64_t link_count = cursor.GetU64();
+  collection.pending_links_.reserve(cursor.BoundedCount(link_count, 28));
+  for (uint64_t l = 0; l < link_count && !cursor.failed(); ++l) {
+    PendingLink link;
+    link.guide_a = static_cast<size_t>(cursor.GetU64());
+    link.guide_b = static_cast<size_t>(cursor.GetU64());
+    link.path_a = cursor.GetString();
+    link.path_b = cursor.GetString();
+    link.label = cursor.GetString();
+    collection.pending_links_.push_back(std::move(link));
+  }
+  collection.link_count_ = collection.pending_links_.size();
+  SEDA_RETURN_IF_ERROR(cursor.status());
+  return collection;
+}
+
 void DataguideCollection::AddLinksFromGraph(const graph::DataGraph& graph) {
   // Map every non-tree edge to path level, deduplicating per
   // (guide_a, path_a, guide_b, path_b, label).
@@ -275,7 +340,7 @@ void DataguideCollection::EnsureSummaryGraph() const {
 
 std::vector<Connection> DataguideCollection::FindConnections(
     const std::string& from_path, const std::string& to_path, size_t max_len,
-    size_t max_count) const {
+    size_t max_count, size_t max_steps) const {
   // The mutex guards the lazily-built mutable state — the summary graph, the
   // cache and its counters — because snapshots are shared by concurrent
   // queries, and this is the only read entry point that mutates. The search
@@ -296,7 +361,8 @@ std::vector<Connection> DataguideCollection::FindConnections(
     }
     ++cache_misses_;
   }
-  auto connections = ComputeConnections(from_path, to_path, max_len, max_count);
+  auto connections =
+      ComputeConnections(from_path, to_path, max_len, max_count, max_steps);
   if (cache_enabled_) {
     std::lock_guard<std::mutex> lock(*summary_mu_);
     connection_cache_.emplace(std::move(key), connections);
@@ -306,7 +372,7 @@ std::vector<Connection> DataguideCollection::FindConnections(
 
 std::vector<Connection> DataguideCollection::ComputeConnections(
     const std::string& from_path, const std::string& to_path, size_t max_len,
-    size_t max_count) const {
+    size_t max_count, size_t max_steps) const {
   // Precondition: EnsureSummaryGraph() already ran (FindConnections does it
   // under the lock); from here the summary graph is read-only.
   std::vector<Connection> out;
@@ -325,6 +391,10 @@ std::vector<Connection> DataguideCollection::ComputeConnections(
   // down an edge it came up. Only degenerate immediate reversals are banned:
   // stepping down to a child and straight back up (the same instance), or
   // bouncing back across the same link edge.
+  // Total DFS work budget across all depth iterations; shortest connections
+  // surface first, so an exhausted budget degrades to "fewer long
+  // connections", never to a missing short one.
+  size_t steps = 0;
   for (size_t depth_limit = 1; depth_limit <= max_len && out.size() < max_count;
        ++depth_limit) {
     for (size_t start : from_it->second) {
@@ -340,6 +410,7 @@ std::vector<Connection> DataguideCollection::ComputeConnections(
       std::vector<Frame> frames{{start, 0, SIZE_MAX, Connection::Move::kUp}};
 
       while (!frames.empty()) {
+        if (max_steps > 0 && ++steps > max_steps) return out;
         Frame& frame = frames.back();
         if (step_stack.size() == depth_limit ||
             frame.edge_index >= summary_adj_[frame.node].size()) {

@@ -17,6 +17,11 @@ namespace seda {
 class ThreadPool;
 }
 
+namespace seda::persist {
+class ImageWriter;
+class MappedImage;
+}  // namespace seda::persist
+
 namespace seda::dataguide {
 
 /// A dataguide: the set of distinct root-to-leaf paths of one or more
@@ -45,6 +50,15 @@ class Dataguide {
   void Merge(const std::vector<store::PathId>& other, store::DocId member);
 
   void AddMember(store::DocId doc) { members_.push_back(doc); }
+
+  /// Persistence hook: reassembles a dataguide from its serialized parts.
+  static Dataguide FromParts(std::vector<store::PathId> paths,
+                             std::vector<store::DocId> members) {
+    Dataguide guide;
+    guide.paths_ = std::move(paths);
+    guide.members_ = std::move(members);
+    return guide;
+  }
 
  private:
   std::vector<store::PathId> paths_;    // sorted, distinct
@@ -138,10 +152,17 @@ class DataguideCollection {
   /// Finds up to `max_count` distinct simple connections between two
   /// contexts, each at most `max_len` moves, ordered by length (shortest
   /// first, the paper's preference). Results are cached per (from, to) pair.
+  /// `max_steps` (0 = unlimited) bounds the total DFS edge expansions: the
+  /// summary graph allows revisits (see ComputeConnections), so on schema
+  /// clusters with wide fan-out an exhaustive depth-6 enumeration is
+  /// exponential — the budget keeps the (cached, cold) probe in the tens of
+  /// milliseconds and iterative deepening guarantees the shortest
+  /// connections are found before it runs out.
   std::vector<Connection> FindConnections(const std::string& from_path,
                                           const std::string& to_path,
                                           size_t max_len = 6,
-                                          size_t max_count = 16) const;
+                                          size_t max_count = 16,
+                                          size_t max_steps = 1000000) const;
 
   /// Cache behaviour control + counters (ablation A3).
   void set_cache_enabled(bool enabled) { cache_enabled_ = enabled; }
@@ -150,6 +171,15 @@ class DataguideCollection {
 
   /// Total number of link edges added from the data graph.
   size_t LinkCount() const { return link_count_; }
+
+  /// Persistence hooks (src/persist/): writes guides, build statistics and
+  /// the path-level link edges / reconstructs the collection over `store`.
+  /// The lazy summary graph and the connection cache start cold (they are
+  /// derived state); Extend() continues a loaded collection exactly like an
+  /// in-memory one.
+  Status SaveTo(persist::ImageWriter* writer) const;
+  static Result<DataguideCollection> LoadFrom(const persist::MappedImage& image,
+                                              const store::DocumentStore* store);
 
  private:
   explicit DataguideCollection(const store::DocumentStore* store) : store_(store) {}
@@ -174,7 +204,8 @@ class DataguideCollection {
   void EnsureSummaryGraph() const;
   std::vector<Connection> ComputeConnections(const std::string& from_path,
                                              const std::string& to_path,
-                                             size_t max_len, size_t max_count) const;
+                                             size_t max_len, size_t max_count,
+                                             size_t max_steps) const;
 
   const store::DocumentStore* store_;
   std::vector<Dataguide> guides_;

@@ -7,6 +7,8 @@
 
 #include "common/strings.h"
 #include "common/thread_pool.h"
+#include "persist/reader.h"
+#include "persist/writer.h"
 
 namespace seda::graph {
 
@@ -74,10 +76,66 @@ const char* EdgeTypeName(EdgeType type) {
 
 void DataGraph::AddEdge(const store::NodeId& from, const store::NodeId& to,
                         EdgeType type, const std::string& label) {
-  Edge edge{from, to, type, label};
-  out_edges_[from].push_back(edge);
-  in_edges_[to].push_back(edge);
-  ++edge_count_;
+  uint32_t index = static_cast<uint32_t>(edges_.size());
+  edges_.push_back(Edge{from, to, type, label});
+  out_edges_[from].push_back(index);
+  in_edges_[to].push_back(index);
+}
+
+Status DataGraph::SaveTo(persist::ImageWriter* writer) const {
+  writer->BeginSection(persist::SectionId::kGraphEdges);
+
+  // Labels repeat heavily (one per relationship name), so pool them.
+  std::unordered_map<std::string, uint32_t> label_ids;
+  std::vector<const std::string*> labels;
+  for (const Edge& edge : edges_) {
+    auto [it, inserted] =
+        label_ids.emplace(edge.label, static_cast<uint32_t>(labels.size()));
+    if (inserted) labels.push_back(&it->first);
+  }
+  writer->PutU32(static_cast<uint32_t>(labels.size()));
+  for (const std::string* label : labels) writer->PutString(*label);
+
+  writer->PutU64(edges_.size());
+  for (const Edge& edge : edges_) {
+    writer->PutU32(edge.from.doc);
+    writer->PutU32Array(edge.from.dewey.components());
+    writer->PutU32(edge.to.doc);
+    writer->PutU32Array(edge.to.dewey.components());
+    writer->PutU8(static_cast<uint8_t>(edge.type));
+    writer->PutU32(label_ids[edge.label]);
+  }
+  return writer->EndSection();
+}
+
+Result<std::unique_ptr<DataGraph>> DataGraph::LoadFrom(
+    const persist::MappedImage& image, const store::DocumentStore* store) {
+  SEDA_ASSIGN_OR_RETURN(persist::SectionCursor cursor,
+                        persist::OpenSection(image, persist::SectionId::kGraphEdges));
+  auto graph = std::make_unique<DataGraph>(store);
+
+  uint32_t label_count = cursor.GetU32();
+  std::vector<std::string> labels;
+  labels.reserve(cursor.BoundedCount(label_count, 4));
+  for (uint32_t i = 0; i < label_count && !cursor.failed(); ++i) {
+    labels.push_back(cursor.GetString());
+  }
+
+  uint64_t edge_count = cursor.GetU64();
+  graph->edges_.reserve(cursor.BoundedCount(edge_count, 21));
+  for (uint64_t i = 0; i < edge_count && !cursor.failed(); ++i) {
+    store::NodeId from{cursor.GetU32(), xml::DeweyId(cursor.GetU32Array())};
+    store::NodeId to{cursor.GetU32(), xml::DeweyId(cursor.GetU32Array())};
+    uint8_t type = cursor.GetU8();
+    uint32_t label = cursor.GetU32();
+    if (type > static_cast<uint8_t>(EdgeType::kValueBased) ||
+        label >= labels.size()) {
+      return Status::ParseError("image graph edge record malformed");
+    }
+    graph->AddEdge(from, to, static_cast<EdgeType>(type), labels[label]);
+  }
+  SEDA_RETURN_IF_ERROR(cursor.status());
+  return graph;
 }
 
 size_t DataGraph::ResolveLinks(bool idrefs, bool xlinks, ThreadPool* pool) {
@@ -195,75 +253,89 @@ size_t DataGraph::AddValueBasedEdges(const std::string& pk_path,
 std::vector<Edge> DataGraph::NonTreeEdges(const store::NodeId& node) const {
   std::vector<Edge> out;
   if (auto it = out_edges_.find(node); it != out_edges_.end()) {
-    out.insert(out.end(), it->second.begin(), it->second.end());
+    for (uint32_t e : it->second) out.push_back(edges_[e]);
   }
   if (auto it = in_edges_.find(node); it != in_edges_.end()) {
-    out.insert(out.end(), it->second.begin(), it->second.end());
+    for (uint32_t e : it->second) out.push_back(edges_[e]);
   }
   return out;
 }
 
-std::vector<store::NodeId> DataGraph::Neighbors(const store::NodeId& node) const {
-  std::vector<store::NodeId> out;
-  xml::Node* n = store_->GetNode(node);
-  if (n == nullptr) return out;
-  if (n->parent() != nullptr) {
-    out.push_back(store::NodeId{node.doc, n->parent()->dewey()});
-  }
-  for (const auto& child : n->children()) {
-    if (child->kind() == xml::NodeKind::kText) continue;
-    out.push_back(store::NodeId{node.doc, child->dewey()});
-  }
+size_t DataGraph::Degree(const store::NodeId& node) const {
+  size_t degree = 0;
   if (auto it = out_edges_.find(node); it != out_edges_.end()) {
-    for (const Edge& e : it->second) out.push_back(e.to);
+    degree += it->second.size();
   }
   if (auto it = in_edges_.find(node); it != in_edges_.end()) {
-    for (const Edge& e : it->second) out.push_back(e.from);
+    degree += it->second.size();
   }
+  return degree;
+}
+
+std::vector<store::NodeId> DataGraph::Neighbors(const store::NodeId& node) const {
+  std::vector<store::NodeId> out;
+  ForEachNeighbor(node, [&out](const store::NodeId& next) {
+    out.push_back(next);
+    return true;
+  });
   return out;
 }
 
 std::optional<size_t> DataGraph::ShortestPathLength(const store::NodeId& a,
                                                     const store::NodeId& b,
-                                                    size_t max_depth) const {
-  auto path = ShortestPath(a, b, max_depth);
+                                                    size_t max_depth,
+                                                    size_t max_visits) const {
+  auto path = ShortestPath(a, b, max_depth, max_visits);
   if (path.empty()) return std::nullopt;
   return path.size() - 1;
 }
 
 std::vector<store::NodeId> DataGraph::ShortestPath(const store::NodeId& a,
                                                    const store::NodeId& b,
-                                                   size_t max_depth) const {
+                                                   size_t max_depth,
+                                                   size_t max_visits) const {
   if (a == b) return {a};
   std::unordered_map<store::NodeId, store::NodeId, store::NodeIdHasher> parent;
   std::deque<std::pair<store::NodeId, size_t>> queue;
   queue.emplace_back(a, 0);
   parent.emplace(a, a);
-  while (!queue.empty()) {
+  size_t visited = 1;
+  bool found = false;
+  while (!queue.empty() && !found) {
     auto [current, depth] = queue.front();
     queue.pop_front();
     if (depth >= max_depth) continue;
-    for (const store::NodeId& next : Neighbors(current)) {
-      if (parent.count(next)) continue;
+    // Work budget: a dense value-edge mesh puts the whole collection within
+    // a few hops, so an exhausted budget reads as "not connected" instead of
+    // flooding the store on every call.
+    if (max_visits > 0 && visited >= max_visits) break;
+    // Allocation-free neighbor walk (identical visit order to Neighbors()).
+    ForEachNeighbor(current, [&](const store::NodeId& next) {
+      if (parent.count(next)) return true;
       parent.emplace(next, current);
+      ++visited;
       if (next == b) {
-        std::vector<store::NodeId> path{b};
-        store::NodeId walk = b;
-        while (!(walk == a)) {
-          walk = parent.at(walk);
-          path.push_back(walk);
-        }
-        std::reverse(path.begin(), path.end());
-        return path;
+        found = true;
+        return false;
       }
       queue.emplace_back(next, depth + 1);
-    }
+      return true;
+    });
   }
-  return {};
+  if (!found) return {};
+  std::vector<store::NodeId> path{b};
+  store::NodeId walk = b;
+  while (!(walk == a)) {
+    walk = parent.at(walk);
+    path.push_back(walk);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
 }
 
 std::optional<size_t> DataGraph::ConnectionSize(
-    const std::vector<store::NodeId>& nodes, size_t max_depth) const {
+    const std::vector<store::NodeId>& nodes, size_t max_depth,
+    size_t max_visits) const {
   if (nodes.size() <= 1) return 0;
   // Group nodes by document.
   std::unordered_map<store::DocId, std::vector<xml::DeweyId>> by_doc;
@@ -306,7 +378,8 @@ std::optional<size_t> DataGraph::ConnectionSize(
           best_index = std::min(best_index, i);
           continue;
         }
-        auto len = ShortestPathLength(representatives[j], representatives[i], max_depth);
+        auto len = ShortestPathLength(representatives[j], representatives[i],
+                                      max_depth, max_visits);
         if (len && *len < best_cost) {
           best_cost = *len;
           best_index = i;

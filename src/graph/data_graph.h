@@ -14,6 +14,11 @@ namespace seda {
 class ThreadPool;
 }
 
+namespace seda::persist {
+class ImageWriter;
+class MappedImage;
+}  // namespace seda::persist
+
 namespace seda::graph {
 
 /// The four relationship kinds of Definition 2 in the paper.
@@ -84,22 +89,72 @@ class DataGraph {
   /// Non-tree edges leaving `node` (both stored directions).
   std::vector<Edge> NonTreeEdges(const store::NodeId& node) const;
 
-  size_t EdgeCount() const { return edge_count_; }
+  /// Non-tree degree of `node` (out + in) without materializing the edges —
+  /// the hub test TopKSearcher's cross-document borrow runs per edge.
+  size_t Degree(const store::NodeId& node) const;
+
+  size_t EdgeCount() const { return edges_.size(); }
+
+  /// Every non-tree edge in insertion (document) order — the deterministic
+  /// log persistence replays so a loaded graph's adjacency lists are
+  /// byte-identical to the ones the resolve scans built.
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Persistence hooks (src/persist/): writes the edge log with a label
+  /// string pool / reconstructs a graph over `store` by replaying it.
+  Status SaveTo(persist::ImageWriter* writer) const;
+  static Result<std::unique_ptr<DataGraph>> LoadFrom(
+      const persist::MappedImage& image, const store::DocumentStore* store);
 
   /// All neighbors of `node`: parent, children, plus non-tree edges.
   std::vector<store::NodeId> Neighbors(const store::NodeId& node) const;
 
+  /// Visits every neighbor in exactly Neighbors() order without
+  /// materializing the vector — the BFS hot path runs this once per expanded
+  /// node, and on mesh-like graphs the allocation-free walk is what keeps a
+  /// budgeted ShortestPath in the microsecond range. `fn` returns false to
+  /// stop early.
+  template <typename Fn>
+  void ForEachNeighbor(const store::NodeId& node, const Fn& fn) const {
+    xml::Node* n = store_->GetNode(node);
+    if (n == nullptr) return;
+    if (n->parent() != nullptr) {
+      if (!fn(store::NodeId{node.doc, n->parent()->dewey()})) return;
+    }
+    for (const auto& child : n->children()) {
+      if (child->kind() == xml::NodeKind::kText) continue;
+      if (!fn(store::NodeId{node.doc, child->dewey()})) return;
+    }
+    if (auto it = out_edges_.find(node); it != out_edges_.end()) {
+      for (uint32_t e : it->second) {
+        if (!fn(edges_[e].to)) return;
+      }
+    }
+    if (auto it = in_edges_.find(node); it != in_edges_.end()) {
+      for (uint32_t e : it->second) {
+        if (!fn(edges_[e].from)) return;
+      }
+    }
+  }
+
   /// Length of the shortest path between two nodes traversing parent/child
   /// and non-tree edges, bounded by `max_depth` (BFS). nullopt when not
-  /// connected within the bound.
+  /// connected within the bound. `max_visits` (0 = unlimited) additionally
+  /// caps the nodes the BFS may expand: in a collection whose value-edge
+  /// mesh puts everything within a few hops of everything, a depth bound
+  /// alone still floods the whole store per call (the ROADMAP hub cliff), so
+  /// callers scoring many tuples pass a work budget and treat an exhausted
+  /// search as "not connected".
   std::optional<size_t> ShortestPathLength(const store::NodeId& a,
                                            const store::NodeId& b,
-                                           size_t max_depth) const;
+                                           size_t max_depth,
+                                           size_t max_visits = 0) const;
 
   /// Shortest path (sequence of nodes, inclusive of endpoints) or empty.
   std::vector<store::NodeId> ShortestPath(const store::NodeId& a,
                                           const store::NodeId& b,
-                                          size_t max_depth) const;
+                                          size_t max_depth,
+                                          size_t max_visits = 0) const;
 
   /// Size (edge count) of the minimal connected subgraph containing all
   /// `nodes`. For nodes within one document this is the exact Steiner-tree
@@ -108,9 +163,13 @@ class DataGraph {
   /// the tuple cannot be connected within `max_depth` per hop.
   ///
   /// This is the "compactness of the graph representing a tuple of nodes"
-  /// that drives the paper's top-k scoring function (§4).
+  /// that drives the paper's top-k scoring function (§4). Within-document
+  /// connections use the closed-form Euler identity (no search); only
+  /// cross-document hops run BFS, each bounded by `max_visits` (see
+  /// ShortestPathLength).
   std::optional<size_t> ConnectionSize(const std::vector<store::NodeId>& nodes,
-                                       size_t max_depth = 12) const;
+                                       size_t max_depth = 12,
+                                       size_t max_visits = 0) const;
 
  private:
   /// id attribute value -> element carrying it (first occurrence wins).
@@ -120,9 +179,15 @@ class DataGraph {
   size_t ResolveXLinks(const IdTargetMap& targets, ThreadPool* pool);
 
   const store::DocumentStore* store_;
-  std::unordered_map<store::NodeId, std::vector<Edge>, store::NodeIdHasher> out_edges_;
-  std::unordered_map<store::NodeId, std::vector<Edge>, store::NodeIdHasher> in_edges_;
-  size_t edge_count_ = 0;
+  /// Each edge is stored once, in the insertion-order log; the adjacency
+  /// maps hold indices into it (an edge used to be copied into both maps,
+  /// which tripled graph memory and image-load time).
+  std::unordered_map<store::NodeId, std::vector<uint32_t>, store::NodeIdHasher>
+      out_edges_;
+  std::unordered_map<store::NodeId, std::vector<uint32_t>, store::NodeIdHasher>
+      in_edges_;
+  /// Insertion-order log of every AddEdge call (see edges()).
+  std::vector<Edge> edges_;
 };
 
 }  // namespace seda::graph

@@ -1,0 +1,161 @@
+#ifndef SEDA_PERSIST_READER_H_
+#define SEDA_PERSIST_READER_H_
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "persist/format.h"
+
+namespace seda::persist {
+
+/// A snapshot image mapped read-only into the address space. Open() validates
+/// the header (magic, format version, endianness, declared vs actual size),
+/// the section table bounds and every section's CRC32 before returning, so a
+/// truncated, corrupted or mismatched image surfaces as one clean Status and
+/// decoding never touches unverified bytes.
+///
+/// The mapping is the only copy of the bulk data: SectionCursors decode
+/// directly out of it (offset-addressed, alignment-padded segments), and only
+/// the pointer-bearing heads — hash indexes, tree nodes, posting vectors —
+/// are materialized on the heap by the per-layer Load hooks.
+class MappedImage {
+ public:
+  static Result<std::shared_ptr<MappedImage>> Open(const std::string& path);
+
+  ~MappedImage();
+  MappedImage(const MappedImage&) = delete;
+  MappedImage& operator=(const MappedImage&) = delete;
+
+  uint64_t epoch() const { return header_.epoch; }
+  uint64_t file_size() const { return header_.file_size; }
+  const std::string& path() const { return path_; }
+
+  bool HasSection(SectionId id) const;
+  /// Payload span of a section; NotFound when the image lacks it.
+  Result<std::pair<const uint8_t*, size_t>> Section(SectionId id) const;
+
+ private:
+  MappedImage() = default;
+  Status Validate();
+
+  std::string path_;
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+  bool mapped_ = false;            ///< mmap'd vs heap fallback
+  std::vector<uint8_t> fallback_;  ///< used when mmap is unavailable
+  FileHeader header_{};
+  std::vector<SectionEntry> sections_;
+};
+
+/// Bounds-checked sequential decoder over one section's bytes. Errors are
+/// sticky: any read past the end returns zeroes/empties and latches a failed
+/// state, so decode loops stay branch-light and callers check status() once
+/// at the end. The CRC pass in MappedImage::Open makes overruns unreachable
+/// for well-formed images; the checks here keep even a hostile image at
+/// "clean error", never undefined behaviour.
+class SectionCursor {
+ public:
+  SectionCursor(const uint8_t* data, size_t size, SectionId id)
+      : data_(data), end_(data + size), id_(id) {}
+
+  uint8_t GetU8() {
+    uint8_t v = 0;
+    GetRaw(&v, sizeof(v));
+    return v;
+  }
+  uint32_t GetU32() {
+    uint32_t v = 0;
+    GetRaw(&v, sizeof(v));
+    return v;
+  }
+  uint64_t GetU64() {
+    uint64_t v = 0;
+    GetRaw(&v, sizeof(v));
+    return v;
+  }
+  double GetDouble() {
+    double v = 0;
+    GetRaw(&v, sizeof(v));
+    return v;
+  }
+  std::string GetString() {
+    uint32_t size = GetU32();
+    if (!Ensure(size)) return {};
+    std::string out(reinterpret_cast<const char*>(data_), size);
+    data_ += size;
+    return out;
+  }
+  /// Reads a u32-count-prefixed flat array in one memcpy.
+  std::vector<uint32_t> GetU32Array() {
+    uint32_t count = GetU32();
+    std::vector<uint32_t> out;
+    size_t bytes = size_t{count} * sizeof(uint32_t);
+    if (!Ensure(bytes)) return out;
+    out.resize(count);
+    std::memcpy(out.data(), data_, bytes);
+    data_ += bytes;
+    return out;
+  }
+
+  /// Reads a u64-length-prefixed sub-blob (ImageWriter::BeginBlob/EndBlob):
+  /// returns an independent cursor over its bytes and skips past it, so
+  /// callers can stash blob cursors and decode them in parallel.
+  SectionCursor GetBlob() {
+    uint64_t size = GetU64();
+    if (!Ensure(size)) return SectionCursor(nullptr, 0, id_);
+    SectionCursor sub(data_, static_cast<size_t>(size), id_);
+    data_ += size;
+    return sub;
+  }
+
+  bool failed() const { return failed_; }
+  size_t remaining() const { return static_cast<size_t>(end_ - data_); }
+  /// Current read position (valid for remaining() bytes) — lets callers keep
+  /// a not-yet-decoded span as an offset-addressed view into the mapping.
+  const uint8_t* data() const { return data_; }
+
+  /// Clamp for container reserves driven by decoded counts: no section can
+  /// hold more elements than its remaining bytes could encode, so a garbage
+  /// count (which bounds checks will catch a few reads later) never triggers
+  /// a pathological allocation first.
+  size_t BoundedCount(uint64_t count, size_t min_bytes_per_element) const {
+    uint64_t cap = min_bytes_per_element > 0
+                       ? remaining() / min_bytes_per_element
+                       : remaining();
+    return static_cast<size_t>(count < cap ? count : cap);
+  }
+
+  /// OK iff every read so far was in bounds. Call after decoding a section;
+  /// the message names the section.
+  Status status() const;
+
+ private:
+  bool Ensure(size_t size) {
+    if (failed_ || size > remaining()) {
+      failed_ = true;
+      return false;
+    }
+    return true;
+  }
+  void GetRaw(void* out, size_t size) {
+    if (!Ensure(size)) return;
+    std::memcpy(out, data_, size);
+    data_ += size;
+  }
+
+  const uint8_t* data_;
+  const uint8_t* end_;
+  SectionId id_;
+  bool failed_ = false;
+};
+
+/// Convenience: cursor over a section of `image`, or NotFound.
+Result<SectionCursor> OpenSection(const MappedImage& image, SectionId id);
+
+}  // namespace seda::persist
+
+#endif  // SEDA_PERSIST_READER_H_

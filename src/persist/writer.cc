@@ -1,0 +1,106 @@
+#include "persist/writer.h"
+
+#include <cstdio>
+
+namespace seda::persist {
+
+namespace {
+
+uint64_t AlignUp(uint64_t offset) {
+  return (offset + kSectionAlignment - 1) & ~(uint64_t{kSectionAlignment} - 1);
+}
+
+}  // namespace
+
+ImageWriter::~ImageWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status ImageWriter::Open(const std::string& path) {
+  if (file_ != nullptr) {
+    return Status::FailedPrecondition("ImageWriter already open");
+  }
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    return Status::IoError("cannot create image file: " + path);
+  }
+  path_ = path;
+  // Reserve the header slot with zeroes; Finish() rewrites it. Until then the
+  // magic check makes readers reject the partial image.
+  FileHeader blank{};
+  std::memset(&blank, 0, sizeof(blank));
+  if (std::fwrite(&blank, sizeof(blank), 1, file_) != 1) {
+    return Status::IoError("write failed: " + path_);
+  }
+  offset_ = sizeof(FileHeader);
+  return Status::OK();
+}
+
+void ImageWriter::BeginSection(SectionId id) {
+  current_id_ = id;
+  in_section_ = true;
+  buffer_.clear();
+  sink_ = &buffer_;
+}
+
+Status ImageWriter::WritePadded(const void* data, size_t size) {
+  uint64_t aligned = AlignUp(offset_);
+  if (aligned != offset_) {
+    static const char zeroes[kSectionAlignment] = {0};
+    size_t pad = static_cast<size_t>(aligned - offset_);
+    if (std::fwrite(zeroes, 1, pad, file_) != pad) {
+      return Status::IoError("write failed: " + path_);
+    }
+    offset_ = aligned;
+  }
+  if (size > 0 && std::fwrite(data, 1, size, file_) != size) {
+    return Status::IoError("write failed: " + path_);
+  }
+  offset_ += size;
+  return Status::OK();
+}
+
+Status ImageWriter::EndSection() {
+  if (file_ == nullptr || !in_section_) {
+    return Status::FailedPrecondition("EndSection without BeginSection");
+  }
+  SectionEntry entry;
+  entry.id = static_cast<uint32_t>(current_id_);
+  entry.offset = AlignUp(offset_);
+  entry.size = buffer_.size();
+  entry.crc = Crc32(buffer_.data(), buffer_.size());
+  SEDA_RETURN_IF_ERROR(WritePadded(buffer_.data(), buffer_.size()));
+  sections_.push_back(entry);
+  buffer_.clear();
+  in_section_ = false;
+  return Status::OK();
+}
+
+Status ImageWriter::Finish(uint64_t epoch) {
+  if (file_ == nullptr) return Status::FailedPrecondition("writer not open");
+  if (in_section_) return Status::FailedPrecondition("unterminated section");
+
+  uint64_t table_offset = AlignUp(offset_);
+  SEDA_RETURN_IF_ERROR(WritePadded(
+      sections_.data(), sections_.size() * sizeof(SectionEntry)));
+
+  FileHeader header{};
+  std::memcpy(header.magic, kMagic, sizeof(kMagic));
+  header.format_version = kFormatVersion;
+  header.endian_tag = kEndianTag;
+  header.epoch = epoch;
+  header.section_count = sections_.size();
+  header.section_table_offset = table_offset;
+  header.file_size = offset_;
+  header.header_crc =
+      Crc32(&header, offsetof(FileHeader, header_crc));
+  bool ok = std::fseek(file_, 0, SEEK_SET) == 0 &&
+            std::fwrite(&header, sizeof(header), 1, file_) == 1 &&
+            std::fflush(file_) == 0;
+  std::fclose(file_);
+  file_ = nullptr;
+  if (!ok) return Status::IoError("finalizing image failed: " + path_);
+  return Status::OK();
+}
+
+}  // namespace seda::persist

@@ -1,0 +1,100 @@
+#ifndef SEDA_PERSIST_WRITER_H_
+#define SEDA_PERSIST_WRITER_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "persist/format.h"
+
+namespace seda::persist {
+
+/// Streaming writer for a snapshot image. Usage:
+///
+///   ImageWriter writer;
+///   SEDA_RETURN_IF_ERROR(writer.Open(path));
+///   writer.BeginSection(SectionId::kStorePaths);
+///   writer.PutU64(...); writer.PutString(...);
+///   SEDA_RETURN_IF_ERROR(writer.EndSection());
+///   ... more sections ...
+///   SEDA_RETURN_IF_ERROR(writer.Finish(epoch));
+///
+/// Each section is buffered in memory, checksummed, and flushed at a
+/// kSectionAlignment boundary. Finish() appends the section table and
+/// rewrites the header, so a crash mid-write leaves an image that readers
+/// reject (the header is all zeroes until the final step).
+class ImageWriter {
+ public:
+  ImageWriter() = default;
+  ~ImageWriter();
+  ImageWriter(const ImageWriter&) = delete;
+  ImageWriter& operator=(const ImageWriter&) = delete;
+
+  /// Creates/truncates `path` and reserves the header slot.
+  Status Open(const std::string& path);
+
+  void BeginSection(SectionId id);
+
+  // --- primitives, valid between BeginSection and EndSection ----------
+  void PutU8(uint8_t v) { sink_->push_back(static_cast<char>(v)); }
+  void PutU32(uint32_t v) { PutRaw(&v, sizeof(v)); }
+  void PutU64(uint64_t v) { PutRaw(&v, sizeof(v)); }
+  void PutDouble(double v) { PutRaw(&v, sizeof(v)); }  // exact bit pattern
+  /// Length-prefixed (u32) byte string.
+  void PutString(const std::string& s) {
+    PutU32(static_cast<uint32_t>(s.size()));
+    PutRaw(s.data(), s.size());
+  }
+  /// Length-prefixed (u32 count) flat little-endian u32 array — the layout
+  /// bulk segments (path ids, Dewey components, positions) use, readable as
+  /// one contiguous span.
+  void PutU32Array(const std::vector<uint32_t>& values) {
+    PutU32(static_cast<uint32_t>(values.size()));
+    PutRaw(values.data(), values.size() * sizeof(uint32_t));
+  }
+
+  /// Redirects subsequent Puts into a standalone blob; EndBlob() emits it as
+  /// a u64-length-prefixed unit. Readers can skip blobs without decoding
+  /// them, which is what lets the store section materialize documents in
+  /// parallel. Blobs do not nest.
+  void BeginBlob() {
+    blob_.clear();
+    sink_ = &blob_;
+  }
+  void EndBlob() {
+    sink_ = &buffer_;
+    PutU64(blob_.size());
+    buffer_.append(blob_);
+  }
+
+  /// Checksums and flushes the buffered section at an aligned offset.
+  Status EndSection();
+
+  /// Appends the section table, then rewrites the header with `epoch` and the
+  /// final file size. The writer is closed afterwards.
+  Status Finish(uint64_t epoch);
+
+ private:
+  void PutRaw(const void* data, size_t size) {
+    const char* bytes = static_cast<const char*>(data);
+    sink_->append(bytes, size);
+  }
+  Status WritePadded(const void* data, size_t size);
+
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  std::string buffer_;
+  std::string blob_;
+  std::string* sink_ = &buffer_;
+  SectionId current_id_ = SectionId::kOptions;
+  bool in_section_ = false;
+  uint64_t offset_ = 0;  ///< next write offset (always aligned outside flush)
+  std::vector<SectionEntry> sections_;
+};
+
+}  // namespace seda::persist
+
+#endif  // SEDA_PERSIST_WRITER_H_

@@ -11,6 +11,15 @@
 #include "store/path_dictionary.h"
 #include "xml/document.h"
 
+namespace seda {
+class ThreadPool;
+}
+
+namespace seda::persist {
+class ImageWriter;
+class MappedImage;
+}  // namespace seda::persist
+
 namespace seda::store {
 
 /// Dense id of a document within the store.
@@ -86,6 +95,16 @@ class DocumentStore {
   const std::vector<PathId>& DocumentPathSet(DocId id) const {
     return *doc_path_sets_[id];
   }
+
+  /// Persistence hooks (src/persist/): writes the store-paths and store-docs
+  /// sections (dictionary, preorder document trees as skippable blobs,
+  /// per-document path sets) / reconstructs a store from a validated image.
+  /// Dewey ids are recomputed from tree shape (they are purely structural),
+  /// and document blobs materialize in parallel over `pool` when given. The
+  /// loaded store is indistinguishable from the one ingestion built.
+  Status SaveTo(persist::ImageWriter* writer) const;
+  static Result<std::unique_ptr<DocumentStore>> LoadFrom(
+      const persist::MappedImage& image, ThreadPool* pool = nullptr);
 
   /// Visits every (NodeId, Node*) in document order across the collection.
   template <typename Fn>

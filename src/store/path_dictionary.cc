@@ -1,6 +1,8 @@
 #include "store/path_dictionary.h"
 
 #include "common/strings.h"
+#include "persist/reader.h"
+#include "persist/writer.h"
 
 namespace seda::store {
 
@@ -30,6 +32,37 @@ PathId PathDictionary::Intern(const std::string& path, bool doc_first_occurrence
   paths_[id].node_count += 1;
   if (doc_first_occurrence) paths_[id].doc_count += 1;
   return id;
+}
+
+void PathDictionary::SaveTo(persist::ImageWriter* writer) const {
+  writer->PutU64(paths_.size());
+  for (const Entry& entry : paths_) {
+    writer->PutString(entry.text);
+    writer->PutU64(entry.node_count);
+    writer->PutU64(entry.doc_count);
+  }
+}
+
+Status PathDictionary::LoadFrom(persist::SectionCursor* cursor) {
+  paths_.clear();
+  index_.clear();
+  by_last_tag_.clear();
+  uint64_t count = cursor->GetU64();
+  paths_.reserve(cursor->BoundedCount(count, 20));
+  for (uint64_t i = 0; i < count && !cursor->failed(); ++i) {
+    Entry entry;
+    entry.text = cursor->GetString();
+    entry.last_tag = ExtractLastTag(entry.text);
+    entry.node_count = cursor->GetU64();
+    entry.doc_count = cursor->GetU64();
+    PathId id = static_cast<PathId>(paths_.size());
+    paths_.push_back(std::move(entry));
+    index_.emplace(paths_[id].text, id);
+    // Ids enter each last-tag bucket in increasing order, exactly as the
+    // original Intern() sequence produced them.
+    by_last_tag_[paths_[id].last_tag].push_back(id);
+  }
+  return cursor->status();
 }
 
 PathId PathDictionary::Find(const std::string& path) const {

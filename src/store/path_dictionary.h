@@ -6,6 +6,13 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/status.h"
+
+namespace seda::persist {
+class ImageWriter;
+class SectionCursor;
+}  // namespace seda::persist
+
 namespace seda::store {
 
 /// Integer id of a distinct root-to-leaf label path in the collection.
@@ -50,6 +57,13 @@ class PathDictionary {
 
   /// All path ids whose last tag matches wildcard `pattern` ('*'/'?').
   std::vector<PathId> PathsMatchingTagPattern(const std::string& pattern) const;
+
+  /// Persistence hooks (src/persist/): appends this dictionary's entries to
+  /// the current section / reconstructs them (entries in id order, hash
+  /// indexes rebuilt) from one. The loaded dictionary is indistinguishable
+  /// from the one Intern() built.
+  void SaveTo(persist::ImageWriter* writer) const;
+  Status LoadFrom(persist::SectionCursor* cursor);
 
  private:
   struct Entry {

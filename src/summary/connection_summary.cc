@@ -85,9 +85,9 @@ ConnectionSummary ConnectionSummaryGenerator::Generate(
         xml::Node* node_b = store.GetNode(tuple.nodes[b].node);
         if (node_a == nullptr || node_b == nullptr) continue;
         path_pairs.emplace(node_a->ContextPath(), node_b->ContextPath());
-        auto instance_path = graph_->ShortestPath(tuple.nodes[a].node,
-                                                  tuple.nodes[b].node,
-                                                  options.max_connection_len);
+        auto instance_path = graph_->ShortestPath(
+            tuple.nodes[a].node, tuple.nodes[b].node,
+            options.max_connection_len, options.max_path_visits);
         if (instance_path.empty()) continue;
         auto signature = AbstractInstancePath(instance_path, *graph_);
         if (signature) instance_signatures[*signature] += 1;

@@ -49,6 +49,12 @@ class ConnectionSummaryGenerator {
   struct Options {
     size_t max_connection_len = 6;
     size_t max_connections_per_pair = 8;
+    /// Work budget per instance-validation BFS (DataGraph::ShortestPath
+    /// visits). On a dense value-edge mesh an unbudgeted search floods the
+    /// whole store once per top-k tuple pair — the same hub cliff the top-k
+    /// engine caps — so a pair whose shortest path is not found within the
+    /// budget counts as unconnected. 0 = unlimited.
+    size_t max_path_visits = 2048;
   };
 
   ConnectionSummary Generate(const std::vector<topk::ScoredTuple>& topk_results,

@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "common/thread_pool.h"
+#include "persist/reader.h"
+#include "persist/writer.h"
 #include "text/analyzer.h"
 
 namespace seda::text {
@@ -130,14 +132,25 @@ InvertedIndex::InvertedIndex(const InvertedIndex& base,
                              const store::DocumentStore* store,
                              store::DocId first_new_doc, ThreadPool* pool)
     : store_(store),
-      node_postings_(base.node_postings_),
       path_postings_(base.path_postings_),
-      path_counts_(base.path_counts_),
       doc_freq_(base.doc_freq_),
       max_tf_(base.max_tf_),
       nodes_by_path_(base.nodes_by_path_),
       indexed_nodes_(base.indexed_nodes_) {
+  // A base opened from an image may still hold lazy posting spans; the
+  // incremental merge appends to full lists, so decode them all once. The
+  // new epoch is fully in-memory (it does not co-own the image).
+  base.MaterializeAllPostings();
+  base.MaterializePathCounts();
+  node_postings_ = base.node_postings_;
+  path_counts_ = base.path_counts_;
   IndexRange(first_new_doc, pool);
+}
+
+size_t InvertedIndex::TermCount() const {
+  if (image_ == nullptr) return node_postings_.size();
+  std::shared_lock<std::shared_mutex> lock(lazy_mu_);
+  return node_postings_.size() + lazy_postings_.size();
 }
 
 void InvertedIndex::IndexRange(store::DocId first_doc, ThreadPool* pool) {
@@ -267,9 +280,244 @@ void InvertedIndex::IndexNode(DocShard* shard, const store::NodeId& id,
   }
 }
 
+namespace {
+
+/// Keys of a string-keyed map, sorted — fixes an iteration order so images
+/// are byte-stable across runs and identical builds hash to identical files.
+template <typename Map>
+std::vector<const std::string*> SortedKeys(const Map& map) {
+  std::vector<const std::string*> keys;
+  keys.reserve(map.size());
+  for (const auto& [key, value] : map) keys.push_back(&key);
+  std::sort(keys.begin(), keys.end(),
+            [](const std::string* a, const std::string* b) { return *a < *b; });
+  return keys;
+}
+
+void PutNodeId(persist::ImageWriter* writer, const store::NodeId& node) {
+  writer->PutU32(node.doc);
+  writer->PutU32Array(node.dewey.components());
+}
+
+store::NodeId GetNodeId(persist::SectionCursor* cursor) {
+  uint32_t doc = cursor->GetU32();
+  return store::NodeId{doc, xml::DeweyId(cursor->GetU32Array())};
+}
+
+}  // namespace
+
+Status InvertedIndex::SaveTo(persist::ImageWriter* writer) const {
+  // An index that was itself opened from an image may still hold lazy spans
+  // (into a mapping this writer might even be replacing) — decode them all.
+  MaterializeAllPostings();
+  MaterializePathCounts();
+
+  writer->BeginSection(persist::SectionId::kIndexTerms);
+  writer->PutU64(node_postings_.size());
+  for (const std::string* term : SortedKeys(node_postings_)) {
+    writer->PutString(*term);
+    // Each posting list is a skippable blob, so Load can keep it as an
+    // offset-addressed lazy segment of the mapping.
+    writer->BeginBlob();
+    const std::vector<NodePosting>& postings = node_postings_.at(*term);
+    writer->PutU64(postings.size());
+    for (const NodePosting& posting : postings) {
+      PutNodeId(writer, posting.node);
+      writer->PutU32(posting.path);
+      writer->PutU32Array(posting.positions);
+    }
+    writer->EndBlob();
+  }
+  writer->PutU64(doc_freq_.size());
+  for (const std::string* term : SortedKeys(doc_freq_)) {
+    writer->PutString(*term);
+    writer->PutU64(doc_freq_.at(*term));
+  }
+  writer->PutU64(max_tf_.size());
+  for (const std::string* term : SortedKeys(max_tf_)) {
+    writer->PutString(*term);
+    writer->PutU32(max_tf_.at(*term));
+  }
+  SEDA_RETURN_IF_ERROR(writer->EndSection());
+
+  writer->BeginSection(persist::SectionId::kIndexPaths);
+  writer->PutU64(path_postings_.size());
+  for (const std::string* term : SortedKeys(path_postings_)) {
+    writer->PutString(*term);
+    writer->PutU32Array(path_postings_.at(*term));
+  }
+  // The whole count table is one skippable blob: reopen keeps it as a lazy
+  // segment until the first TermPathCount() call (ablation-only data).
+  writer->BeginBlob();
+  writer->PutU64(path_counts_.size());
+  for (const std::string* term : SortedKeys(path_counts_)) {
+    writer->PutString(*term);
+    const auto& counts = path_counts_.at(*term);
+    std::vector<std::pair<store::PathId, uint64_t>> sorted(counts.begin(),
+                                                           counts.end());
+    std::sort(sorted.begin(), sorted.end());
+    writer->PutU32(static_cast<uint32_t>(sorted.size()));
+    for (const auto& [path, count] : sorted) {
+      writer->PutU32(path);
+      writer->PutU64(count);
+    }
+  }
+  writer->EndBlob();
+  writer->PutU64(nodes_by_path_.size());
+  for (const std::vector<store::NodeId>& nodes : nodes_by_path_) {
+    writer->PutU64(nodes.size());
+    for (const store::NodeId& node : nodes) PutNodeId(writer, node);
+  }
+  writer->PutU64(indexed_nodes_);
+  return writer->EndSection();
+}
+
+/// Decodes one term's posting-list blob (the format SaveTo frames).
+static std::vector<NodePosting> DecodePostings(persist::SectionCursor* blob) {
+  std::vector<NodePosting> postings;
+  uint64_t posting_count = blob->GetU64();
+  postings.reserve(blob->BoundedCount(posting_count, 16));
+  for (uint64_t p = 0; p < posting_count && !blob->failed(); ++p) {
+    NodePosting posting;
+    posting.node = GetNodeId(blob);
+    posting.path = blob->GetU32();
+    posting.positions = blob->GetU32Array();
+    postings.push_back(std::move(posting));
+  }
+  if (blob->failed()) postings.clear();  // unreachable behind the CRC pass
+  return postings;
+}
+
+Result<std::unique_ptr<InvertedIndex>> InvertedIndex::LoadFrom(
+    std::shared_ptr<const persist::MappedImage> image,
+    const store::DocumentStore* store) {
+  std::unique_ptr<InvertedIndex> index(new InvertedIndex(store, LoadTag{}));
+
+  SEDA_ASSIGN_OR_RETURN(persist::SectionCursor terms,
+                        persist::OpenSection(*image, persist::SectionId::kIndexTerms));
+  uint64_t term_count = terms.GetU64();
+  index->lazy_postings_.reserve(terms.BoundedCount(term_count, 12));
+  for (uint64_t t = 0; t < term_count && !terms.failed(); ++t) {
+    std::string term = terms.GetString();
+    // The posting list itself stays an offset-addressed segment of the
+    // mapping; only this term-table head is materialized now.
+    persist::SectionCursor blob = terms.GetBlob();
+    index->lazy_postings_.emplace(
+        std::move(term), LazySpan{blob.data(), blob.remaining()});
+  }
+  uint64_t df_count = terms.GetU64();
+  index->doc_freq_.reserve(terms.BoundedCount(df_count, 12));
+  for (uint64_t t = 0; t < df_count && !terms.failed(); ++t) {
+    std::string term = terms.GetString();
+    index->doc_freq_[std::move(term)] = terms.GetU64();
+  }
+  uint64_t tf_count = terms.GetU64();
+  index->max_tf_.reserve(terms.BoundedCount(tf_count, 8));
+  for (uint64_t t = 0; t < tf_count && !terms.failed(); ++t) {
+    std::string term = terms.GetString();
+    index->max_tf_[std::move(term)] = terms.GetU32();
+  }
+  SEDA_RETURN_IF_ERROR(terms.status());
+
+  SEDA_ASSIGN_OR_RETURN(persist::SectionCursor paths,
+                        persist::OpenSection(*image, persist::SectionId::kIndexPaths));
+  uint64_t path_term_count = paths.GetU64();
+  index->path_postings_.reserve(paths.BoundedCount(path_term_count, 8));
+  for (uint64_t t = 0; t < path_term_count && !paths.failed(); ++t) {
+    std::string term = paths.GetString();
+    index->path_postings_[std::move(term)] = paths.GetU32Array();
+  }
+  {
+    persist::SectionCursor counts_blob = paths.GetBlob();
+    index->lazy_path_counts_ =
+        LazySpan{counts_blob.data(), counts_blob.remaining()};
+  }
+  // The loop bound must be the clamped size: with a garbage count the
+  // cursor fails a few reads in, and indexing past the resize would write
+  // out of bounds before that surfaces.
+  uint64_t by_path_count = paths.BoundedCount(paths.GetU64(), 8);
+  index->nodes_by_path_.resize(by_path_count);
+  for (uint64_t p = 0; p < by_path_count && !paths.failed(); ++p) {
+    uint64_t node_count = paths.GetU64();
+    std::vector<store::NodeId>& nodes = index->nodes_by_path_[p];
+    nodes.reserve(paths.BoundedCount(node_count, 8));
+    for (uint64_t n = 0; n < node_count && !paths.failed(); ++n) {
+      nodes.push_back(GetNodeId(&paths));
+    }
+  }
+  index->indexed_nodes_ = paths.GetU64();
+  SEDA_RETURN_IF_ERROR(paths.status());
+  // Co-own the mapping: every LazySpan above points into it.
+  index->image_ = std::move(image);
+  return index;
+}
+
+void InvertedIndex::MaterializeAllPostings() const {
+  if (image_ == nullptr) return;
+  std::unique_lock<std::shared_mutex> lock(lazy_mu_);
+  for (const auto& [term, span] : lazy_postings_) {
+    persist::SectionCursor blob(span.data, span.size,
+                                persist::SectionId::kIndexTerms);
+    node_postings_[term] = DecodePostings(&blob);
+  }
+  lazy_postings_.clear();
+}
+
+void InvertedIndex::MaterializePathCounts() const {
+  if (image_ == nullptr) return;
+  {
+    // Fast path once decoded: don't serialize every TermPathCount call (or
+    // block concurrent Postings readers) behind the exclusive lock.
+    std::shared_lock<std::shared_mutex> lock(lazy_mu_);
+    if (lazy_path_counts_.data == nullptr) return;
+  }
+  std::unique_lock<std::shared_mutex> lock(lazy_mu_);
+  if (lazy_path_counts_.data == nullptr) return;  // raced another decoder
+  persist::SectionCursor counts(lazy_path_counts_.data, lazy_path_counts_.size,
+                                persist::SectionId::kIndexPaths);
+  uint64_t count_term_count = counts.GetU64();
+  path_counts_.reserve(counts.BoundedCount(count_term_count, 8));
+  for (uint64_t t = 0; t < count_term_count && !counts.failed(); ++t) {
+    std::string term = counts.GetString();
+    uint32_t pair_count = counts.GetU32();
+    auto& table = path_counts_[std::move(term)];
+    table.reserve(counts.BoundedCount(pair_count, 12));
+    for (uint32_t p = 0; p < pair_count && !counts.failed(); ++p) {
+      uint32_t path = counts.GetU32();
+      table[path] = counts.GetU64();
+    }
+  }
+  lazy_path_counts_ = LazySpan{};
+}
+
 const std::vector<NodePosting>& InvertedIndex::Postings(const std::string& term) const {
+  if (image_ == nullptr) {  // built in memory: single-writer, no locking
+    auto it = node_postings_.find(term);
+    return it == node_postings_.end() ? kEmptyPostings : it->second;
+  }
+  {
+    std::shared_lock<std::shared_mutex> lock(lazy_mu_);
+    auto it = node_postings_.find(term);
+    // References into node_postings_ stay valid across later inserts
+    // (unordered_map guarantees reference stability), so returning after
+    // unlock is safe.
+    if (it != node_postings_.end()) return it->second;
+    if (lazy_postings_.find(term) == lazy_postings_.end()) {
+      return kEmptyPostings;
+    }
+  }
+  // First touch of this term: decode its segment of the mapping.
+  std::unique_lock<std::shared_mutex> lock(lazy_mu_);
   auto it = node_postings_.find(term);
-  return it == node_postings_.end() ? kEmptyPostings : it->second;
+  if (it != node_postings_.end()) return it->second;  // raced another reader
+  auto lazy = lazy_postings_.find(term);
+  if (lazy == lazy_postings_.end()) return kEmptyPostings;
+  persist::SectionCursor blob(lazy->second.data, lazy->second.size,
+                              persist::SectionId::kIndexTerms);
+  std::vector<NodePosting>& postings = node_postings_[term];
+  postings = DecodePostings(&blob);
+  lazy_postings_.erase(lazy);
+  return postings;
 }
 
 const std::vector<store::PathId>& InvertedIndex::TermPaths(
@@ -280,6 +528,7 @@ const std::vector<store::PathId>& InvertedIndex::TermPaths(
 
 uint64_t InvertedIndex::TermPathCount(const std::string& term,
                                       store::PathId path) const {
+  MaterializePathCounts();
   auto it = path_counts_.find(term);
   if (it == path_counts_.end()) return 0;
   auto jt = it->second.find(path);

@@ -3,6 +3,8 @@
 
 #include <cmath>
 #include <cstdint>
+#include <memory>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -14,6 +16,11 @@
 namespace seda {
 class ThreadPool;
 }
+
+namespace seda::persist {
+class ImageWriter;
+class MappedImage;
+}  // namespace seda::persist
 
 namespace seda::text {
 
@@ -80,8 +87,8 @@ class InvertedIndex {
 
   const store::DocumentStore& store() const { return *store_; }
 
-  /// Number of distinct terms indexed.
-  size_t TermCount() const { return node_postings_.size(); }
+  /// Number of distinct terms indexed (materialized + still-lazy).
+  size_t TermCount() const;
 
   /// Document-order node postings for a term; empty when absent.
   const std::vector<NodePosting>& Postings(const std::string& term) const;
@@ -130,7 +137,40 @@ class InvertedIndex {
   /// Total indexed element/attribute node count.
   uint64_t IndexedNodeCount() const { return indexed_nodes_; }
 
+  /// Persistence hooks (src/persist/): writes the term and path posting
+  /// sections (terms sorted, posting lists as skippable blobs) /
+  /// reconstructs an index over `store` without re-tokenizing a single
+  /// document. Load materializes only the pointer-bearing heads (term
+  /// table, frequencies, path postings); each term's node posting list stays
+  /// an offset-addressed segment of the mmap'd image — which the index
+  /// co-owns — until the first Postings() call decodes it, under a shared
+  /// mutex, into the same in-memory form a built index carries. The loaded
+  /// index serves byte-identical postings, frequencies and scores; it also
+  /// works as the `base` of the incremental constructor (which first forces
+  /// full materialization), so commits can extend a loaded epoch.
+  Status SaveTo(persist::ImageWriter* writer) const;
+  static Result<std::unique_ptr<InvertedIndex>> LoadFrom(
+      std::shared_ptr<const persist::MappedImage> image,
+      const store::DocumentStore* store);
+
  private:
+  /// Uninitialized shell for LoadFrom.
+  struct LoadTag {};
+  InvertedIndex(const store::DocumentStore* store, LoadTag) : store_(store) {}
+
+  /// A not-yet-decoded posting list: an offset-addressed span of the image.
+  struct LazySpan {
+    const uint8_t* data = nullptr;
+    size_t size = 0;
+  };
+
+  /// Decodes every still-lazy posting list (serialization and the
+  /// incremental constructor need the full map).
+  void MaterializeAllPostings() const;
+
+  /// Decodes the per-(term, path) count table on first TermPathCount() use —
+  /// it backs only the §5 ablation comparison, so reopen never pays for it.
+  void MaterializePathCounts() const;
   /// Per-document partial index: every container appends in node visit order,
   /// so concatenating shards in DocId order reproduces the sequential build.
   struct DocShard;
@@ -146,9 +186,21 @@ class InvertedIndex {
                         const std::vector<std::string>& direct_tokens);
 
   const store::DocumentStore* store_;
-  std::unordered_map<std::string, std::vector<NodePosting>> node_postings_;
+  /// Keeps the mapped image (and with it every LazySpan) alive for an index
+  /// opened from disk; null for a built index.
+  std::shared_ptr<const persist::MappedImage> image_;
+  /// Terms whose posting list has not been decoded yet. Guarded by lazy_mu_
+  /// together with node_postings_ whenever image_ is set; a built index
+  /// never takes the lock.
+  mutable std::unordered_map<std::string, LazySpan> lazy_postings_;
+  /// Not-yet-decoded per-(term, path) count table (empty span = decoded or
+  /// built in memory). Guarded by lazy_mu_ like the posting spans.
+  mutable LazySpan lazy_path_counts_;
+  mutable std::shared_mutex lazy_mu_;
+  mutable std::unordered_map<std::string, std::vector<NodePosting>> node_postings_;
   std::unordered_map<std::string, std::vector<store::PathId>> path_postings_;
-  std::unordered_map<std::string, std::unordered_map<store::PathId, uint64_t>>
+  mutable std::unordered_map<std::string,
+                             std::unordered_map<store::PathId, uint64_t>>
       path_counts_;
   std::unordered_map<std::string, uint64_t> doc_freq_;
   std::unordered_map<std::string, uint32_t> max_tf_;

@@ -126,7 +126,30 @@ Result<std::vector<ScoredTuple>> TopKSearcher::SearchImpl(
     for (auto& [doc, group] : groups) {
       for (size_t t = 0; t < m; ++t) {
         for (const text::NodeMatch* match : group.per_term[t]) {
+          // Hub cap (ROADMAP perf cliff): a link mediated by a node of huge
+          // non-tree degree — a value-edge hub shared by hundreds of
+          // documents — carries almost no connection signal but welds all
+          // its documents into one cross product. The candidate's own degree
+          // is loop-invariant and, when over the cap, every edge would be
+          // skipped — so check it before materializing the hub's edge list.
+          if (options.max_hub_degree > 0) {
+            size_t degree = graph_->Degree(match->node);
+            if (degree > options.max_hub_degree) {
+              local_stats.hub_links_skipped += degree;
+              continue;
+            }
+          }
           for (const graph::Edge& edge : graph_->NonTreeEdges(match->node)) {
+            // The hub may also sit on the far side, when the candidate is a
+            // low-degree FK leaf pointing at it.
+            if (options.max_hub_degree > 0) {
+              const store::NodeId& far =
+                  edge.from == match->node ? edge.to : edge.from;
+              if (graph_->Degree(far) > options.max_hub_degree) {
+                ++local_stats.hub_links_skipped;
+                continue;
+              }
+            }
             store::DocId other =
                 edge.from.doc == doc ? edge.to.doc : edge.from.doc;
             if (other != doc && groups.count(other)) {
@@ -183,6 +206,18 @@ Result<std::vector<ScoredTuple>> TopKSearcher::SearchImpl(
   std::vector<ScoredTuple> batch;
   std::vector<std::optional<size_t>> sizes;
 
+  // Saturating size of a group's per-term cross product, for budget
+  // accounting ahead of (or instead of) enumerating it.
+  auto group_product = [m](const DocGroup& group) {
+    uint64_t product = 1;
+    for (size_t t = 0; t < m; ++t) {
+      uint64_t n = group.per_term[t].size();
+      if (n != 0 && product > UINT64_MAX / n) return UINT64_MAX;
+      product *= n;
+    }
+    return product;
+  };
+
   for (const auto& [bound, doc] : order) {
     if (options.k == 0) break;  // nothing to keep; skip the scan entirely
     if (threshold_stop && best.Full() &&
@@ -191,13 +226,41 @@ Result<std::vector<ScoredTuple>> TopKSearcher::SearchImpl(
       break;
     }
     const DocGroup& group = groups.at(doc);
+
+    // Per-query tuple budget (ROADMAP perf cliff backstop): documents come
+    // in TA upper-bound order, so once the budget is spent the remaining —
+    // least promising — enumerations are dropped and only counted.
+    uint64_t budget_left =
+        options.max_tuples_per_query == 0
+            ? UINT64_MAX
+            : options.max_tuples_per_query -
+                  std::min<uint64_t>(local_stats.tuples_scored,
+                                     options.max_tuples_per_query);
+    // group_product saturates, so the trimmed counter must too — one
+    // saturated group must read as "a lot", not wrap into garbage.
+    auto add_trimmed = [&local_stats](uint64_t trimmed) {
+      local_stats.tuples_trimmed =
+          trimmed > UINT64_MAX - local_stats.tuples_trimmed
+              ? UINT64_MAX
+              : local_stats.tuples_trimmed + trimmed;
+    };
+    if (budget_left == 0) {
+      add_trimmed(group_product(group));
+      continue;  // keep counting what the budget trims, it is cheap
+    }
     ++local_stats.docs_scored;
 
     // Enumerate the per-term cross product within this document group into a
-    // batch of distinct tuples.
+    // batch of distinct tuples (at most budget_left of them).
     batch.clear();
     std::vector<size_t> idx(m, 0);
+    uint64_t product = group_product(group);
+    uint64_t enumerated = 0;
     while (true) {
+      if (static_cast<uint64_t>(batch.size()) >= budget_left) {
+        add_trimmed(product - enumerated);
+        break;
+      }
       ScoredTuple tuple;
       tuple.nodes.reserve(m);
       double content = 0;
@@ -214,6 +277,7 @@ Result<std::vector<ScoredTuple>> TopKSearcher::SearchImpl(
         tuple.nodes.push_back(*match);
         content += match->score;
       }
+      ++enumerated;
       if (distinct) {
         tuple.content_score = content;
         batch.push_back(std::move(tuple));
@@ -238,7 +302,8 @@ Result<std::vector<ScoredTuple>> TopKSearcher::SearchImpl(
       std::vector<store::NodeId> node_ids;
       node_ids.reserve(m);
       for (const auto& nm : batch[i].nodes) node_ids.push_back(nm.node);
-      sizes[i] = graph_->ConnectionSize(node_ids, options.max_connect_depth);
+      sizes[i] = graph_->ConnectionSize(node_ids, options.max_connect_depth,
+                                        options.max_connect_visits);
     });
     for (size_t i = 0; i < batch.size(); ++i) {
       if (!sizes[i].has_value()) continue;

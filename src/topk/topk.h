@@ -40,6 +40,9 @@ struct SearchStats {
   uint64_t postings_advanced = 0;    ///< posting entries / universe nodes stepped
   uint64_t docs_skipped = 0;         ///< doc distance jumped by cursor seeks
   uint64_t heap_evictions = 0;       ///< top-k bounded heap displacements
+  // Hub/budget trimming (ROADMAP perf-cliff fix; see TopKOptions):
+  uint64_t hub_links_skipped = 0;    ///< cross-doc links dropped at hub nodes
+  uint64_t tuples_trimmed = 0;       ///< tuples skipped by the per-query budget
   /// Commit epoch of the snapshot that served the query (1 = the Finalize()
   /// epoch; 0 only when the searcher runs outside a core::Snapshot). Lets a
   /// client correlate results with the data version while commits race.
@@ -63,6 +66,27 @@ struct TopKOptions {
   /// out across the searcher's thread pool; smaller batches stay inline to
   /// avoid scheduling overhead. Results are identical either way.
   size_t parallel_batch_min = 4;
+  /// Hub-degree cap for cross-document borrowing: a link edge is not
+  /// followed when either endpoint has non-tree degree above this, so a
+  /// dense value-edge hub (e.g. every country importing from "United
+  /// States") no longer welds its whole neighborhood into one giant
+  /// per-document cross product. Skips are counted in
+  /// SearchStats::hub_links_skipped. 0 = unlimited.
+  size_t max_hub_degree = 64;
+  /// Per-BFS work budget for cross-document connection scoring: each
+  /// ShortestPath expansion inside ConnectionSize may visit at most this
+  /// many nodes before the pair counts as "not connected". In a value-edge
+  /// mesh the whole collection sits within a few hops of everything, so a
+  /// depth bound alone still floods the store once per scored tuple — this
+  /// is what turned the ROADMAP hub corpus into seconds-per-query. 0 =
+  /// unlimited.
+  size_t max_connect_visits = 512;
+  /// Hard per-query budget on tuples scored (ConnectionSize calls) across
+  /// the whole scan — the backstop when even capped documents are dense.
+  /// Documents are consumed in TA upper-bound order, so trimming drops the
+  /// least-promising enumerations first; trimmed counts land in
+  /// SearchStats::tuples_trimmed. 0 = unlimited.
+  size_t max_tuples_per_query = 10000;
 };
 
 /// Top-k search unit (paper §4), rebuilt as a streaming engine: per-term

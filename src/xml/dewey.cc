@@ -25,7 +25,9 @@ DeweyId DeweyId::Parse(const std::string& text) {
 }
 
 DeweyId DeweyId::Child(uint32_t index) const {
-  std::vector<uint32_t> parts = components_;
+  std::vector<uint32_t> parts;
+  parts.reserve(components_.size() + 1);  // one exact-size allocation
+  parts.insert(parts.end(), components_.begin(), components_.end());
   parts.push_back(index);
   return DeweyId(std::move(parts));
 }

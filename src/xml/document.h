@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include <cstdint>
+
 #include "xml/dewey.h"
 
 namespace seda::xml {
@@ -17,6 +19,12 @@ enum class NodeKind {
   kAttribute,
   kText,
 };
+
+/// Maximum element nesting depth the parser accepts and the persistence
+/// decoder reproduces. Both sides recurse per level, so a shared bound keeps
+/// "parses fine" and "loads fine" the same set of documents (and keeps a
+/// crafted snapshot image from riding the recursion into a stack overflow).
+inline constexpr uint32_t kMaxDocumentDepth = 512;
 
 /// A node of a parsed XML document. Owned by its Document; children are owned
 /// by their parent node. Navigation pointers are raw (non-owning).
@@ -37,6 +45,10 @@ class Node {
 
   /// Appends a child and returns a pointer to it (ownership retained here).
   Node* AddChild(std::unique_ptr<Node> child);
+
+  /// Pre-sizes the child vector (persistence load hook: the image stores
+  /// each node's child count ahead of its subtree).
+  void ReserveChildren(size_t count) { children_.reserve(count); }
 
   /// Convenience: append an element child with the given name.
   Node* AddElement(const std::string& name);
@@ -81,6 +93,11 @@ class Document {
 
   /// Installs the root element and assigns Dewey IDs (root = "1").
   void SetRoot(std::unique_ptr<Node> root);
+
+  /// Persistence hook: installs a root whose subtree already carries correct
+  /// Dewey IDs (a top-down AddChild build numbers as it goes), skipping
+  /// SetRoot's full renumbering pass. The root must hold Dewey "1".
+  void AdoptRoot(std::unique_ptr<Node> root) { root_ = std::move(root); }
 
   /// Creates a root element with the given tag and returns it.
   Node* CreateRoot(const std::string& tag);

@@ -181,7 +181,14 @@ class Scanner {
     return out;
   }
 
-  Result<std::unique_ptr<Node>> ParseElement() {
+  Result<std::unique_ptr<Node>> ParseElement() { return ParseElement(1); }
+
+  Result<std::unique_ptr<Node>> ParseElement(uint32_t depth) {
+    if (depth > kMaxDocumentDepth) {
+      return Status::ParseError(
+          "document nested deeper than " + std::to_string(kMaxDocumentDepth) +
+          " elements");
+    }
     SkipWhitespace();
     if (!Match("<")) {
       return Status::ParseError("expected '<' at offset " + std::to_string(pos_));
@@ -260,7 +267,7 @@ class Scanner {
       }
       if (Peek() == '<') {
         SEDA_RETURN_IF_ERROR(flush_text());
-        auto child = ParseElement();
+        auto child = ParseElement(depth + 1);
         if (!child.ok()) return child.status();
         element->AddChild(std::move(child).value());
         continue;

@@ -237,6 +237,139 @@ TEST_F(TupleHeapSemanticsTest, EvictsWhenBetterTupleArrivesLater) {
   EXPECT_GT(stats.heap_evictions, 0u);
 }
 
+/// Synthetic hub corpus reproducing the ROADMAP perf cliff: every country
+/// imports from "United States", so value-based PK/FK edges all land on one
+/// hub node (the US name) and, uncapped, cross-document borrowing welds all
+/// documents into one giant per-document cross product.
+class HubCapTest : public ::testing::Test {
+ protected:
+  static constexpr int kSatellites = 10;
+
+  void SetUp() override {
+    auto us = store_.AddXml(
+        "<country><name>United States</name><economy><GDP>14000</GDP>"
+        "</economy></country>",
+        "us");
+    ASSERT_TRUE(us.ok());
+    for (int i = 0; i < kSatellites; ++i) {
+      auto doc = store_.AddXml(
+          "<country><name>Satellite " + std::to_string(i) +
+              "</name><economy><import_partners><item>"
+              "<trade_country>United States</trade_country><percentage>" +
+              std::to_string(10 + i) +
+              ".5</percentage></item></import_partners></economy></country>",
+          "satellite-" + std::to_string(i));
+      ASSERT_TRUE(doc.ok());
+    }
+    graph_ = std::make_unique<graph::DataGraph>(&store_);
+    // The paper's value-based input relationship: one PK node (the US name)
+    // fans out to every satellite's trade_country leaf.
+    ASSERT_EQ(graph_->AddValueBasedEdges(
+                  "/country/name",
+                  "/country/economy/import_partners/item/trade_country",
+                  "trade_partner"),
+              static_cast<size_t>(kSatellites));
+    index_ = std::make_unique<text::InvertedIndex>(&store_);
+    searcher_ = std::make_unique<TopKSearcher>(index_.get(), graph_.get());
+  }
+
+  query::Query Q(const std::string& text) {
+    auto q = query::ParseQuery(text);
+    EXPECT_TRUE(q.ok()) << q.status().ToString();
+    return std::move(q).value();
+  }
+
+  TopKOptions CliffOptions() {
+    TopKOptions options;
+    options.k = 5;
+    options.max_per_doc_per_term = 4;
+    options.max_tuples_per_query = 0;  // isolate the hub cap
+    return options;
+  }
+
+  store::DocumentStore store_;
+  std::unique_ptr<graph::DataGraph> graph_;
+  std::unique_ptr<text::InvertedIndex> index_;
+  std::unique_ptr<TopKSearcher> searcher_;
+};
+
+constexpr const char* kCliffQuery =
+    R"((*, "United States") AND (trade_country, *) AND (percentage, *))";
+
+TEST_F(HubCapTest, HubDegreeCapBoundsCrossDocumentBlowup) {
+  // Uncapped: the hub links every satellite to the US doc and vice versa, so
+  // borrowed candidates inflate every document's cross product.
+  TopKOptions uncapped = CliffOptions();
+  uncapped.max_hub_degree = 0;
+  SearchStats uncapped_stats;
+  auto uncapped_result =
+      searcher_->Search(Q(kCliffQuery), uncapped, &uncapped_stats);
+  ASSERT_TRUE(uncapped_result.ok());
+  EXPECT_EQ(uncapped_stats.hub_links_skipped, 0u);
+
+  // Capped below the hub's degree: links mediated by the hub are dropped
+  // (counted), and tuple enumeration shrinks by an order of magnitude.
+  TopKOptions capped = CliffOptions();
+  capped.max_hub_degree = kSatellites / 2;
+  SearchStats capped_stats;
+  auto capped_result = searcher_->Search(Q(kCliffQuery), capped, &capped_stats);
+  ASSERT_TRUE(capped_result.ok());
+  EXPECT_GT(capped_stats.hub_links_skipped, 0u);
+  EXPECT_LT(capped_stats.tuples_scored, uncapped_stats.tuples_scored / 4);
+  // Trimming hub noise must not cost answers: the in-document matches still
+  // fill the top-k.
+  EXPECT_EQ(capped_result.value().size(), uncapped_result.value().size());
+}
+
+TEST_F(HubCapTest, DefaultOptionsDoNotTouchLowDegreeCorpora) {
+  // The default cap (64) is far above this corpus' hub degree (10): results
+  // and counters must be identical to an explicitly uncapped run.
+  TopKOptions defaults = CliffOptions();  // max_hub_degree = 64 default
+  SearchStats default_stats;
+  auto default_result =
+      searcher_->Search(Q(kCliffQuery), defaults, &default_stats);
+  TopKOptions uncapped = CliffOptions();
+  uncapped.max_hub_degree = 0;
+  SearchStats uncapped_stats;
+  auto uncapped_result =
+      searcher_->Search(Q(kCliffQuery), uncapped, &uncapped_stats);
+  ASSERT_TRUE(default_result.ok());
+  ASSERT_TRUE(uncapped_result.ok());
+  EXPECT_EQ(default_stats.hub_links_skipped, 0u);
+  EXPECT_EQ(default_stats.tuples_scored, uncapped_stats.tuples_scored);
+  ASSERT_EQ(default_result.value().size(), uncapped_result.value().size());
+  for (size_t i = 0; i < default_result.value().size(); ++i) {
+    EXPECT_EQ(default_result.value()[i].ToString(store_),
+              uncapped_result.value()[i].ToString(store_));
+  }
+}
+
+TEST_F(HubCapTest, TupleBudgetIsAHardCeiling) {
+  TopKOptions budgeted = CliffOptions();
+  budgeted.max_hub_degree = 0;   // leave the blowup on
+  budgeted.max_tuples_per_query = 40;
+  SearchStats stats;
+  auto result = searcher_->Search(Q(kCliffQuery), budgeted, &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(stats.tuples_scored, 40u);
+  EXPECT_GT(stats.tuples_trimmed, 0u);
+  // The budget consumes documents in TA upper-bound order, so the best
+  // answers are scored before it runs out.
+  EXPECT_FALSE(result.value().empty());
+}
+
+TEST_F(HubCapTest, TrimmedCountsAreSurfacedInSearchStats) {
+  TopKOptions options = CliffOptions();
+  options.max_hub_degree = 1;
+  options.max_tuples_per_query = 10;
+  SearchStats stats;
+  ASSERT_TRUE(searcher_->Search(Q(kCliffQuery), options, &stats).ok());
+  // Both trim counters fire on this corpus and are visible to callers.
+  EXPECT_GT(stats.hub_links_skipped, 0u);
+  EXPECT_GT(stats.tuples_trimmed, 0u);
+  EXPECT_LE(stats.tuples_scored, 10u);
+}
+
 TEST_F(TupleHeapSemanticsTest, ExactTiesBreakByDocumentOrder) {
   TopKOptions options;
   options.k = 3;

@@ -207,6 +207,22 @@ TEST(ParserTest, RejectsUnknownEntity) {
   EXPECT_FALSE(Parser::Parse("<a>&bogus;</a>", "doc").ok());
 }
 
+TEST(ParserTest, EnforcesTheSharedDocumentDepthBound) {
+  // The persistence decoder rejects trees deeper than kMaxDocumentDepth, so
+  // the parser must too — otherwise a parseable document could be saved but
+  // never loaded. One below the bound parses; one above fails cleanly.
+  auto nested = [](uint32_t depth) {
+    std::string xml;
+    for (uint32_t i = 0; i < depth; ++i) xml += "<d>";
+    for (uint32_t i = 0; i < depth; ++i) xml += "</d>";
+    return xml;
+  };
+  EXPECT_TRUE(Parser::Parse(nested(kMaxDocumentDepth), "doc").ok());
+  auto too_deep = Parser::Parse(nested(kMaxDocumentDepth + 1), "doc");
+  ASSERT_FALSE(too_deep.ok());
+  EXPECT_EQ(too_deep.status().code(), StatusCode::kParseError);
+}
+
 TEST(SerializeTest, EscapesSpecialCharacters) {
   EXPECT_EQ(EscapeText("a<b&c>\"d'"), "a&lt;b&amp;c&gt;&quot;d&apos;");
 }
