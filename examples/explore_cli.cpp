@@ -1,33 +1,121 @@
-// Scripted exploration CLI: the textual equivalent of the paper's GUI
-// (Figures 4/5/7). Loads the synthetic World Factbook, opens one Session
-// (the whole exploration is a single stateful handle pinned to one snapshot
-// epoch), executes the queries given on the command line (or a default
-// exploration session), and prints the result, context-summary and
-// connection-summary panels for each.
+// Exploration CLI as a thin wire client of api::SedaService — the textual
+// equivalent of the paper's GUI (Figures 4/5/7), speaking the service's JSON
+// request/response schema end to end, which doubles as a manual smoke tool
+// for the wire format.
 //
-//   build/examples/explore_cli                         # default session
-//   build/examples/explore_cli '(*, "Canada") (GDP, *)'  # your own queries
+// Modes:
+//   build/examples/explore_cli
+//       default demo session: scripted queries sent as JSON envelopes
+//   build/examples/explore_cli '(*, "Canada") (GDP, *)'
+//       each argument is a query; the CLI prints the JSON request it sends
+//       and a rendered summary of the JSON response it gets back
+//   echo '{"method":"search","query":"(name, *)"}' | build/examples/explore_cli -
+//       with "-", reads one JSON request envelope per stdin line and writes
+//       one JSON response per line to stdout (the service wire, verbatim)
+//
+// Every query below flows through SedaService::Handle() — parse, execute,
+// encode — exactly the path a network frontend would use.
 
 #include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
 
+#include "api/service.h"
+#include "api/wire.h"
 #include "core/seda.h"
 #include "data/generators.h"
 
+namespace {
+
+/// Renders the service's JSON search response like the paper's three panels.
+void PrintPanels(const seda::api::SearchResponseDto& response) {
+  if (!response.status.ok()) {
+    std::printf("error: %s: %s\n\n", response.status.code.c_str(),
+                response.status.message.c_str());
+    return;
+  }
+  std::printf("--- top-k (epoch %llu, %.1f ms%s) ---\n",
+              static_cast<unsigned long long>(response.stats.epoch),
+              response.stats.elapsed_ms,
+              response.stats.deadline_exceeded ? ", DEADLINE EXCEEDED" : "");
+  size_t shown = 0;
+  for (const auto& tuple : response.topk) {
+    if (shown++ >= 5) break;
+    std::printf("  score=%.6f [", tuple.score);
+    for (size_t i = 0; i < tuple.nodes.size(); ++i) {
+      const auto& node = tuple.nodes[i];
+      std::printf("%sn%u@%s='%s'", i > 0 ? ", " : "", node.doc,
+                  node.dewey.c_str(), node.content.c_str());
+    }
+    std::printf("]\n");
+  }
+  std::printf("--- contexts (top 5 per term, by collection frequency) ---\n");
+  for (const auto& bucket : response.contexts) {
+    std::printf("  %s\n", bucket.term.c_str());
+    size_t count = 0;
+    for (const auto& entry : bucket.entries) {
+      if (count++ >= 5) {
+        std::printf("    ... (%zu total)\n", bucket.entries.size());
+        break;
+      }
+      std::printf("    %-60s docs=%llu\n", entry.path.c_str(),
+                  static_cast<unsigned long long>(entry.doc_count));
+    }
+  }
+  std::printf("--- connections (top 5, by index) ---\n");
+  size_t conn_shown = 0;
+  for (size_t i = 0; i < response.connections.size(); ++i) {
+    if (conn_shown++ >= 5) break;
+    const auto& conn = response.connections[i];
+    std::printf("  [#%zu %llu<->%llu] %s ", i,
+                static_cast<unsigned long long>(conn.term_a),
+                static_cast<unsigned long long>(conn.term_b),
+                conn.from_path.c_str());
+    for (const auto& step : conn.steps) {
+      std::printf("%s%s%s ", step.move == "up" ? "^" : step.move == "down" ? "v" : "~",
+                  step.label.empty() ? "" : (step.label + ">").c_str(),
+                  step.path.c_str());
+    }
+    std::printf("%s\n", conn.false_positive ? "  (false positive)" : "");
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  std::printf("loading synthetic World Factbook...\n");
+  const bool pipe_mode = argc == 2 && std::strcmp(argv[1], "-") == 0;
+  if (!pipe_mode) std::printf("loading synthetic World Factbook...\n");
+
   seda::core::Seda seda;
   seda::data::WorldFactbookGenerator::Options options;
   options.scale = 0.15;
   seda::data::WorldFactbookGenerator(options).Populate(seda.mutable_store());
   if (!seda.Finalize().ok()) return 1;
+  seda::api::SedaService service(&seda);
 
-  auto session = seda.NewSession();
-  if (!session.ok()) return 1;
-  const seda::core::Snapshot& snap = session->snapshot();
-  std::printf("loaded %zu docs, %zu distinct paths, %zu dataguides (epoch %llu)\n\n",
-              snap.store().DocumentCount(), snap.store().paths().size(),
-              snap.dataguides().size(),
-              static_cast<unsigned long long>(session->epoch()));
+  if (pipe_mode) {
+    // Wire mode: stdin JSON envelopes in, stdout JSON responses out.
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (line.empty()) continue;
+      std::printf("%s\n", service.Handle(line).c_str());
+      std::fflush(stdout);
+    }
+    return 0;
+  }
+
+  auto created =
+      service.CreateSession(seda::api::CreateSessionRequest{});
+  if (!created.status.ok()) {
+    std::printf("create_session failed: %s\n", created.status.message.c_str());
+    return 1;
+  }
+  std::printf("loaded %zu docs; session '%s' pinned to epoch %llu\n\n",
+              seda.store().DocumentCount(), created.session_id.c_str(),
+              static_cast<unsigned long long>(created.epoch));
 
   std::vector<std::string> queries;
   if (argc > 1) {
@@ -42,42 +130,24 @@ int main(int argc, char** argv) {
   }
 
   for (const std::string& text : queries) {
+    seda::api::SearchRequest request;
+    request.session_id = created.session_id;
+    request.query = text;
+    // The CLI is a wire client: show the exact JSON it sends, then Handle()
+    // it like any other transport would.
+    seda::api::Json envelope =
+        seda::api::Json::Parse(seda::api::Encode(request)).value();
+    envelope.Set("method", seda::api::Json::Str("search"));
+    const std::string request_json = envelope.Write();
     std::printf("==========================================================\n");
-    std::printf("query> %s\n", text.c_str());
-    auto response = session->Search(text);
-    if (!response.ok()) {
-      std::printf("error: %s\n\n", response.status().ToString().c_str());
-      continue;
+    std::printf("request> %s\n", request_json.c_str());
+    auto decoded =
+        seda::api::DecodeSearchResponseDto(service.Handle(request_json));
+    if (!decoded.ok()) {
+      std::printf("bad wire response: %s\n", decoded.status().ToString().c_str());
+      return 1;
     }
-    std::printf("--- top-k (round %zu, epoch %llu) ---\n", session->rounds(),
-                static_cast<unsigned long long>(response->stats.epoch));
-    size_t shown = 0;
-    for (const auto& tuple : response.value().topk) {
-      if (shown++ >= 5) break;
-      std::printf("  %s\n", tuple.ToString(snap.store()).c_str());
-    }
-    std::printf("--- contexts (top 5 per term, by collection frequency) ---\n");
-    for (const auto& bucket : response.value().contexts.buckets) {
-      std::printf("  %s\n", bucket.term_text.c_str());
-      size_t count = 0;
-      for (const auto& entry : bucket.entries) {
-        if (count++ >= 5) {
-          std::printf("    ... (%zu total)\n", bucket.entries.size());
-          break;
-        }
-        std::printf("    %-60s docs=%llu\n", entry.path_text.c_str(),
-                    static_cast<unsigned long long>(entry.doc_count));
-      }
-    }
-    std::printf("--- connections (top 5) ---\n");
-    size_t conn_shown = 0;
-    for (const auto& entry : response.value().connections.entries) {
-      if (conn_shown++ >= 5) break;
-      std::printf("  [%zu<->%zu] %s%s\n", entry.term_a, entry.term_b,
-                  entry.connection.ToString().c_str(),
-                  entry.false_positive ? "   (false positive)" : "");
-    }
-    std::printf("\n");
+    PrintPanels(decoded.value());
   }
   return 0;
 }

@@ -1,16 +1,35 @@
-// Quickstart: load a few XML documents, open an exploration Session, run a
-// keyword-style SEDA query, and inspect the top-k results plus the context
-// summary. Then demonstrates the incremental path — AddXml() + Commit() after
-// finalization, with the old session still pinned to its epoch — and the
-// persistence path: Save() the served epoch to a binary image and Open() it
-// in a second instance without re-running any ingestion.
+// Quickstart: load a few XML documents, stand up the api::SedaService facade
+// (the supported public surface), run a keyword-style SEDA query through a
+// service session, and inspect the plain-data response. Then demonstrates the
+// incremental path — AddXml() + Commit() after finalization, with the old
+// service session still pinned to its epoch — and the persistence path:
+// Save() the served epoch to a binary image and Open() it in a second
+// instance, serving the same wire schema.
 //
 //   build/examples/quickstart
 
 #include <cstdio>
 #include <string>
 
+#include "api/service.h"
+#include "api/wire.h"
 #include "core/seda.h"
+
+namespace {
+
+void PrintTopK(const seda::api::SearchResponseDto& response) {
+  for (const auto& tuple : response.topk) {
+    std::printf("  score=%.6f [", tuple.score);
+    for (size_t i = 0; i < tuple.nodes.size(); ++i) {
+      const auto& node = tuple.nodes[i];
+      std::printf("%sn%u@%s='%s'", i > 0 ? ", " : "", node.doc,
+                  node.dewey.c_str(), node.content.c_str());
+    }
+    std::printf("]\n");
+  }
+}
+
+}  // namespace
 
 int main() {
   seda::core::Seda seda;
@@ -38,30 +57,52 @@ int main() {
     return 1;
   }
 
-  // A Session pins one snapshot epoch and carries the Fig. 6 loop as state.
-  auto session = seda.NewSession();
-  if (!session.ok()) return 1;
-  std::printf("session pinned to epoch %llu\n\n",
-              static_cast<unsigned long long>(session->epoch()));
+  // The service facade is the public API: plain-data requests/responses with
+  // string session ids, multiplexing any number of concurrent explorations
+  // over the shared snapshots.
+  seda::api::SedaService service(&seda);
+  auto session = service.CreateSession(seda::api::CreateSessionRequest{});
+  if (!session.status.ok()) {
+    std::printf("create_session failed: %s\n", session.status.message.c_str());
+    return 1;
+  }
+  std::printf("session '%s' pinned to epoch %llu\n\n",
+              session.session_id.c_str(),
+              static_cast<unsigned long long>(session.epoch));
 
-  // A SEDA query is a set of (context, search) terms — Definition 3.
-  auto response = session->Search(R"((*, "Abiteboul") AND (year, *))");
-  if (!response.ok()) {
-    std::printf("search failed: %s\n", response.status().ToString().c_str());
+  // A SEDA query is a set of (context, search) terms — Definition 3. Every
+  // request can carry a deadline; overruns come back flagged in stats, not
+  // as unbounded latency.
+  seda::api::SearchRequest request;
+  request.session_id = session.session_id;
+  request.query = R"((*, "Abiteboul") AND (year, *))";
+  request.deadline_ms = 1000;
+  seda::api::SearchResponseDto response = service.Search(request);
+  if (!response.status.ok()) {
+    std::printf("search failed: %s\n", response.status.message.c_str());
     return 1;
   }
 
-  std::printf("top-k results:\n");
-  for (const auto& tuple : response.value().topk) {
-    std::printf("  %s\n", tuple.ToString(session->snapshot().store()).c_str());
+  std::printf("top-k results (%.2f ms):\n", response.stats.elapsed_ms);
+  PrintTopK(response);
+  std::printf("\ncontext summary (distinct paths per term, §5):\n");
+  for (const auto& bucket : response.contexts) {
+    std::printf("  %s\n", bucket.term.c_str());
+    for (const auto& entry : bucket.entries) {
+      std::printf("    %-24s docs=%llu nodes=%llu\n", entry.path.c_str(),
+                  static_cast<unsigned long long>(entry.doc_count),
+                  static_cast<unsigned long long>(entry.node_count));
+    }
   }
-  std::printf("\ncontext summary (distinct paths per term, §5):\n%s",
-              response.value().contexts.ToString().c_str());
-  std::printf("\nconnection summary (§6):\n%s",
-              response.value().connections.ToString().c_str());
+
+  // The same response is one canonical JSON document on the wire — what a
+  // network client (or explore_cli's '-' mode) receives byte for byte.
+  std::string wire = seda::api::Encode(response);
+  std::printf("\nwire form: %zu bytes of canonical JSON, starting with\n  %.72s...\n",
+              wire.size(), wire.c_str());
 
   // Incremental ingestion: the store stays open after finalization. The
-  // pinned session keeps serving epoch 1; a fresh session sees epoch 2.
+  // pinned service session keeps serving epoch 1; a fresh session sees 2.
   seda.AddXml(
       "<book><title>Web Data Management</title><author>Abiteboul</author>"
       "<year>2011</year></book>",
@@ -75,20 +116,21 @@ int main() {
               static_cast<unsigned long long>(info->epoch), info->docs_added,
               info->incremental ? "yes" : "no");
 
-  auto fresh = seda.NewSession();
-  if (!fresh.ok()) return 1;
-  auto updated = fresh->Search(R"((*, "Abiteboul") AND (year, *))");
-  if (!updated.ok()) return 1;
+  auto fresh = service.CreateSession(seda::api::CreateSessionRequest{});
+  seda::api::SearchRequest replay = request;
+  replay.session_id = fresh.session_id;
+  seda::api::SearchResponseDto updated = service.Search(replay);
+  seda::api::SearchResponseDto pinned = service.Search(request);
+  if (!updated.status.ok() || !pinned.status.ok()) return 1;
   std::printf("epoch %llu serves %zu results (pinned epoch %llu still serves %zu)\n",
-              static_cast<unsigned long long>(updated->stats.epoch),
-              updated->topk.size(),
-              static_cast<unsigned long long>(session->epoch()),
-              session->last_response()->topk.size());
+              static_cast<unsigned long long>(updated.stats.epoch),
+              updated.topk.size(),
+              static_cast<unsigned long long>(pinned.stats.epoch),
+              pinned.topk.size());
 
   // Persistence: Save() writes the served epoch as a checksummed binary
   // image; Open() on a fresh instance maps it back — no XML parsing, no
-  // re-indexing — and serves byte-identical answers. A reopened instance is
-  // a full writer too: AddXml() + Commit() continues from the loaded epoch.
+  // re-indexing — and a service over it speaks the identical wire schema.
   const std::string image = "quickstart_snapshot.img";
   if (auto saved = seda.Save(image); !saved.ok()) {
     std::printf("save failed: %s\n", saved.ToString().c_str());
@@ -99,12 +141,18 @@ int main() {
     std::printf("open failed: %s\n", opened.ToString().c_str());
     return 1;
   }
-  auto replay = reopened.Search(R"((*, "Abiteboul") AND (year, *))");
-  if (!replay.ok()) return 1;
+  seda::api::SedaService reopened_service(&reopened);
+  auto reopened_session =
+      reopened_service.CreateSession(seda::api::CreateSessionRequest{});
+  seda::api::SearchRequest reopened_request = request;
+  reopened_request.session_id = reopened_session.session_id;
+  seda::api::SearchResponseDto replayed =
+      reopened_service.Search(reopened_request);
+  if (!replayed.status.ok()) return 1;
   std::printf("\nreopened %s: epoch %llu serves %zu results without re-ingestion\n",
               image.c_str(),
-              static_cast<unsigned long long>(replay->stats.epoch),
-              replay->topk.size());
+              static_cast<unsigned long long>(replayed.stats.epoch),
+              replayed.topk.size());
   std::remove(image.c_str());
   return 0;
 }

@@ -1,11 +1,13 @@
-// Schema evolution (paper §7) as LIVE evolution: the World Factbook renamed
-// GDP to GDP_ppp in 2005, so the GDP *fact* is defined by a ContextList with
-// two contexts. This showcase ingests the two schema eras as two snapshot
-// epochs: epoch 1 holds the pre-2005 documents (/country/economy/GDP), then
-// a writer thread commits the post-2005 documents (GDP_ppp) WHILE a session
-// pinned to epoch 1 keeps querying — queries never block on, and never see a
-// torn view of, the running commit. A fresh session on epoch 2 then builds
-// one cube spanning both schema variants.
+// Schema evolution (paper §7) as LIVE evolution, served through the
+// api::SedaService facade: the World Factbook renamed GDP to GDP_ppp in
+// 2005, so the GDP *fact* is defined by a ContextList with two contexts.
+// This showcase ingests the two schema eras as two snapshot epochs: epoch 1
+// holds the pre-2005 documents (/country/economy/GDP), then a writer thread
+// commits the post-2005 documents (GDP_ppp) WHILE a service session pinned
+// to epoch 1 keeps answering requests — requests never block on, and never
+// see a torn view of, the running commit. A fresh service session on epoch 2
+// then drives one cube spanning both schema variants, entirely over the
+// request/response surface.
 //
 //   build/examples/schema_evolution
 
@@ -13,6 +15,7 @@
 #include <string>
 #include <thread>
 
+#include "api/service.h"
 #include "core/seda.h"
 
 using seda::cube::RelativeKey;
@@ -57,14 +60,17 @@ int main() {
                              {"/country/economy/GDP_ppp",
                               RelativeKey::Parse({name, year})}});
 
-  const char* query = R"((name, "China") AND (GDP | GDP_ppp, *))";
+  seda::api::SedaService service(&seda);
+  seda::api::SearchRequest query;
+  query.query = R"((name, "China") AND (GDP | GDP_ppp, *))";
 
-  // Pin a session to the pre-2005 epoch and remember what it serves.
-  auto era1 = seda.NewSession();
-  if (!era1.ok()) return 1;
-  auto baseline = era1->Search(query);
-  if (!baseline.ok()) return 1;
-  size_t era1_results = baseline->topk.size();
+  // Pin a service session to the pre-2005 epoch and remember what it serves.
+  auto era1 = service.CreateSession(seda::api::CreateSessionRequest{});
+  if (!era1.status.ok()) return 1;
+  query.session_id = era1.session_id;
+  seda::api::SearchResponseDto baseline = service.Search(query);
+  if (!baseline.status.ok()) return 1;
+  size_t era1_results = baseline.topk.size();
 
   // Era 2 lands on another thread: AddXml() + Commit() build epoch 2 off to
   // the side and swap it in atomically.
@@ -78,62 +84,79 @@ int main() {
     (void)seda.Commit();
   });
 
-  // ...while this thread keeps exploring epoch 1, undisturbed.
+  // ...while this thread keeps sending requests on the pinned session.
   size_t stable_rounds = 0;
   for (int round = 0; round < 50; ++round) {
-    auto during = era1->Search(query);
-    if (!during.ok()) return 1;
-    if (during->topk.size() == era1_results && during->stats.epoch == 1) {
+    seda::api::SearchResponseDto during = service.Search(query);
+    if (!during.status.ok()) return 1;
+    if (during.topk.size() == era1_results && during.stats.epoch == 1) {
       ++stable_rounds;
     }
   }
   writer.join();
-  std::printf("=== Live evolution ===\n");
-  std::printf("epoch 1 session: %zu/%d searches during the commit saw the "
+  std::printf("=== Live evolution (served through SedaService) ===\n");
+  std::printf("epoch 1 session: %zu/%d requests during the commit saw the "
               "pinned epoch unchanged (%zu results each)\n",
               stable_rounds, 50, era1_results);
 
-  auto era2 = seda.NewSession();
-  if (!era2.ok()) return 1;
-  auto merged = era2->Search(query);
-  if (!merged.ok()) return 1;
+  auto era2 = service.CreateSession(seda::api::CreateSessionRequest{});
+  if (!era2.status.ok()) return 1;
+  query.session_id = era2.session_id;
+  seda::api::SearchResponseDto merged = service.Search(query);
+  if (!merged.status.ok()) return 1;
   std::printf("epoch %llu session: %zu results — both schema eras\n\n",
-              static_cast<unsigned long long>(merged->stats.epoch),
-              merged->topk.size());
+              static_cast<unsigned long long>(merged.stats.epoch),
+              merged.topk.size());
 
-  std::printf("=== Context summary for the GDP term (both schema eras) ===\n%s\n",
-              merged->contexts.ToString().c_str());
+  std::printf("=== Context summary for the GDP term (both schema eras) ===\n");
+  for (const auto& entry : merged.contexts[1].entries) {
+    std::printf("  %-28s docs=%llu\n", entry.path.c_str(),
+                static_cast<unsigned long long>(entry.doc_count));
+  }
+  std::printf("\n");
 
-  // Union the rows by running the heterogeneous contexts one at a time and
-  // merging in OLAP; the session carries the refined query between stages.
+  // Union the rows by running the heterogeneous contexts one at a time; the
+  // service session carries the refined query between stages.
   for (const char* context : {"/country/economy/GDP", "/country/economy/GDP_ppp"}) {
-    auto refined = era2->RefineContexts({{"/country/name"}, {context}});
-    if (!refined.ok()) return 1;
-    auto result = era2->CompleteResults({"/country/name", context}, {});
-    if (!result.ok()) {
-      std::printf("%s: %s\n", context, result.status().ToString().c_str());
+    seda::api::RefineRequest refine;
+    refine.session_id = era2.session_id;
+    refine.chosen_paths = {{"/country/name"}, {context}};
+    if (!service.Refine(refine).status.ok()) return 1;
+
+    seda::api::CompleteRequest complete;
+    complete.session_id = era2.session_id;
+    complete.term_paths = {"/country/name", context};
+    seda::api::CompleteResponseDto result = service.Complete(complete);
+    if (!result.status.ok()) {
+      std::printf("%s: %s\n", context, result.status.message.c_str());
       continue;
     }
-    if (result.value().tuples.empty()) {
+    if (result.tuples.empty()) {
       std::printf("%s: no tuples\n\n", context);
       continue;
     }
-    auto schema = era2->BuildCube(result.value());
-    if (!schema.ok()) {
-      std::printf("%s: %s\n", context, schema.status().ToString().c_str());
+
+    seda::api::CubeRequest cube;
+    cube.session_id = era2.session_id;
+    cube.group_dims = {"year"};
+    cube.agg_fn = "avg";
+    cube.measure = "GDP";
+    seda::api::CubeResponseDto star = service.Cube(cube);
+    if (!star.status.ok()) {
+      std::printf("%s: %s\n", context, star.status.message.c_str());
       continue;
     }
-    std::printf("--- context %s ---\n%s\n", context,
-                schema.value().fact_tables[0].ToString().c_str());
-    auto cube = era2->ToOlapCube(schema.value());
-    if (!cube.ok()) continue;
-    auto by_year = cube.value().Aggregate({"year"}, seda::olap::AggFn::kAvg, "GDP");
-    if (by_year.ok()) {
-      std::printf("%s\n", by_year.value().ToString().c_str());
+    std::printf("--- context %s (%zu result rows) ---\n", context,
+                result.tuples.size());
+    for (const auto& cell : star.cells) {
+      std::printf("  year %-6s avg GDP = %.1f (%llu countries)\n",
+                  cell.group.empty() ? "?" : cell.group[0].c_str(), cell.value,
+                  static_cast<unsigned long long>(cell.count));
     }
+    std::printf("\n");
   }
   std::printf("The same fact name covers both eras; pre-2005 rows come from\n"
               "/country/economy/GDP and later rows from GDP_ppp — ingested\n"
-              "as a second epoch while the first kept serving queries.\n");
+              "as a second epoch while the first kept serving requests.\n");
   return 0;
 }

@@ -1,14 +1,15 @@
-// The paper's worked example (Example 1 + Figure 3), end to end as ONE
-// Session: find the import partners of "United States" and their trade
-// percentages, refine by context, inspect the two candidate connections,
-// compute the complete result and derive the star schema + OLAP cube. The
-// session carries the refined query between stages — note how
-// CompleteResults() needs no query argument.
+// The paper's worked example (Example 1 + Figure 3), end to end through the
+// api::SedaService facade as ONE service session: find the import partners
+// of "United States" and their trade percentages, refine by context, inspect
+// the candidate connections (by wire index), compute the complete result and
+// derive the star schema + OLAP aggregate — every stage a plain-data
+// request/response that could just as well have arrived over a network.
 //
 //   build/examples/trade_partners
 
 #include <cstdio>
 
+#include "api/service.h"
 #include "core/seda.h"
 #include "data/generators.h"
 
@@ -39,52 +40,99 @@ int main() {
       "import-trade-percentage",
       {{kPct, RelativeKey::Parse({kName, kYear, "../trade_country"})}});
 
-  auto session = seda.NewSession();
-  if (!session.ok()) return 1;
+  seda::api::SedaService service(&seda);
+  auto session = service.CreateSession(seda::api::CreateSessionRequest{});
+  if (!session.status.ok()) return 1;
 
   // --- Query panel ---------------------------------------------------
-  const char* query_text =
+  seda::api::SearchRequest search;
+  search.session_id = session.session_id;
+  search.query =
       R"((*, "United States") AND (trade_country, *) AND (percentage, *))";
-  std::printf("Query 1: %s\n\n", query_text);
+  std::printf("Query 1: %s\n\n", search.query.c_str());
 
-  auto response = session->Search(query_text);
-  if (!response.ok()) return 1;
+  seda::api::SearchResponseDto response = service.Search(search);
+  if (!response.status.ok()) return 1;
   std::printf("=== Result panel (top-k, epoch %llu) ===\n",
-              static_cast<unsigned long long>(response->stats.epoch));
-  for (const auto& tuple : response.value().topk) {
-    std::printf("  %s\n", tuple.ToString(session->snapshot().store()).c_str());
+              static_cast<unsigned long long>(response.stats.epoch));
+  for (const auto& tuple : response.topk) {
+    std::printf("  score=%.6f [", tuple.score);
+    for (size_t i = 0; i < tuple.nodes.size(); ++i) {
+      std::printf("%s'%s'", i > 0 ? ", " : "", tuple.nodes[i].content.c_str());
+    }
+    std::printf("]\n");
   }
-  std::printf("\n=== Context summary panel ===\n%s",
-              response.value().contexts.ToString().c_str());
+  std::printf("\n=== Context summary panel ===\n");
+  for (const auto& bucket : response.contexts) {
+    std::printf("%s\n", bucket.term.c_str());
+    for (const auto& entry : bucket.entries) {
+      std::printf("  %-60s docs=%llu\n", entry.path.c_str(),
+                  static_cast<unsigned long long>(entry.doc_count));
+    }
+  }
 
   // --- User picks the import contexts (the paper's refinement step) --
-  // RefineContexts applies the picks to the session's current query and
-  // re-runs the search in one step.
-  auto refined_response = session->RefineContexts({{kName}, {kTrade}, {kPct}});
-  if (!refined_response.ok()) return 1;
-  std::printf("=== Connection summary panel (after refinement round %zu) ===\n%s",
-              session->rounds(),
-              refined_response.value().connections.ToString().c_str());
+  seda::api::RefineRequest refine;
+  refine.session_id = session.session_id;
+  refine.chosen_paths = {{kName}, {kTrade}, {kPct}};
+  seda::api::SearchResponseDto refined = service.Refine(refine);
+  if (!refined.status.ok()) return 1;
+  std::printf("\n=== Connection summary panel (after refinement) ===\n");
+  for (size_t i = 0; i < refined.connections.size(); ++i) {
+    const auto& conn = refined.connections[i];
+    std::printf("  [#%zu] terms %llu<->%llu, %zu steps, %llu instances%s\n", i,
+                static_cast<unsigned long long>(conn.term_a),
+                static_cast<unsigned long long>(conn.term_b), conn.steps.size(),
+                static_cast<unsigned long long>(conn.instance_count),
+                conn.false_positive ? "  (false positive)" : "");
+  }
 
   // --- Complete result + data cube panel ------------------------------
-  auto result = session->CompleteResults({kName, kTrade, kPct}, {});
-  if (!result.ok()) return 1;
-  std::printf("\ncomplete result: %zu tuples\n\n", result.value().tuples.size());
-
-  auto schema = session->BuildCube(result.value());
-  if (!schema.ok()) {
-    std::printf("cube failed: %s\n", schema.status().ToString().c_str());
+  seda::api::CompleteRequest complete;
+  complete.session_id = session.session_id;
+  complete.term_paths = {kName, kTrade, kPct};
+  seda::api::CompleteResponseDto result = service.Complete(complete);
+  if (!result.status.ok()) {
+    std::printf("complete failed: %s\n", result.status.message.c_str());
     return 1;
   }
-  std::printf("=== Data cube panel (star schema, Fig. 3c) ===\n%s",
-              schema.value().ToString().c_str());
+  std::printf("\ncomplete result: %zu tuples over %llu twig(s)\n\n",
+              result.tuples.size(),
+              static_cast<unsigned long long>(result.twig_count));
 
-  auto cube = session->ToOlapCube(schema.value());
-  if (!cube.ok()) return 1;
-  auto pivot = cube.value().Pivot("year", "import-country", seda::olap::AggFn::kSum,
-                                  "import-trade-percentage");
-  if (!pivot.ok()) return 1;
-  std::printf("=== OLAP pivot: import share by year x partner ===\n%s",
-              pivot.value().c_str());
+  seda::api::CubeRequest cube;
+  cube.session_id = session.session_id;
+  cube.group_dims = {"year", "import-country"};
+  cube.agg_fn = "sum";
+  cube.measure = "import-trade-percentage";
+  seda::api::CubeResponseDto star = service.Cube(cube);
+  if (!star.status.ok()) {
+    std::printf("cube failed: %s\n", star.status.message.c_str());
+    return 1;
+  }
+  std::printf("=== Data cube panel (star schema, Fig. 3c) ===\n");
+  for (const auto& table : star.fact_tables) {
+    std::printf("fact table %s (%zu rows): ", table.name.c_str(),
+                table.rows.size());
+    for (size_t i = 0; i < table.columns.size(); ++i) {
+      std::printf("%s%s", i > 0 ? " | " : "", table.columns[i].c_str());
+    }
+    std::printf("\n");
+  }
+  for (const auto& table : star.dimension_tables) {
+    std::printf("dimension table %s (%zu rows)\n", table.name.c_str(),
+                table.rows.size());
+  }
+
+  std::printf("\n=== OLAP: import share by year x partner (sum) ===\n");
+  for (const auto& cell : star.cells) {
+    std::printf("  ");
+    for (size_t i = 0; i < cell.group.size(); ++i) {
+      std::printf("%s%-14s", i > 0 ? " x " : "", cell.group[i].c_str());
+    }
+    std::printf(" = %.2f (%llu rows)\n", cell.value,
+                static_cast<unsigned long long>(cell.count));
+  }
+  std::printf("  total = %.2f\n", star.cell_total);
   return 0;
 }

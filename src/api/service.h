@@ -1,0 +1,138 @@
+#ifndef SEDA_API_SERVICE_H_
+#define SEDA_API_SERVICE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "api/dto.h"
+#include "core/seda.h"
+
+namespace seda::api {
+
+/// Configuration of the service facade.
+struct ServiceOptions {
+  /// Upper bound on live sessions; creating one past the bound evicts the
+  /// least-recently-used session (expired ones first).
+  size_t max_sessions = 1024;
+  /// Idle lifetime: a session untouched for this long is evicted lazily (on
+  /// the next registry sweep). CreateSessionRequest::ttl_ms overrides per
+  /// session. 0 = sessions never expire by idleness.
+  uint64_t session_ttl_ms = 15 * 60 * 1000;
+  /// Applied when a request carries deadline_ms == 0. 0 = no deadline.
+  uint64_t default_deadline_ms = 0;
+};
+
+/// The service facade over the whole Fig. 6 loop — the one supported public
+/// entry point of the system. Every method takes a plain-data request and
+/// returns a plain-data response (api/dto.h) referencing nodes, paths and
+/// connections by stable ids, so the same call shape works in-process, over
+/// the explore_cli stdin/stdout wire, or behind a future network frontend.
+///
+/// Architecture: the service multiplexes many concurrent explorations over
+/// the shared snapshot machinery. Each session entry owns a core::Session
+/// (the internal engine object — no longer the public surface) pinned to the
+/// epoch that was current at CreateSession time, plus the cross-request
+/// state the wire format references by index (the last search response's
+/// connection entries, the last complete result). A registry maps string
+/// session ids to entries with TTL + LRU eviction; the registry lock is held
+/// only for lookup/eviction, while each request serializes on its session's
+/// own mutex — so thousands of sessions make progress concurrently and an
+/// evicted session finishes its in-flight request safely (shared_ptr keeps
+/// the entry alive).
+///
+/// Deadlines: every request carries deadline_ms (0 = ServiceOptions
+/// default). Search-shaped requests plumb it into the engine's cooperative
+/// TA-scan check (TopKOptions::deadline_ms) and return a well-formed partial
+/// response with stats.deadline_exceeded set; complete/cube requests flag
+/// the overrun in stats after the fact. An overrun is never an error.
+///
+/// Thread safety: all methods are safe to call from any number of threads.
+/// Requests for the same session are serialized; requests for different
+/// sessions run concurrently. The backing Seda writer may Commit() freely —
+/// sessions keep their pinned epoch, new sessions pin the new one.
+class SedaService {
+ public:
+  /// Serves `seda` (not owned; must outlive the service and be finalized
+  /// before the first request — CreateSession fails cleanly otherwise).
+  explicit SedaService(const core::Seda* seda,
+                       ServiceOptions options = ServiceOptions{});
+
+  // --- Typed entry points ---------------------------------------------
+  CreateSessionResponse CreateSession(const CreateSessionRequest& request);
+  CloseSessionResponse CloseSession(const CloseSessionRequest& request);
+  /// An empty session_id runs one-shot on the current epoch (no state kept).
+  SearchResponseDto Search(const SearchRequest& request);
+  SearchResponseDto Refine(const RefineRequest& request);
+  CompleteResponseDto Complete(const CompleteRequest& request);
+  CubeResponseDto Cube(const CubeRequest& request);
+
+  /// Wire entry point: one JSON request envelope in, one JSON response out.
+  /// The envelope is the request DTO's object plus a "method" field:
+  ///   {"method":"search","session_id":"s1","query":"(a, b)", ...}
+  /// Methods: create_session, close_session, search, refine, complete,
+  /// cube. Envelope-level failures (malformed JSON, unknown method) return
+  /// {"status":{...}} with the error; method-level failures are the
+  /// method's own response DTO with its status set.
+  std::string Handle(const std::string& request_json);
+
+  /// Live (non-evicted) session count, for tests and ops.
+  size_t SessionCount() const;
+
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  struct SessionEntry {
+    std::string id;
+    /// Serializes requests on this session (core::Session mutates state).
+    std::mutex mu;
+    core::Session session;
+    /// Result of the last Complete(), consumed by Cube(). Reset by a new
+    /// Search/Refine round (the tuples belong to the superseded query).
+    std::optional<twig::CompleteResult> last_complete;
+    /// Guarded by the registry mutex (not mu): eviction bookkeeping.
+    std::chrono::steady_clock::time_point last_used;
+    uint64_t ttl_ms = 0;
+
+    SessionEntry(std::string session_id, core::Session engine)
+        : id(std::move(session_id)), session(std::move(engine)) {}
+  };
+
+  /// Looks up a session, refreshes its LRU stamp and returns a shared
+  /// handle, or NotFound/expired. Never blocks on the session's own mutex.
+  Result<std::shared_ptr<SessionEntry>> FindSession(const std::string& id);
+
+  /// Registry-lock-held: drops every expired session. Runs on each
+  /// CreateSession and, rate-limited, on lookups — so idle-expired sessions
+  /// release their pinned epochs even without new session traffic.
+  void SweepExpiredLocked(std::chrono::steady_clock::time_point now);
+
+  /// Registry-lock-held: evicts least-recently-used sessions until an
+  /// insert fits within max_sessions. Only called when an insert WILL
+  /// happen — a request that fails validation must not cost a live session.
+  void EvictLruForInsertLocked();
+
+  uint64_t EffectiveDeadline(uint64_t request_deadline_ms) const {
+    return request_deadline_ms != 0 ? request_deadline_ms
+                                    : options_.default_deadline_ms;
+  }
+
+  const core::Seda* seda_;
+  ServiceOptions options_;
+
+  mutable std::mutex registry_mu_;
+  std::unordered_map<std::string, std::shared_ptr<SessionEntry>> sessions_;
+  uint64_t next_session_number_ = 1;  ///< guarded by registry_mu_
+  /// Last full expiry sweep (guarded by registry_mu_); lookups re-sweep at
+  /// most once per second to keep the hot path O(1).
+  std::chrono::steady_clock::time_point last_sweep_{};
+};
+
+}  // namespace seda::api
+
+#endif  // SEDA_API_SERVICE_H_

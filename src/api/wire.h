@@ -1,0 +1,172 @@
+#ifndef SEDA_API_WIRE_H_
+#define SEDA_API_WIRE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/dto.h"
+#include "common/status.h"
+
+namespace seda::api {
+
+/// Minimal JSON document model for the wire format. Self-contained (the
+/// container ships no JSON dependency) and *canonical*: writers emit compact
+/// JSON with encoder-fixed key order, integers without exponent/decimal
+/// point, doubles via %.17g (which round-trips every finite double exactly),
+/// and a fixed escape policy — so for every DTO,
+/// Encode(Decode(Encode(x))) == Encode(x) byte for byte. That stability is
+/// what lets tests, logs and caches compare responses as strings.
+class Json {
+ public:
+  enum class Kind { kNull, kBool, kUint, kDouble, kString, kArray, kObject };
+
+  Json() : kind_(Kind::kNull) {}
+  static Json Null() { return Json(); }
+  static Json Bool(bool b);
+  static Json Uint(uint64_t u);
+  /// Non-finite doubles encode as null (JSON has no NaN/Inf).
+  static Json Double(double d);
+  static Json Str(std::string s);
+  static Json Array();
+  static Json Object();
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+
+  // Typed readers; they coerce where lossless (Uint -> Double) and return
+  // the fallback otherwise — DTO decoders validate presence separately.
+  bool AsBool(bool fallback = false) const;
+  uint64_t AsUint(uint64_t fallback = 0) const;
+  double AsDouble(double fallback = 0) const;
+  const std::string& AsString() const;  ///< empty for non-strings
+
+  // Array access.
+  void Append(Json value);
+  size_t size() const;
+  const Json& at(size_t i) const;  ///< Null sentinel when out of range
+
+  // Object access: insertion-ordered keys (canonical encoding preserves the
+  // encoder's field order).
+  void Set(const std::string& key, Json value);
+  const Json* Find(const std::string& key) const;  ///< nullptr when absent
+  const std::vector<std::pair<std::string, Json>>& members() const;
+
+  /// Compact canonical serialization.
+  std::string Write() const;
+
+  /// Strict parser (UTF-8 passthrough, \uXXXX escapes, no trailing input).
+  /// Errors carry the byte offset of the failure.
+  static Result<Json> Parse(const std::string& text);
+
+ private:
+  Kind kind_;
+  bool bool_ = false;
+  uint64_t uint_ = 0;
+  double double_ = 0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::vector<std::pair<std::string, Json>> object_;
+};
+
+// --- DTO codecs ---------------------------------------------------------
+// Every request/response DTO encodes to one canonical JSON object and
+// decodes from it. Decoders are lenient about missing fields (defaults
+// apply) but strict about malformed JSON and wrong value shapes.
+
+std::string Encode(const WireStatus& v);
+std::string Encode(const StatsDto& v);
+std::string Encode(const NodeRefDto& v);
+std::string Encode(const TupleDto& v);
+std::string Encode(const ContextEntryDto& v);
+std::string Encode(const ContextBucketDto& v);
+std::string Encode(const ConnectionStepDto& v);
+std::string Encode(const ConnectionDto& v);
+std::string Encode(const CreateSessionRequest& v);
+std::string Encode(const CreateSessionResponse& v);
+std::string Encode(const CloseSessionRequest& v);
+std::string Encode(const CloseSessionResponse& v);
+std::string Encode(const SearchRequest& v);
+std::string Encode(const SearchResponseDto& v);
+std::string Encode(const RefineRequest& v);
+std::string Encode(const CompleteRequest& v);
+std::string Encode(const CompleteResponseDto& v);
+std::string Encode(const CubeRequest& v);
+std::string Encode(const TableDto& v);
+std::string Encode(const CellDto& v);
+std::string Encode(const CubeResponseDto& v);
+
+Result<WireStatus> DecodeWireStatus(const std::string& json);
+Result<StatsDto> DecodeStatsDto(const std::string& json);
+Result<NodeRefDto> DecodeNodeRefDto(const std::string& json);
+Result<TupleDto> DecodeTupleDto(const std::string& json);
+Result<ContextEntryDto> DecodeContextEntryDto(const std::string& json);
+Result<ContextBucketDto> DecodeContextBucketDto(const std::string& json);
+Result<ConnectionStepDto> DecodeConnectionStepDto(const std::string& json);
+Result<ConnectionDto> DecodeConnectionDto(const std::string& json);
+Result<CreateSessionRequest> DecodeCreateSessionRequest(const std::string& json);
+Result<CreateSessionResponse> DecodeCreateSessionResponse(const std::string& json);
+Result<CloseSessionRequest> DecodeCloseSessionRequest(const std::string& json);
+Result<CloseSessionResponse> DecodeCloseSessionResponse(const std::string& json);
+Result<SearchRequest> DecodeSearchRequest(const std::string& json);
+Result<SearchResponseDto> DecodeSearchResponseDto(const std::string& json);
+Result<RefineRequest> DecodeRefineRequest(const std::string& json);
+Result<CompleteRequest> DecodeCompleteRequest(const std::string& json);
+Result<CompleteResponseDto> DecodeCompleteResponseDto(const std::string& json);
+Result<CubeRequest> DecodeCubeRequest(const std::string& json);
+Result<TableDto> DecodeTableDto(const std::string& json);
+Result<CellDto> DecodeCellDto(const std::string& json);
+Result<CubeResponseDto> DecodeCubeResponseDto(const std::string& json);
+
+// Json-level converters, for composing DTOs into envelopes (the service's
+// Handle() dispatch uses these; the string Encode/Decode pairs above wrap
+// them).
+Json ToJson(const WireStatus& v);
+Json ToJson(const StatsDto& v);
+Json ToJson(const NodeRefDto& v);
+Json ToJson(const TupleDto& v);
+Json ToJson(const ContextEntryDto& v);
+Json ToJson(const ContextBucketDto& v);
+Json ToJson(const ConnectionStepDto& v);
+Json ToJson(const ConnectionDto& v);
+Json ToJson(const CreateSessionRequest& v);
+Json ToJson(const CreateSessionResponse& v);
+Json ToJson(const CloseSessionRequest& v);
+Json ToJson(const CloseSessionResponse& v);
+Json ToJson(const SearchRequest& v);
+Json ToJson(const SearchResponseDto& v);
+Json ToJson(const RefineRequest& v);
+Json ToJson(const CompleteRequest& v);
+Json ToJson(const CompleteResponseDto& v);
+Json ToJson(const CubeRequest& v);
+Json ToJson(const TableDto& v);
+Json ToJson(const CellDto& v);
+Json ToJson(const CubeResponseDto& v);
+
+WireStatus WireStatusFromJson(const Json& json);
+StatsDto StatsDtoFromJson(const Json& json);
+NodeRefDto NodeRefDtoFromJson(const Json& json);
+TupleDto TupleDtoFromJson(const Json& json);
+ContextEntryDto ContextEntryDtoFromJson(const Json& json);
+ContextBucketDto ContextBucketDtoFromJson(const Json& json);
+ConnectionStepDto ConnectionStepDtoFromJson(const Json& json);
+ConnectionDto ConnectionDtoFromJson(const Json& json);
+CreateSessionRequest CreateSessionRequestFromJson(const Json& json);
+CreateSessionResponse CreateSessionResponseFromJson(const Json& json);
+CloseSessionRequest CloseSessionRequestFromJson(const Json& json);
+CloseSessionResponse CloseSessionResponseFromJson(const Json& json);
+SearchRequest SearchRequestFromJson(const Json& json);
+SearchResponseDto SearchResponseDtoFromJson(const Json& json);
+RefineRequest RefineRequestFromJson(const Json& json);
+CompleteRequest CompleteRequestFromJson(const Json& json);
+CompleteResponseDto CompleteResponseDtoFromJson(const Json& json);
+CubeRequest CubeRequestFromJson(const Json& json);
+TableDto TableDtoFromJson(const Json& json);
+CellDto CellDtoFromJson(const Json& json);
+CubeResponseDto CubeResponseDtoFromJson(const Json& json);
+
+}  // namespace seda::api
+
+#endif  // SEDA_API_WIRE_H_

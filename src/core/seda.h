@@ -132,6 +132,15 @@ class Seda {
   Result<Session> NewSession() const;
 
   // --- Legacy facade: shims over the current snapshot -----------------
+  // DEPRECATED: the supported public query surface is api::SedaService
+  // (src/api/service.h) — plain-data requests/responses with string session
+  // ids, per-request deadlines and a JSON wire form; see README's migration
+  // table. The one-shot shims below remain for in-process callers and tests
+  // (each pins the current snapshot for exactly one call, so they stay
+  // correct), but new interactive/serving code should not grow on them:
+  // they hand back engine objects full of store references that cannot
+  // cross a thread-pool, process or wire boundary.
+  //
   // The raw-reference accessors below return references into the currently
   // published epoch. They stay valid until the next Commit() replaces that
   // epoch (which frees it unless a Session or snapshot() shared_ptr still
@@ -151,23 +160,26 @@ class Seda {
   ///   (*, "United States") AND (trade_country, *) AND (percentage, *)
   Result<query::Query> Parse(const std::string& text) const;
 
-  /// One-shot search on the current epoch: creates an internal single-use
-  /// Session. The response's stats.epoch says which epoch served it.
+  /// DEPRECATED (use api::SedaService::Search): one-shot search on the
+  /// current epoch via an internal single-use Session. The response's
+  /// stats.epoch says which epoch served it.
   Result<SearchResponse> Search(const query::Query& query) const;
   Result<SearchResponse> Search(const std::string& query_text) const;
 
-  /// Context refinement (§5); pure query rewrite, see
-  /// Snapshot::RefineContexts.
+  /// DEPRECATED (use api::SedaService::Refine): context refinement (§5);
+  /// pure query rewrite, see Snapshot::RefineContexts.
   Result<query::Query> RefineContexts(
       const query::Query& query,
       const std::vector<std::vector<std::string>>& chosen_paths) const;
 
-  /// Complete result set (§7) on the current epoch.
+  /// DEPRECATED (use api::SedaService::Complete): complete result set (§7)
+  /// on the current epoch.
   Result<twig::CompleteResult> CompleteResults(
       const query::Query& query, const std::vector<std::string>& term_paths,
       const std::vector<twig::ChosenConnection>& connections) const;
 
-  /// Star schema from a complete result (§7 steps 1-3).
+  /// DEPRECATED (use api::SedaService::Cube): star schema from a complete
+  /// result (§7 steps 1-3).
   Result<cube::StarSchema> BuildCube(
       const twig::CompleteResult& result,
       const cube::CubeBuilder::Options& options) const;
@@ -175,7 +187,8 @@ class Seda {
     return BuildCube(result, cube::CubeBuilder::Options{});
   }
 
-  /// Loads the first fact table of a star schema into the OLAP engine.
+  /// DEPRECATED (use api::SedaService::Cube with measure/group_dims): loads
+  /// the first fact table of a star schema into the OLAP engine.
   Result<olap::Cube> ToOlapCube(const cube::StarSchema& schema) const;
 
  private:

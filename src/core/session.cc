@@ -3,7 +3,12 @@
 namespace seda::core {
 
 Result<SearchResponse> Session::Search(const query::Query& query) {
-  auto response = snapshot_->Search(query);
+  return Search(query, snapshot_->options().topk);
+}
+
+Result<SearchResponse> Session::Search(const query::Query& query,
+                                       const topk::TopKOptions& topk_options) {
+  auto response = snapshot_->Search(query, topk_options);
   if (!response.ok()) return response.status();
   current_query_ = query;
   last_response_ = response.value();
@@ -13,21 +18,40 @@ Result<SearchResponse> Session::Search(const query::Query& query) {
 }
 
 Result<SearchResponse> Session::Search(const std::string& query_text) {
+  return Search(query_text, snapshot_->options().topk);
+}
+
+Result<SearchResponse> Session::Search(const std::string& query_text,
+                                       const topk::TopKOptions& topk_options) {
   auto query = snapshot_->Parse(query_text);
   if (!query.ok()) return query.status();
-  return Search(query.value());
+  return Search(query.value(), topk_options);
 }
 
 Result<SearchResponse> Session::RefineContexts(
     const std::vector<std::vector<std::string>>& chosen_paths) {
+  return RefineContexts(chosen_paths, snapshot_->options().topk);
+}
+
+Result<SearchResponse> Session::RefineContexts(
+    const std::vector<std::vector<std::string>>& chosen_paths,
+    const topk::TopKOptions& topk_options) {
   if (!current_query_.has_value()) {
     return Status::FailedPrecondition(
         "no query in this session; call Search() before RefineContexts()");
   }
+  // Validate the pick shape here, before the rewrite, so the caller gets the
+  // term arity error even when the query itself would fail later anyway.
+  if (chosen_paths.size() != current_query_->terms.size()) {
+    return Status::InvalidArgument(
+        "one context choice list per query term required: current query has " +
+        std::to_string(current_query_->terms.size()) + " term(s) but " +
+        std::to_string(chosen_paths.size()) + " list(s) were given");
+  }
   auto refined = Snapshot::RefineContexts(*current_query_, chosen_paths);
   if (!refined.ok()) return refined.status();
 
-  auto response = snapshot_->Search(refined.value());
+  auto response = snapshot_->Search(refined.value(), topk_options);
   if (!response.ok()) return response.status();
   current_query_ = std::move(refined).value();
   last_response_ = response.value();

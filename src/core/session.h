@@ -45,11 +45,23 @@ class Session {
   Result<SearchResponse> Search(const query::Query& query);
   Result<SearchResponse> Search(const std::string& query_text);
 
+  /// Search with per-request engine options (deadline_ms, k, ... — the
+  /// api::SedaService request path); state updates are identical to Search().
+  Result<SearchResponse> Search(const query::Query& query,
+                                const topk::TopKOptions& topk_options);
+  Result<SearchResponse> Search(const std::string& query_text,
+                                const topk::TopKOptions& topk_options);
+
   /// Fig. 6 feedback edge: applies the user's context picks (one list per
   /// term; empty = leave that term as is) to the current query and re-runs
-  /// Search. Requires a prior Search in this session.
+  /// Search. Requires a prior Search in this session. `chosen_paths` must
+  /// carry exactly one list per query term; a mismatch (or a non-absolute
+  /// path, reported with its term index) returns InvalidArgument.
   Result<SearchResponse> RefineContexts(
       const std::vector<std::vector<std::string>>& chosen_paths);
+  Result<SearchResponse> RefineContexts(
+      const std::vector<std::vector<std::string>>& chosen_paths,
+      const topk::TopKOptions& topk_options);
 
   /// Fig. 6 completion stage: the complete result set R(q) for the current
   /// query with terms pinned to single contexts, honoring chosen

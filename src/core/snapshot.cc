@@ -161,15 +161,20 @@ Result<query::Query> Snapshot::Parse(const std::string& text) const {
 }
 
 Result<SearchResponse> Snapshot::Search(const query::Query& query) const {
+  return Search(query, options_.topk);
+}
+
+Result<SearchResponse> Snapshot::Search(
+    const query::Query& query, const topk::TopKOptions& topk_options) const {
   SearchResponse response;
 
   // One cursor-built candidate set per query, shared by the top-k engine and
   // the summary generators instead of re-evaluating the expressions.
   exec::CandidateSet candidates = exec::BuildCandidates(
-      *index_, query, options_.topk.max_candidates_per_term);
+      *index_, query, topk_options.max_candidates_per_term);
 
   auto topk_result =
-      searcher_->Search(query, options_.topk, candidates, &response.stats);
+      searcher_->Search(query, topk_options, candidates, &response.stats);
   if (!topk_result.ok()) return topk_result.status();
   response.topk = std::move(topk_result).value();
   response.stats.epoch = epoch_;
@@ -201,7 +206,10 @@ Result<query::Query> Snapshot::RefineContexts(
     const query::Query& query,
     const std::vector<std::vector<std::string>>& chosen_paths) {
   if (chosen_paths.size() != query.terms.size()) {
-    return Status::InvalidArgument("one context choice list per term required");
+    return Status::InvalidArgument(
+        "one context choice list per query term required: query has " +
+        std::to_string(query.terms.size()) + " term(s) but " +
+        std::to_string(chosen_paths.size()) + " list(s) were given");
   }
   query::Query refined = query;  // deep-copies terms
   for (size_t i = 0; i < refined.terms.size(); ++i) {
@@ -210,7 +218,8 @@ Result<query::Query> Snapshot::RefineContexts(
     for (const std::string& path : chosen_paths[i]) {
       if (path.empty() || path[0] != '/') {
         return Status::InvalidArgument(
-            "context choices must be absolute paths; got '" + path + "'");
+            "context choice for term " + std::to_string(i) +
+            " must be an absolute path; got '" + path + "'");
       }
       spec.AddPath(path);
     }

@@ -129,6 +129,12 @@ class Snapshot {
   Result<SearchResponse> Search(const query::Query& query) const;
   Result<SearchResponse> Search(const std::string& query_text) const;
 
+  /// Search with per-request engine options (the api::SedaService path: a
+  /// request's deadline_ms / k overrides are layered over this snapshot's
+  /// configured TopKOptions without touching the shared epoch state).
+  Result<SearchResponse> Search(const query::Query& query,
+                                const topk::TopKOptions& topk_options) const;
+
   /// Context refinement (§5): restricts each term to the chosen context
   /// paths (empty vector = keep the term as is) and returns the refined
   /// query for a new Search round. Pure query rewrite — needs no epoch

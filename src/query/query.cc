@@ -7,13 +7,23 @@
 
 namespace seda::query {
 
-ContextSpec ContextSpec::Parse(const std::string& text) {
+Result<ContextSpec> ContextSpec::Parse(const std::string& text) {
   ContextSpec spec;
   std::string_view stripped = StripWhitespace(text);
   if (stripped.empty() || stripped == "*") return spec;
-  for (const std::string& raw_piece : Split(std::string(stripped), '|')) {
-    std::string piece(StripWhitespace(raw_piece));
-    if (piece.empty() || piece == "*") continue;
+  std::vector<std::string> pieces = Split(std::string(stripped), '|');
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    std::string piece(StripWhitespace(pieces[i]));
+    if (piece.empty()) {
+      return Status::InvalidArgument(
+          "context '" + std::string(stripped) + "' has an empty alternative (" +
+          std::to_string(i + 1) + " of " + std::to_string(pieces.size()) +
+          "); remove the stray '|'");
+    }
+    if (piece == "*") {
+      // '*' admits every context, so the whole disjunction is unrestricted.
+      return ContextSpec();
+    }
     if (piece[0] == '/') {
       spec.AddPath(piece);
     } else {
@@ -87,6 +97,24 @@ std::string Query::ToString() const {
   return out;
 }
 
+namespace {
+
+/// The run of non-whitespace characters at `pos` (capped for readability),
+/// for pointing at the offending token in parse errors.
+std::string TokenAt(const std::string& input, size_t pos) {
+  if (pos >= input.size()) return "<end of input>";
+  size_t end = pos;
+  while (end < input.size() && end - pos < 24 &&
+         !std::isspace(static_cast<unsigned char>(input[end]))) {
+    ++end;
+  }
+  return "'" + input.substr(pos, end - pos) + "'";
+}
+
+std::string AtOffset(size_t pos) { return " at offset " + std::to_string(pos); }
+
+}  // namespace
+
 Result<Query> ParseQuery(const std::string& input) {
   Query query;
   size_t pos = 0;
@@ -118,12 +146,14 @@ Result<Query> ParseQuery(const std::string& input) {
     skip_separators();
     if (pos >= input.size()) break;
     if (input[pos] != '(') {
-      return Status::ParseError("expected '(' starting a query term at offset " +
-                                std::to_string(pos));
+      return Status::ParseError("expected '(' starting a query term" +
+                                AtOffset(pos) + ", got " + TokenAt(input, pos));
     }
+    const size_t term_start = pos;
     ++pos;
     // The context part runs to the first top-level comma. Quotes may contain
     // commas; respect them.
+    const size_t context_start = pos;
     std::string context_text;
     bool in_quotes = false;
     while (pos < input.size() && (in_quotes || input[pos] != ',')) {
@@ -131,9 +161,12 @@ Result<Query> ParseQuery(const std::string& input) {
       context_text.push_back(input[pos++]);
     }
     if (pos >= input.size()) {
-      return Status::ParseError("expected ',' inside query term");
+      return Status::ParseError(
+          "expected ',' inside the query term starting" + AtOffset(term_start) +
+          ", got " + TokenAt(input, pos));
     }
     ++pos;  // consume ','
+    const size_t search_start = pos;
     std::string search_text;
     int parens = 0;
     in_quotes = false;
@@ -146,7 +179,9 @@ Result<Query> ParseQuery(const std::string& input) {
       ++pos;
     }
     if (pos >= input.size()) {
-      return Status::ParseError("expected ')' closing query term");
+      return Status::ParseError(
+          "expected ')' closing the query term starting" + AtOffset(term_start) +
+          ", got " + TokenAt(input, pos));
     }
     ++pos;  // consume ')'
 
@@ -155,9 +190,21 @@ Result<Query> ParseQuery(const std::string& input) {
     if (ctx.size() >= 2 && ctx.front() == '"' && ctx.back() == '"') {
       ctx = ctx.substr(1, ctx.size() - 2);
     }
+    auto spec = ContextSpec::Parse(ctx);
+    if (!spec.ok()) {
+      return Status::ParseError("in the context starting" +
+                                AtOffset(context_start) + ": " +
+                                spec.status().message());
+    }
     auto expr = text::ParseTextExpr(search_text);
-    if (!expr.ok()) return expr.status();
-    query.terms.emplace_back(ContextSpec::Parse(ctx), std::move(expr).value());
+    if (!expr.ok()) {
+      // ParseTextExpr offsets are relative to the search substring; anchor
+      // the message to the term's search part within `input`.
+      return Status::ParseError("in the search query starting" +
+                                AtOffset(search_start) + ": " +
+                                expr.status().message());
+    }
+    query.terms.emplace_back(std::move(spec).value(), std::move(expr).value());
   }
   if (query.terms.empty()) {
     return Status::InvalidArgument("query contains no terms");

@@ -24,7 +24,11 @@ class ContextSpec {
   ContextSpec() = default;
 
   /// Parses "trade_country", "/country/economy/GDP", "a | /b/c", "*" / "".
-  static ContextSpec Parse(const std::string& text);
+  /// An empty alternative between '|' separators ("a | | b") is rejected with
+  /// InvalidArgument instead of being silently dropped; a '*' alternative
+  /// inside a disjunction makes the whole spec unrestricted (union
+  /// semantics).
+  static Result<ContextSpec> Parse(const std::string& text);
 
   /// Unrestricted context ("*" or empty).
   bool unrestricted() const { return alternatives_.empty(); }
@@ -88,6 +92,10 @@ struct Query {
 /// single keywords); '*' means any content.
 ///
 /// Example: (*, "United States") AND (trade_country, *) AND (percentage, *)
+///
+/// Parse failures are ParseError/InvalidArgument statuses that name the byte
+/// offset of the failure in `input` and the offending token, so a client
+/// (e.g. one speaking the api wire format) can point at the exact position.
 Result<Query> ParseQuery(const std::string& input);
 
 }  // namespace seda::query

@@ -1,6 +1,7 @@
 #include "topk/topk.h"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
 #include <optional>
 
@@ -218,8 +219,24 @@ Result<std::vector<ScoredTuple>> TopKSearcher::SearchImpl(
     return product;
   };
 
+  // Per-request deadline (api::SedaService): the clock starts when the scan
+  // does, and is consulted once per candidate document — each document's
+  // batch is bounded by the structural budgets above, so the overrun past the
+  // deadline is one document's worth of work, not unbounded.
+  const auto scan_start = std::chrono::steady_clock::now();
+  auto deadline_expired = [&]() {
+    if (options.deadline_ms == 0) return false;
+    auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::steady_clock::now() - scan_start);
+    return static_cast<uint64_t>(elapsed.count()) >= options.deadline_ms;
+  };
+
   for (const auto& [bound, doc] : order) {
     if (options.k == 0) break;  // nothing to keep; skip the scan entirely
+    if (deadline_expired()) {
+      local_stats.deadline_exceeded = true;
+      break;
+    }
     if (threshold_stop && best.Full() &&
         best.Worst().score >= bound * Compactness(0)) {
       local_stats.early_terminated = true;

@@ -43,6 +43,12 @@ struct SearchStats {
   // Hub/budget trimming (ROADMAP perf-cliff fix; see TopKOptions):
   uint64_t hub_links_skipped = 0;    ///< cross-doc links dropped at hub nodes
   uint64_t tuples_trimmed = 0;       ///< tuples skipped by the per-query budget
+  /// The per-request deadline (TopKOptions::deadline_ms) fired and the scan
+  /// stopped with unexamined documents remaining: the returned top-k is the
+  /// best of what was scored in time, not the full TA fixpoint. Surfaced in
+  /// the api::SedaService stats block so overruns show up in the response
+  /// instead of as unbounded latency.
+  bool deadline_exceeded = false;
   /// Commit epoch of the snapshot that served the query (1 = the Finalize()
   /// epoch; 0 only when the searcher runs outside a core::Snapshot). Lets a
   /// client correlate results with the data version while commits race.
@@ -87,6 +93,15 @@ struct TopKOptions {
   /// least-promising enumerations first; trimmed counts land in
   /// SearchStats::tuples_trimmed. 0 = unlimited.
   size_t max_tuples_per_query = 10000;
+  /// Per-request wall-clock budget for the scan, in milliseconds (0 = none).
+  /// Checked cooperatively once per candidate document: when it fires, the
+  /// scan stops, SearchStats::deadline_exceeded is set, and the tuples scored
+  /// so far are returned — a well-formed partial answer instead of unbounded
+  /// latency. Because documents are consumed in TA upper-bound order, what
+  /// survives is the most promising prefix. Unlike the structural budgets
+  /// above this is a per-request field (see api::SedaService), not a corpus
+  /// property, so it is deliberately NOT persisted in snapshot images.
+  uint64_t deadline_ms = 0;
 };
 
 /// Top-k search unit (paper §4), rebuilt as a streaming engine: per-term

@@ -95,7 +95,7 @@ TEST_F(CursorTest, NotCursorMatchesOldUniverseSubtraction) {
 }
 
 TEST_F(CursorTest, ContextFilterPushdownMatchesPostFilter) {
-  query::ContextSpec spec = query::ContextSpec::Parse("name | percentage");
+  query::ContextSpec spec = query::ContextSpec::Parse("name | percentage").value();
   std::vector<store::PathId> paths = spec.ResolvePathIds(store_.paths());
   ASSERT_FALSE(paths.empty());
   std::unordered_set<store::PathId> allowed(paths.begin(), paths.end());

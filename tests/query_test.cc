@@ -7,26 +7,45 @@ namespace seda::query {
 namespace {
 
 TEST(ContextSpecTest, ParseVariants) {
-  EXPECT_TRUE(ContextSpec::Parse("*").unrestricted());
-  EXPECT_TRUE(ContextSpec::Parse("").unrestricted());
-  ContextSpec tag = ContextSpec::Parse("trade_country");
+  EXPECT_TRUE(ContextSpec::Parse("*").value().unrestricted());
+  EXPECT_TRUE(ContextSpec::Parse("").value().unrestricted());
+  ContextSpec tag = ContextSpec::Parse("trade_country").value();
   ASSERT_EQ(tag.alternatives().size(), 1u);
   EXPECT_FALSE(tag.alternatives()[0].is_path);
-  ContextSpec path = ContextSpec::Parse("/country/economy/GDP");
+  ContextSpec path = ContextSpec::Parse("/country/economy/GDP").value();
   ASSERT_EQ(path.alternatives().size(), 1u);
   EXPECT_TRUE(path.alternatives()[0].is_path);
-  ContextSpec both = ContextSpec::Parse("name | /country/year");
+  ContextSpec both = ContextSpec::Parse("name | /country/year").value();
   EXPECT_EQ(both.alternatives().size(), 2u);
 }
 
+TEST(ContextSpecTest, RejectsEmptyAlternatives) {
+  // "a | | b" must be an error, not a silent two-alternative spec.
+  auto empty_middle = ContextSpec::Parse("a | | b");
+  ASSERT_FALSE(empty_middle.ok());
+  EXPECT_EQ(empty_middle.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(empty_middle.status().message().find("empty alternative"),
+            std::string::npos);
+  EXPECT_FALSE(ContextSpec::Parse("a |").ok());
+  EXPECT_FALSE(ContextSpec::Parse("| a").ok());
+  EXPECT_FALSE(ContextSpec::Parse("|").ok());
+}
+
+TEST(ContextSpecTest, StarAlternativeMakesSpecUnrestricted) {
+  // '*' admits every context, so a disjunction containing it is the
+  // unrestricted spec — not a spec that silently dropped the '*'.
+  EXPECT_TRUE(ContextSpec::Parse("a | *").value().unrestricted());
+  EXPECT_TRUE(ContextSpec::Parse("* | /b/c").value().unrestricted());
+}
+
 TEST(ContextSpecTest, MatchesDefinition3) {
-  ContextSpec tag = ContextSpec::Parse("trade_country");
+  ContextSpec tag = ContextSpec::Parse("trade_country").value();
   EXPECT_TRUE(tag.Matches("/country/economy/import_partners/item/trade_country",
                           "trade_country"));
   EXPECT_FALSE(tag.Matches("/country/name", "name"));
-  ContextSpec wild = ContextSpec::Parse("trade_*");
+  ContextSpec wild = ContextSpec::Parse("trade_*").value();
   EXPECT_TRUE(wild.Matches("/x/trade_country", "trade_country"));
-  ContextSpec path = ContextSpec::Parse("/country/name");
+  ContextSpec path = ContextSpec::Parse("/country/name").value();
   EXPECT_TRUE(path.Matches("/country/name", "name"));
   EXPECT_FALSE(path.Matches("/territory/name", "name"));
   EXPECT_TRUE(ContextSpec().Matches("/anything", "anything"));
@@ -35,12 +54,12 @@ TEST(ContextSpecTest, MatchesDefinition3) {
 TEST(ContextSpecTest, ResolvePathIds) {
   store::DocumentStore store;
   data::PopulateScenario(&store);
-  ContextSpec tag = ContextSpec::Parse("trade_country");
+  ContextSpec tag = ContextSpec::Parse("trade_country").value();
   auto ids = tag.ResolvePathIds(store.paths());
   EXPECT_EQ(ids.size(), 2u);  // import + export variants
   ContextSpec all;
   EXPECT_EQ(all.ResolvePathIds(store.paths()).size(), store.paths().size());
-  ContextSpec missing = ContextSpec::Parse("/no/such/path");
+  ContextSpec missing = ContextSpec::Parse("/no/such/path").value();
   EXPECT_TRUE(missing.ResolvePathIds(store.paths()).empty());
 }
 
@@ -79,6 +98,43 @@ TEST(QueryParseTest, Errors) {
   EXPECT_FALSE(ParseQuery("no parens").ok());
   EXPECT_FALSE(ParseQuery("(missing comma)").ok());
   EXPECT_FALSE(ParseQuery("(a, b").ok());
+}
+
+TEST(QueryParseTest, ErrorsCarryByteOffsetAndToken) {
+  // Offset 9 is where "oops..." starts after the first term and separator.
+  auto bad_start = ParseQuery("(a, b) && oops(c, d)");
+  ASSERT_FALSE(bad_start.ok());
+  EXPECT_NE(bad_start.status().message().find("offset 10"), std::string::npos)
+      << bad_start.status().message();
+  EXPECT_NE(bad_start.status().message().find("'oops(c,"), std::string::npos)
+      << bad_start.status().message();
+
+  auto no_comma = ParseQuery("(a, b) AND (missing comma)");
+  ASSERT_FALSE(no_comma.ok());
+  EXPECT_NE(no_comma.status().message().find("offset 11"), std::string::npos)
+      << no_comma.status().message();
+  EXPECT_NE(no_comma.status().message().find("','"), std::string::npos);
+
+  auto no_close = ParseQuery("(a, b");
+  ASSERT_FALSE(no_close.ok());
+  EXPECT_NE(no_close.status().message().find("offset 0"), std::string::npos)
+      << no_close.status().message();
+  EXPECT_NE(no_close.status().message().find("<end of input>"),
+            std::string::npos);
+
+  // A bad context propagates its error anchored at the context's offset.
+  auto bad_context = ParseQuery("(a | | b, x)");
+  ASSERT_FALSE(bad_context.ok());
+  EXPECT_NE(bad_context.status().message().find("offset 1"), std::string::npos)
+      << bad_context.status().message();
+  EXPECT_NE(bad_context.status().message().find("empty alternative"),
+            std::string::npos);
+
+  // A bad search expression is anchored at the search part's offset.
+  auto bad_search = ParseQuery("(a, x AND)");
+  ASSERT_FALSE(bad_search.ok());
+  EXPECT_NE(bad_search.status().message().find("offset 3"), std::string::npos)
+      << bad_search.status().message();
 }
 
 TEST(QueryParseTest, RoundTripToString) {
