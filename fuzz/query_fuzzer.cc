@@ -1,0 +1,18 @@
+// Fuzz target for the query-language parser (src/query/) — the third
+// untrusted input surface: user-typed query text. Every input must parse
+// into a Query or fail with InvalidArgument; no crashes or hangs.
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "query/query.h"
+#include "text/text_expr.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string input(reinterpret_cast<const char*>(data), size);
+  (void)seda::query::ParseQuery(input);
+  // The per-term content-predicate grammar is reachable on its own through
+  // the session API, so fuzz it directly too.
+  (void)seda::text::ParseTextExpr(input);
+  return 0;
+}

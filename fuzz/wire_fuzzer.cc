@@ -1,0 +1,27 @@
+// Fuzz target for the JSON wire layer (src/api/wire.*) — the service's
+// untrusted network-input surface. Any input must come back as a clean
+// Status; crashes, sanitizer reports and hangs are bugs.
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "api/wire.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string input(reinterpret_cast<const char*>(data), size);
+
+  // The generic JSON parser first, then the request decoders the service's
+  // Handle() dispatch feeds with attacker-controlled payloads.
+  (void)seda::api::Json::Parse(input);
+  (void)seda::api::DecodeCreateSessionRequest(input);
+  (void)seda::api::DecodeCloseSessionRequest(input);
+  (void)seda::api::DecodeSearchRequest(input);
+  (void)seda::api::DecodeRefineRequest(input);
+  (void)seda::api::DecodeCompleteRequest(input);
+  (void)seda::api::DecodeCubeRequest(input);
+  // Response decoders run on the client side of the wire — same trust level.
+  (void)seda::api::DecodeSearchResponseDto(input);
+  (void)seda::api::DecodeCompleteResponseDto(input);
+  (void)seda::api::DecodeCubeResponseDto(input);
+  return 0;
+}

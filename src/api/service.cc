@@ -372,7 +372,10 @@ CompleteResponseDto SedaService::Complete(const CompleteRequest& request) {
     connections.push_back(std::move(executable).value());
   }
 
-  auto result = state.session.CompleteResults(request.term_paths, connections);
+  twig::ExecuteOptions exec_options;
+  exec_options.deadline_ms = deadline_ms;
+  auto result = state.session.CompleteResults(request.term_paths, connections,
+                                              exec_options);
   if (!result.ok()) {
     response.status = WireStatus::FromStatus(result.status());
     return response;
@@ -390,9 +393,13 @@ CompleteResponseDto SedaService::Complete(const CompleteRequest& request) {
   }
   response.twig_count = result.value().twig_count;
   response.cross_twig_joins = result.value().cross_twig_joins;
+  const bool engine_deadline = result.value().deadline_exceeded;
   state.last_complete = std::move(result).value();
   response.stats = MakeServiceStats(state.session.epoch(), ElapsedMs(start),
                                     deadline_ms);
+  // The cooperative in-join check may fire before the after-the-fact
+  // elapsed-time comparison does; either signal means truncation.
+  response.stats.deadline_exceeded |= engine_deadline;
   return response;
 }
 

@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/check.h"
+
 namespace seda::api {
 
 // --- Json: constructors and accessors -----------------------------------
@@ -158,6 +160,11 @@ void WriteValue(const Json& v, std::string* out) {
       break;
     }
     case Json::Kind::kDouble: {
+      // Encode-side contract: JSON has no NaN/Infinity, and no engine score
+      // or statistic should ever be non-finite — a NaN here means a scoring
+      // bug upstream, not a wire problem.
+      SEDA_DCHECK(std::isfinite(v.AsDouble()))
+          << "non-finite double on the wire";
       // %.17g round-trips every finite double exactly, making the canonical
       // encoding byte-stable across encode/decode cycles.
       char buf[32];

@@ -1,0 +1,546 @@
+#include "audit/auditor.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "persist/format.h"
+#include "xml/document.h"
+
+namespace seda::audit {
+namespace {
+
+/// Witnesses kept per invariant name; the rest only bump `suppressed`.
+constexpr size_t kMaxWitnesses = 8;
+
+std::string NodeRef(const store::NodeId& id) { return id.ToString(); }
+
+}  // namespace
+
+void AuditReport::Add(const std::string& invariant, const std::string& detail) {
+  size_t count = 0;
+  for (const Violation& v : violations) {
+    if (v.invariant == invariant) ++count;
+  }
+  if (count >= kMaxWitnesses) {
+    ++suppressed;
+    return;
+  }
+  violations.push_back({invariant, detail});
+}
+
+bool AuditReport::Has(const std::string& invariant) const {
+  for (const Violation& v : violations) {
+    if (v.invariant == invariant) return true;
+  }
+  return false;
+}
+
+void AuditReport::Merge(const AuditReport& other) {
+  for (const Violation& v : other.violations) Add(v.invariant, v.detail);
+  checks_run += other.checks_run;
+  suppressed += other.suppressed;
+}
+
+std::string AuditReport::ToString() const {
+  std::ostringstream out;
+  for (const Violation& v : violations) {
+    out << "VIOLATION " << v.invariant << ": " << v.detail << "\n";
+  }
+  if (suppressed > 0) {
+    out << "(+" << suppressed << " further violations suppressed)\n";
+  }
+  out << (ok() ? "audit OK" : "audit FAILED") << " — " << checks_run
+      << " checks, " << (violations.size() + suppressed) << " violations\n";
+  return out.str();
+}
+
+AuditReport SnapshotAuditor::AuditAll() const {
+  AuditReport report;
+  AuditStore(&report);
+  AuditIndex(&report);
+  AuditGraph(&report);
+  AuditDataguides(&report);
+  return report;
+}
+
+void SnapshotAuditor::AuditStore(AuditReport* report) const {
+  const store::PathDictionary& dict = store_->paths();
+  // Recounted-from-scratch statistics, compared against the dictionary after
+  // the walk. Indexed by PathId.
+  std::vector<uint64_t> node_counts(dict.size(), 0);
+  std::vector<uint64_t> doc_counts(dict.size(), 0);
+  uint64_t total_nodes = 0;
+
+  for (store::DocId d = 0; d < store_->DocumentCount(); ++d) {
+    const xml::Document& doc = store_->document(d);
+    xml::Node* root = doc.root();
+    ++report->checks_run;
+    if (root == nullptr) {
+      report->Add("store.root_missing",
+                  "document " + std::to_string(d) + " has no root");
+      continue;
+    }
+    ++report->checks_run;
+    if (root->dewey() != xml::DeweyId({1})) {
+      report->Add("store.root_dewey", "document " + std::to_string(d) +
+                                          " root carries Dewey '" +
+                                          root->dewey().ToString() + "'");
+    }
+    ++report->checks_run;
+    if (root->parent() != nullptr) {
+      report->Add("store.parent_pointer",
+                  "document " + std::to_string(d) + " root has a parent");
+    }
+
+    // Distinct element/attribute paths seen in this document, for the
+    // path-set cross-check and the dictionary doc counts.
+    std::unordered_set<store::PathId> doc_paths;
+
+    doc.ForEachNode([&](xml::Node* node) {
+      ++total_nodes;
+      const store::NodeId id{d, node->dewey()};
+
+      // Child numbering: the i-th child (1-based, all kinds) extends the
+      // parent's Dewey with component i.
+      const auto& children = node->children();
+      for (size_t i = 0; i < children.size(); ++i) {
+        ++report->checks_run;
+        if (children[i]->dewey() !=
+            node->dewey().Child(static_cast<uint32_t>(i + 1))) {
+          report->Add("store.child_numbering",
+                      NodeRef(id) + " child " + std::to_string(i + 1) +
+                          " carries Dewey '" + children[i]->dewey().ToString() +
+                          "'");
+        }
+        ++report->checks_run;
+        if (children[i]->parent() != node) {
+          report->Add("store.parent_pointer",
+                      NodeRef(id) + " child " + std::to_string(i + 1) +
+                          " does not point back to its parent");
+        }
+      }
+
+      // Every node must be reachable through the engine's lookup path.
+      ++report->checks_run;
+      if (store_->GetNode(id) != node) {
+        report->Add("store.node_lookup",
+                    NodeRef(id) + " does not resolve to itself via GetNode");
+      }
+
+      // Text nodes share their parent's path and are not interned.
+      if (node->kind() == xml::NodeKind::kText) return;
+      const std::string context = node->ContextPath();
+      const store::PathId pid = dict.Find(context);
+      ++report->checks_run;
+      if (pid == store::kInvalidPathId || pid >= dict.size()) {
+        report->Add("store.path_interned",
+                    NodeRef(id) + " path '" + context + "' is not interned");
+        return;
+      }
+      ++node_counts[pid];
+      doc_paths.insert(pid);
+    });
+
+    for (store::PathId pid : doc_paths) ++doc_counts[pid];
+
+    // The recorded per-document path set must be exactly the distinct paths
+    // walked above, sorted strictly ascending and in dictionary bounds.
+    const std::vector<store::PathId>& recorded = store_->DocumentPathSet(d);
+    for (size_t i = 0; i < recorded.size(); ++i) {
+      ++report->checks_run;
+      if (recorded[i] >= dict.size()) {
+        report->Add("store.doc_path_set_bounds",
+                    "document " + std::to_string(d) + " path set entry " +
+                        std::to_string(recorded[i]) + " out of bounds");
+      }
+      ++report->checks_run;
+      if (i > 0 && recorded[i] <= recorded[i - 1]) {
+        report->Add("store.doc_path_set_sorted",
+                    "document " + std::to_string(d) +
+                        " path set not strictly ascending at entry " +
+                        std::to_string(i));
+      }
+    }
+    ++report->checks_run;
+    if (recorded.size() != doc_paths.size() ||
+        !std::all_of(recorded.begin(), recorded.end(),
+                     [&](store::PathId p) { return doc_paths.count(p) > 0; })) {
+      report->Add("store.doc_path_set_exact",
+                  "document " + std::to_string(d) + " path set records " +
+                      std::to_string(recorded.size()) + " paths, walk found " +
+                      std::to_string(doc_paths.size()));
+    }
+  }
+
+  ++report->checks_run;
+  if (total_nodes != store_->TotalNodeCount()) {
+    report->Add("store.total_nodes",
+                "store reports " + std::to_string(store_->TotalNodeCount()) +
+                    " nodes, walk found " + std::to_string(total_nodes));
+  }
+
+  for (store::PathId pid = 0; pid < dict.size(); ++pid) {
+    ++report->checks_run;
+    if (dict.NodeCount(pid) != node_counts[pid]) {
+      report->Add("store.path_node_count",
+                  "path '" + dict.PathString(pid) + "' records " +
+                      std::to_string(dict.NodeCount(pid)) +
+                      " nodes, walk found " + std::to_string(node_counts[pid]));
+    }
+    ++report->checks_run;
+    if (dict.DocCount(pid) != doc_counts[pid]) {
+      report->Add("store.path_doc_count",
+                  "path '" + dict.PathString(pid) + "' records " +
+                      std::to_string(dict.DocCount(pid)) +
+                      " documents, walk found " +
+                      std::to_string(doc_counts[pid]));
+    }
+    // The by-last-tag secondary index must route back to the path.
+    std::vector<store::PathId> tagged = dict.PathsWithLastTag(dict.LastTag(pid));
+    ++report->checks_run;
+    if (std::find(tagged.begin(), tagged.end(), pid) == tagged.end()) {
+      report->Add("store.last_tag_index",
+                  "path '" + dict.PathString(pid) +
+                      "' missing from its last-tag bucket '" +
+                      dict.LastTag(pid) + "'");
+    }
+  }
+}
+
+void SnapshotAuditor::AuditIndex(AuditReport* report) const {
+  const store::PathDictionary& dict = store_->paths();
+
+  uint64_t elem_attr_nodes = 0;
+  store_->ForEachNode([&](const store::NodeId&, xml::Node* node) {
+    if (node->kind() != xml::NodeKind::kText) ++elem_attr_nodes;
+  });
+  ++report->checks_run;
+  if (index_->IndexedNodeCount() != elem_attr_nodes) {
+    report->Add("index.indexed_nodes",
+                "index reports " + std::to_string(index_->IndexedNodeCount()) +
+                    " nodes, store holds " + std::to_string(elem_attr_nodes) +
+                    " element/attribute nodes");
+  }
+
+  for (const std::string& term : index_->AllTerms()) {
+    const std::vector<text::NodePosting>& postings = index_->Postings(term);
+    std::unordered_set<store::DocId> posting_docs;
+    uint32_t max_tf = 0;
+    for (size_t i = 0; i < postings.size(); ++i) {
+      const text::NodePosting& p = postings[i];
+      ++report->checks_run;
+      if (i > 0 && !(postings[i - 1].node < p.node)) {
+        report->Add("index.posting_order",
+                    "term '" + term + "' postings not strictly ascending at " +
+                        NodeRef(p.node));
+      }
+      xml::Node* node = store_->GetNode(p.node);
+      ++report->checks_run;
+      if (node == nullptr) {
+        report->Add("index.posting_bounds", "term '" + term + "' posting " +
+                                                NodeRef(p.node) +
+                                                " does not resolve");
+        continue;
+      }
+      auto pid = store_->GetPathId(p.node);
+      ++report->checks_run;
+      if (!pid.ok() || *pid != p.path) {
+        report->Add("index.posting_path",
+                    "term '" + term + "' posting " + NodeRef(p.node) +
+                        " carries path " + std::to_string(p.path) +
+                        ", store says " +
+                        (pid.ok() ? std::to_string(*pid) : "<unresolved>"));
+      }
+      for (size_t j = 1; j < p.positions.size(); ++j) {
+        ++report->checks_run;
+        if (p.positions[j] <= p.positions[j - 1]) {
+          report->Add("index.positions_sorted",
+                      "term '" + term + "' posting " + NodeRef(p.node) +
+                          " positions not strictly ascending");
+          break;
+        }
+      }
+      posting_docs.insert(p.node.doc);
+      max_tf = std::max(max_tf, static_cast<uint32_t>(p.positions.size()));
+    }
+
+    ++report->checks_run;
+    if (index_->DocumentFrequency(term) != posting_docs.size()) {
+      report->Add("index.doc_frequency",
+                  "term '" + term + "' records document frequency " +
+                      std::to_string(index_->DocumentFrequency(term)) +
+                      ", postings span " + std::to_string(posting_docs.size()) +
+                      " documents");
+    }
+    ++report->checks_run;
+    if (index_->MaxTermFrequency(term) != max_tf) {
+      report->Add("index.max_tf",
+                  "term '" + term + "' records max tf " +
+                      std::to_string(index_->MaxTermFrequency(term)) +
+                      ", postings max out at " + std::to_string(max_tf));
+    }
+
+    const std::vector<store::PathId>& paths = index_->TermPaths(term);
+    for (size_t i = 0; i < paths.size(); ++i) {
+      ++report->checks_run;
+      if (paths[i] >= dict.size()) {
+        report->Add("index.term_path_bounds",
+                    "term '" + term + "' path entry " +
+                        std::to_string(paths[i]) + " out of bounds");
+        continue;
+      }
+      ++report->checks_run;
+      if (i > 0 && paths[i] <= paths[i - 1]) {
+        report->Add("index.term_paths_sorted",
+                    "term '" + term + "' path postings not strictly "
+                    "ascending at entry " + std::to_string(i));
+      }
+      ++report->checks_run;
+      if (index_->TermPathCount(term, paths[i]) == 0) {
+        report->Add("index.path_count_positive",
+                    "term '" + term + "' lists path '" +
+                        dict.PathString(paths[i]) + "' with occurrence count 0");
+      }
+    }
+  }
+
+  // The path -> nodes table must mirror the dictionary's node counts and
+  // hold document-ordered nodes that actually carry the path.
+  for (store::PathId pid = 0; pid < dict.size(); ++pid) {
+    const std::vector<store::NodeId>& nodes = index_->NodesWithPath(pid);
+    ++report->checks_run;
+    if (nodes.size() != dict.NodeCount(pid)) {
+      report->Add("index.nodes_by_path_count",
+                  "path '" + dict.PathString(pid) + "' node table holds " +
+                      std::to_string(nodes.size()) + " entries, dictionary "
+                      "records " + std::to_string(dict.NodeCount(pid)));
+    }
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      ++report->checks_run;
+      if (i > 0 && !(nodes[i - 1] < nodes[i])) {
+        report->Add("index.nodes_by_path_order",
+                    "path '" + dict.PathString(pid) +
+                        "' node table not strictly ascending at " +
+                        NodeRef(nodes[i]));
+      }
+      auto node_pid = store_->GetPathId(nodes[i]);
+      ++report->checks_run;
+      if (!node_pid.ok() || *node_pid != pid) {
+        report->Add("index.nodes_by_path_path",
+                    "path '" + dict.PathString(pid) + "' node table entry " +
+                        NodeRef(nodes[i]) + " does not carry the path");
+      }
+    }
+  }
+}
+
+void SnapshotAuditor::AuditGraph(AuditReport* report) const {
+  const std::vector<graph::Edge>& edges = graph_->edges();
+  for (size_t e = 0; e < edges.size(); ++e) {
+    ++report->checks_run;
+    if (store_->GetNode(edges[e].from) == nullptr ||
+        store_->GetNode(edges[e].to) == nullptr) {
+      report->Add("graph.edge_endpoints",
+                  "edge " + std::to_string(e) + " (" + NodeRef(edges[e].from) +
+                      " -> " + NodeRef(edges[e].to) + ") has an unresolvable "
+                      "endpoint");
+    }
+  }
+
+  // Every logged edge must appear exactly once in the forward lists under
+  // its source and exactly once in the backward lists under its target.
+  std::vector<uint32_t> out_seen(edges.size(), 0);
+  std::vector<uint32_t> in_seen(edges.size(), 0);
+  graph_->ForEachAdjacency(
+      [&](const store::NodeId& node, bool is_out, uint32_t e) {
+        ++report->checks_run;
+        if (e >= edges.size()) {
+          report->Add("graph.adjacency_bounds",
+                      std::string(is_out ? "out" : "in") + " list of " +
+                          NodeRef(node) + " holds edge index " +
+                          std::to_string(e) + " beyond the log");
+          return;
+        }
+        const store::NodeId& expected = is_out ? edges[e].from : edges[e].to;
+        ++report->checks_run;
+        if (!(expected == node)) {
+          report->Add("graph.adjacency_direction",
+                      std::string(is_out ? "out" : "in") + " list of " +
+                          NodeRef(node) + " holds edge " + std::to_string(e) +
+                          " whose " + (is_out ? "source" : "target") + " is " +
+                          NodeRef(expected));
+        }
+        ++(is_out ? out_seen : in_seen)[e];
+      });
+  for (size_t e = 0; e < edges.size(); ++e) {
+    ++report->checks_run;
+    if (out_seen[e] != 1 || in_seen[e] != 1) {
+      report->Add("graph.adjacency_symmetry",
+                  "edge " + std::to_string(e) + " appears " +
+                      std::to_string(out_seen[e]) + "x forward / " +
+                      std::to_string(in_seen[e]) + "x backward (want 1/1)");
+    }
+  }
+}
+
+void SnapshotAuditor::AuditDataguides(AuditReport* report) const {
+  const store::PathDictionary& dict = store_->paths();
+  const std::vector<dataguide::Dataguide>& guides = guides_->guides();
+
+  // How many guides list each document as a member; every stored document
+  // must end up with exactly one.
+  std::unordered_map<store::DocId, size_t> member_of;
+
+  for (size_t g = 0; g < guides.size(); ++g) {
+    const std::vector<store::PathId>& paths = guides[g].paths();
+    for (size_t i = 0; i < paths.size(); ++i) {
+      ++report->checks_run;
+      if (paths[i] >= dict.size()) {
+        report->Add("dataguide.path_bounds",
+                    "guide " + std::to_string(g) + " path entry " +
+                        std::to_string(paths[i]) + " out of bounds");
+      }
+      ++report->checks_run;
+      if (i > 0 && paths[i] <= paths[i - 1]) {
+        report->Add("dataguide.paths_sorted",
+                    "guide " + std::to_string(g) +
+                        " paths not strictly ascending at entry " +
+                        std::to_string(i));
+      }
+    }
+
+    for (store::DocId doc : guides[g].members()) {
+      ++member_of[doc];
+      ++report->checks_run;
+      if (doc >= store_->DocumentCount()) {
+        report->Add("dataguide.member_bounds",
+                    "guide " + std::to_string(g) + " lists document " +
+                        std::to_string(doc) + " beyond the store");
+        continue;
+      }
+      auto mapped = guides_->FindGuideOfDoc(doc);
+      ++report->checks_run;
+      if (!mapped.has_value() || *mapped != g) {
+        report->Add("dataguide.member_mapping",
+                    "document " + std::to_string(doc) + " is a member of "
+                    "guide " + std::to_string(g) + " but maps to " +
+                        (mapped ? std::to_string(*mapped) : "<none>"));
+      }
+      // A guide summarizes its members: every member path is a guide path.
+      ++report->checks_run;
+      if (!guides[g].Contains(store_->DocumentPathSet(doc))) {
+        report->Add("dataguide.member_paths",
+                    "guide " + std::to_string(g) + " does not cover the "
+                    "path set of member document " + std::to_string(doc));
+      }
+    }
+  }
+
+  for (store::DocId d = 0; d < store_->DocumentCount(); ++d) {
+    ++report->checks_run;
+    auto it = member_of.find(d);
+    if (it == member_of.end() || it->second != 1) {
+      report->Add("dataguide.member_coverage",
+                  "document " + std::to_string(d) + " is a member of " +
+                      std::to_string(it == member_of.end() ? 0 : it->second) +
+                      " guides (want exactly 1)");
+    }
+  }
+}
+
+void SnapshotAuditor::AuditImage(const persist::MappedImage& image,
+                                 uint64_t expected_epoch,
+                                 AuditReport* report) const {
+  using persist::SectionId;
+
+  ++report->checks_run;
+  if (image.epoch() != expected_epoch) {
+    report->Add("image.epoch",
+                "image carries epoch " + std::to_string(image.epoch()) +
+                    ", snapshot is epoch " + std::to_string(expected_epoch));
+  }
+
+  std::unordered_set<uint32_t> seen_ids;
+  for (const persist::SectionEntry& entry : image.sections()) {
+    const char* name = persist::SectionName(static_cast<SectionId>(entry.id));
+    ++report->checks_run;
+    if (entry.id < static_cast<uint32_t>(SectionId::kOptions) ||
+        entry.id > static_cast<uint32_t>(SectionId::kDataguides)) {
+      report->Add("image.section_id",
+                  "unknown section id " + std::to_string(entry.id));
+    }
+    ++report->checks_run;
+    if (!seen_ids.insert(entry.id).second) {
+      report->Add("image.section_duplicate",
+                  std::string("section '") + name + "' appears twice");
+    }
+    ++report->checks_run;
+    if (entry.offset % persist::kSectionAlignment != 0) {
+      report->Add("image.section_alignment",
+                  std::string("section '") + name + "' starts at offset " +
+                      std::to_string(entry.offset));
+    }
+    ++report->checks_run;
+    if (entry.offset > image.file_size() ||
+        entry.size > image.file_size() - entry.offset) {
+      report->Add("image.section_bounds",
+                  std::string("section '") + name + "' runs past the file");
+    }
+  }
+
+  // Leading counts of each section must agree with the decoded structures.
+  auto check_count = [&](SectionId id, const char* invariant, uint64_t actual,
+                         uint64_t declared, bool decode_ok) {
+    ++report->checks_run;
+    if (!decode_ok) {
+      report->Add(invariant, std::string("section '") +
+                                 persist::SectionName(id) +
+                                 "' header does not decode");
+      return;
+    }
+    if (declared != actual) {
+      report->Add(invariant,
+                  std::string("section '") + persist::SectionName(id) +
+                      "' declares " + std::to_string(declared) +
+                      " entries, decoded structure holds " +
+                      std::to_string(actual));
+    }
+  };
+
+  if (auto cursor = persist::OpenSection(image, SectionId::kStorePaths);
+      cursor.ok()) {
+    uint64_t declared = cursor->GetU64();
+    check_count(SectionId::kStorePaths, "image.store_paths_count",
+                store_->paths().size(), declared, !cursor->failed());
+  }
+  if (auto cursor = persist::OpenSection(image, SectionId::kStoreDocs);
+      cursor.ok()) {
+    uint64_t declared_nodes = cursor->GetU64();
+    uint64_t declared_docs = cursor->GetU64();
+    check_count(SectionId::kStoreDocs, "image.store_total_nodes",
+                store_->TotalNodeCount(), declared_nodes, !cursor->failed());
+    check_count(SectionId::kStoreDocs, "image.store_doc_count",
+                store_->DocumentCount(), declared_docs, !cursor->failed());
+  }
+  if (auto cursor = persist::OpenSection(image, SectionId::kGraphEdges);
+      cursor.ok()) {
+    uint32_t label_count = cursor->GetU32();
+    for (uint32_t i = 0; i < label_count && !cursor->failed(); ++i) {
+      cursor->GetString();
+    }
+    uint64_t declared_edges = cursor->GetU64();
+    check_count(SectionId::kGraphEdges, "image.graph_edge_count",
+                graph_->EdgeCount(), declared_edges, !cursor->failed());
+  }
+  if (auto cursor = persist::OpenSection(image, SectionId::kDataguides);
+      cursor.ok()) {
+    uint64_t declared = cursor->GetU64();
+    check_count(SectionId::kDataguides, "image.dataguide_count",
+                guides_->size(), declared, !cursor->failed());
+  }
+}
+
+}  // namespace seda::audit

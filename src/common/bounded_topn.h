@@ -7,6 +7,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/check.h"
+
 namespace seda {
 
 /// Bounded top-N buffer: keeps the `cap` best elements under a strict weak
@@ -26,7 +28,11 @@ class BoundedTopN {
   size_t size() const { return items_.size(); }
 
   /// Worst kept element (the heap front). Requires Full() with cap > 0.
-  const T& Worst() const { return items_.front(); }
+  const T& Worst() const {
+    SEDA_DCHECK(cap_ > 0 && !items_.empty())
+        << "Worst() on an empty or unbounded top-N buffer";
+    return items_.front();
+  }
 
   /// Inserts `item` if it ranks before the current worst (or the buffer has
   /// room). When `evictions` is non-null, counts displacements into it.
@@ -46,6 +52,7 @@ class BoundedTopN {
       std::push_heap(items_.begin(), items_.end(), less_);
       if (evictions != nullptr) ++*evictions;
     }
+    SEDA_DCHECK_LE(items_.size(), cap_) << "top-N buffer exceeded its bound";
   }
 
   /// Returns the kept elements sorted by `less` (best first), emptying the

@@ -1,0 +1,124 @@
+#ifndef SEDA_COMMON_CHECK_H_
+#define SEDA_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+/// Debug assertion kit (SEDA_DCHECK / SEDA_DCHECK_EQ / ...). The policy line
+/// between this and Status (see README "Correctness tooling"):
+///
+///   * Untrusted input — wire bytes, image bytes, query text, request fields —
+///     must NEVER trip a DCHECK. Hostile input is handled with Status errors
+///     that stay on in release builds.
+///   * DCHECKs state *programmer* invariants: conditions that are unreachable
+///     unless the code itself is wrong (a cursor seeking backwards, a heap
+///     exceeding its bound, adjacency indices out of range). They document the
+///     hot-path contracts and turn memory-distant corruption into a loud,
+///     located failure under the sanitizer matrix.
+///
+/// Enabled when NDEBUG is unset (Debug builds) or when SEDA_FORCE_DCHECKS is
+/// defined (the CMake option SEDA_DCHECKS=ON, used by the sanitizer CI jobs to
+/// keep the checks live in optimized builds). Compiled out otherwise: the
+/// condition is parsed but not evaluated, so disabled checks cost nothing and
+/// still fail to build when they reference renamed symbols.
+///
+/// Failure output is one stderr line — "DCHECK failed at file:line: cond msg"
+/// — followed by abort(), so a sanitizer or core dump points at the check.
+///
+/// Usage:
+///   SEDA_DCHECK(cursor != nullptr) << "term=" << term;
+///   SEDA_DCHECK_LE(doc, max_doc);
+/// Arguments must be side-effect free: disabled builds do not evaluate them,
+/// and the _EQ/_LE/... forms re-evaluate on the failure path for the message.
+
+#if !defined(SEDA_DCHECKS_ENABLED)
+#if defined(NDEBUG) && !defined(SEDA_FORCE_DCHECKS)
+#define SEDA_DCHECKS_ENABLED 0
+#else
+#define SEDA_DCHECKS_ENABLED 1
+#endif
+#endif
+
+namespace seda::check_internal {
+
+/// Streams a value if the type is ostream-printable, a placeholder otherwise,
+/// so SEDA_DCHECK_EQ works on ids and enums without demanding operator<<.
+template <typename T>
+void StreamValue(std::ostream& os, const T& value) {
+  if constexpr (requires(std::ostream& s, const T& v) { s << v; }) {
+    os << value;
+  } else {
+    os << "<unprintable>";
+  }
+}
+
+/// Accumulates the failure message; the destructor prints and aborts. One
+/// failing check = one object, so the pattern is safe under concurrency up to
+/// interleaved stderr lines.
+class FailureStream {
+ public:
+  FailureStream(const char* file, int line, const char* condition) {
+    stream_ << "DCHECK failed at " << file << ":" << line << ": " << condition;
+  }
+  FailureStream(const FailureStream&) = delete;
+  FailureStream& operator=(const FailureStream&) = delete;
+  [[noreturn]] ~FailureStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  FailureStream& operator<<(const T& value) {
+    stream_ << ' ';
+    StreamValue(stream_, value);
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace seda::check_internal
+
+// The switch/case wrapper makes the macro a single statement that binds
+// correctly under an unbraced if/else; `true || (cond)` in the disabled form
+// keeps the condition type-checked (and its symbols "used") without
+// evaluating it, and the dead else-branch lets `<< msg` still compile.
+#if SEDA_DCHECKS_ENABLED
+#define SEDA_DCHECK(cond)                                   \
+  switch (0)                                                \
+  case 0:                                                   \
+  default:                                                  \
+    if (cond) {                                             \
+    } else                                                  \
+      ::seda::check_internal::FailureStream(__FILE__, __LINE__, #cond)
+#define SEDA_DCHECK_OP_(op, a, b)                                          \
+  switch (0)                                                               \
+  case 0:                                                                  \
+  default:                                                                 \
+    if ((a)op(b)) {                                                        \
+    } else                                                                 \
+      ::seda::check_internal::FailureStream(__FILE__, __LINE__,            \
+                                            #a " " #op " " #b)             \
+          << "(" << (a) << " vs " << (b) << ")"
+#else
+#define SEDA_DCHECK(cond)                                   \
+  switch (0)                                                \
+  case 0:                                                   \
+  default:                                                  \
+    if (true || (cond)) {                                   \
+    } else                                                  \
+      ::seda::check_internal::FailureStream(__FILE__, __LINE__, #cond)
+#define SEDA_DCHECK_OP_(op, a, b) SEDA_DCHECK((a)op(b))
+#endif
+
+#define SEDA_DCHECK_EQ(a, b) SEDA_DCHECK_OP_(==, a, b)
+#define SEDA_DCHECK_NE(a, b) SEDA_DCHECK_OP_(!=, a, b)
+#define SEDA_DCHECK_LT(a, b) SEDA_DCHECK_OP_(<, a, b)
+#define SEDA_DCHECK_LE(a, b) SEDA_DCHECK_OP_(<=, a, b)
+#define SEDA_DCHECK_GT(a, b) SEDA_DCHECK_OP_(>, a, b)
+#define SEDA_DCHECK_GE(a, b) SEDA_DCHECK_OP_(>=, a, b)
+
+#endif  // SEDA_COMMON_CHECK_H_

@@ -62,12 +62,14 @@ Result<SearchResponse> Session::RefineContexts(
 
 Result<twig::CompleteResult> Session::CompleteResults(
     const std::vector<std::string>& term_paths,
-    const std::vector<twig::ChosenConnection>& connections) const {
+    const std::vector<twig::ChosenConnection>& connections,
+    const twig::ExecuteOptions& options) const {
   if (!current_query_.has_value()) {
     return Status::FailedPrecondition(
         "no query in this session; call Search() (or SetQuery) first");
   }
-  return snapshot_->CompleteResults(*current_query_, term_paths, connections);
+  return snapshot_->CompleteResults(*current_query_, term_paths, connections,
+                                    options);
 }
 
 Result<cube::StarSchema> Session::BuildCube(

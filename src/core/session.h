@@ -65,10 +65,12 @@ class Session {
 
   /// Fig. 6 completion stage: the complete result set R(q) for the current
   /// query with terms pinned to single contexts, honoring chosen
-  /// connections. Requires a prior Search.
+  /// connections. Requires a prior Search. `options.deadline_ms` bounds the
+  /// twig join (partial results report deadline_exceeded).
   Result<twig::CompleteResult> CompleteResults(
       const std::vector<std::string>& term_paths,
-      const std::vector<twig::ChosenConnection>& connections) const;
+      const std::vector<twig::ChosenConnection>& connections,
+      const twig::ExecuteOptions& options = {}) const;
 
   /// Fig. 6 last stage: star schema (and OLAP cube) from a complete result,
   /// using the catalog handed to the constructor.

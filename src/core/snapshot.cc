@@ -4,6 +4,20 @@
 
 namespace seda::core {
 
+audit::AuditReport Snapshot::Audit() const {
+  return audit::SnapshotAuditor(store_.get(), index_.get(), graph_.get(),
+                                guides_.get())
+      .AuditAll();
+}
+
+audit::AuditReport Snapshot::Audit(const persist::MappedImage& image) const {
+  audit::SnapshotAuditor auditor(store_.get(), index_.get(), graph_.get(),
+                                 guides_.get());
+  audit::AuditReport report = auditor.AuditAll();
+  auditor.AuditImage(image, epoch_, &report);
+  return report;
+}
+
 std::shared_ptr<const Snapshot> Snapshot::Build(
     std::unique_ptr<store::DocumentStore> store, const SedaOptions& options,
     uint64_t epoch, const Snapshot* base, ThreadPool* ingest_pool,
@@ -230,7 +244,8 @@ Result<query::Query> Snapshot::RefineContexts(
 
 Result<twig::CompleteResult> Snapshot::CompleteResults(
     const query::Query& query, const std::vector<std::string>& term_paths,
-    const std::vector<twig::ChosenConnection>& connections) const {
+    const std::vector<twig::ChosenConnection>& connections,
+    const twig::ExecuteOptions& options) const {
   if (term_paths.size() != query.terms.size()) {
     return Status::InvalidArgument("one chosen path per term required");
   }
@@ -243,7 +258,7 @@ Result<twig::CompleteResult> Snapshot::CompleteResults(
     bindings.push_back(binding);
   }
   twig::CompleteResultGenerator generator(index_.get(), graph_.get());
-  return generator.Execute(bindings, connections);
+  return generator.Execute(bindings, connections, options);
 }
 
 Result<cube::StarSchema> Snapshot::BuildCube(

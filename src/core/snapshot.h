@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "audit/auditor.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "persist/reader.h"
@@ -144,10 +145,12 @@ class Snapshot {
       const std::vector<std::vector<std::string>>& chosen_paths);
 
   /// Computes the complete result set (§7) for terms pinned to single
-  /// contexts, honoring the chosen connections.
+  /// contexts, honoring the chosen connections. `options.deadline_ms` bounds
+  /// the twig join; on expiry the partial result carries deadline_exceeded.
   Result<twig::CompleteResult> CompleteResults(
       const query::Query& query, const std::vector<std::string>& term_paths,
-      const std::vector<twig::ChosenConnection>& connections) const;
+      const std::vector<twig::ChosenConnection>& connections,
+      const twig::ExecuteOptions& options = {}) const;
 
   /// Builds the star schema from a complete result (§7 steps 1-3). The
   /// catalog (user-defined dimensions/facts) lives on the writer side and is
@@ -159,6 +162,15 @@ class Snapshot {
   /// Convenience: loads the first fact table of a star schema into the OLAP
   /// engine (the paper feeds the tables to an off-the-shelf OLAP tool).
   Result<olap::Cube> ToOlapCube(const cube::StarSchema& schema) const;
+
+  /// Debug validation (src/audit/): walks every component structure of this
+  /// epoch and verifies the cross-layer invariants the engine's hot paths
+  /// assume. O(collection); meant for tests and the seda_audit CLI, not the
+  /// serving path. The image overload additionally checks the persisted
+  /// sections this snapshot was loaded from agree with the decoded
+  /// structures (section sanity, leading counts, epoch).
+  audit::AuditReport Audit() const;
+  audit::AuditReport Audit(const persist::MappedImage& image) const;
 
  private:
   Snapshot() = default;

@@ -145,6 +145,14 @@ class DataguideCollection {
   /// Index of the dataguide summarizing document `doc`.
   size_t GuideOfDoc(store::DocId doc) const { return guide_of_doc_.at(doc); }
 
+  /// Non-throwing GuideOfDoc for callers probing consistency (the audit
+  /// layer): nullopt when no guide claims the document.
+  std::optional<size_t> FindGuideOfDoc(store::DocId doc) const {
+    auto it = guide_of_doc_.find(doc);
+    if (it == guide_of_doc_.end()) return std::nullopt;
+    return it->second;
+  }
+
   /// Materializes link edges between dataguides from the data graph's
   /// non-tree edges (mapped to path level). Call once after Build.
   void AddLinksFromGraph(const graph::DataGraph& graph);

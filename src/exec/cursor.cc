@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/check.h"
+
 namespace seda::exec {
 
 namespace {
@@ -43,6 +45,8 @@ class TermCursor final : public MatchCursor {
     pos_ = static_cast<size_t>(it - postings_->begin());
     if (!AtEnd()) {
       SetCurrent();
+      SEDA_DCHECK(!(current_.node < target))
+          << "term cursor seek went backwards";
       if (current_.node.doc > old_doc) {
         stats_->docs_skipped += current_.node.doc - old_doc;
       }
@@ -53,6 +57,8 @@ class TermCursor final : public MatchCursor {
   double Score(size_t tf) const { return text::TermContentScore(idf_, tf); }
 
   void SetCurrent() {
+    SEDA_DCHECK_LT(pos_, postings_->size())
+        << "term cursor positioned past its posting list";
     const NodePosting& p = (*postings_)[pos_];
     current_ = {p.node, p.path, Score(p.positions.size())};
     ++stats_->postings_advanced;
@@ -347,6 +353,8 @@ class PathUnionCursor final : public MatchCursor {
     top_ = heap_.back();
     heap_.pop_back();
     const List& list = lists_[top_];
+    SEDA_DCHECK_LT(list.pos, list.nodes->size())
+        << "path-union heap held an exhausted list";
     current_ = {list.Front(), list.path, 0.0};
     ++stats_->postings_advanced;
   }
@@ -499,6 +507,8 @@ class OrCursor final : public MatchCursor {
     std::pop_heap(heap_.begin(), heap_.end(), HeapAfter());
     size_t first = heap_.back();
     heap_.pop_back();
+    SEDA_DCHECK(!children_[first]->AtEnd())
+        << "or-cursor heap held an exhausted child";
     matched_.push_back(first);
     const NodeId& node = children_[first]->Current().node;
     while (!heap_.empty() && children_[heap_.front()]->Current().node == node) {
@@ -553,6 +563,8 @@ class NotCursor final : public MatchCursor {
     while (!positive_->AtEnd()) {
       const NodeId& node = positive_->Current().node;
       negative_->Seek(node);
+      SEDA_DCHECK(negative_->AtEnd() || !(negative_->Current().node < node))
+          << "anti-join negative stream fell behind its seek target";
       if (negative_->AtEnd() || !(negative_->Current().node == node)) return;
       positive_->Next();
     }

@@ -137,6 +137,21 @@ class DataGraph {
     }
   }
 
+  /// Audit hook: visits every adjacency-list entry as (node, is_out,
+  /// edge_log_index). The audit layer uses it to prove both maps hold only
+  /// in-bounds indices and that every logged edge appears exactly once per
+  /// direction; it deliberately exposes raw indices (not Edges) so a
+  /// corrupted index is observable instead of crashing inside the walk.
+  template <typename Fn>
+  void ForEachAdjacency(const Fn& fn) const {
+    for (const auto& [node, indices] : out_edges_) {
+      for (uint32_t e : indices) fn(node, true, e);
+    }
+    for (const auto& [node, indices] : in_edges_) {
+      for (uint32_t e : indices) fn(node, false, e);
+    }
+  }
+
   /// Length of the shortest path between two nodes traversing parent/child
   /// and non-tree edges, bounded by `max_depth` (BFS). nullopt when not
   /// connected within the bound. `max_visits` (0 = unlimited) additionally

@@ -53,6 +53,19 @@ Result<std::shared_ptr<MappedImage>> MappedImage::Open(const std::string& path) 
   return image;
 }
 
+Result<std::shared_ptr<MappedImage>> MappedImage::FromBuffer(
+    std::vector<uint8_t> bytes, const std::string& name) {
+  std::shared_ptr<MappedImage> image(new MappedImage());
+  image->path_ = name;
+  image->size_ = bytes.size();
+  image->fallback_ = std::move(bytes);
+  image->data_ = image->fallback_.data();
+
+  Status valid = image->Validate();
+  if (!valid.ok()) return valid;
+  return image;
+}
+
 Status MappedImage::Validate() {
   if (size_ < sizeof(FileHeader)) {
     return Status::ParseError("image truncated: " + path_ + " (" +

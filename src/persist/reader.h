@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/check.h"
 #include "common/status.h"
 #include "persist/format.h"
 
@@ -26,6 +27,12 @@ class MappedImage {
  public:
   static Result<std::shared_ptr<MappedImage>> Open(const std::string& path);
 
+  /// Validates `bytes` as an image without touching the filesystem — the
+  /// in-memory twin of Open() used by the audit tooling and the image fuzzer
+  /// (which feed crafted byte streams that never came from a file).
+  static Result<std::shared_ptr<MappedImage>> FromBuffer(
+      std::vector<uint8_t> bytes, const std::string& name);
+
   ~MappedImage();
   MappedImage(const MappedImage&) = delete;
   MappedImage& operator=(const MappedImage&) = delete;
@@ -37,6 +44,11 @@ class MappedImage {
   bool HasSection(SectionId id) const;
   /// Payload span of a section; NotFound when the image lacks it.
   Result<std::pair<const uint8_t*, size_t>> Section(SectionId id) const;
+
+  /// The validated section table, in file order (audit tooling: lets the
+  /// SnapshotAuditor cross-check declared section layout against the
+  /// structures the Load hooks decoded).
+  const std::vector<SectionEntry>& sections() const { return sections_; }
 
  private:
   MappedImage() = default;
@@ -60,7 +72,12 @@ class MappedImage {
 class SectionCursor {
  public:
   SectionCursor(const uint8_t* data, size_t size, SectionId id)
-      : data_(data), end_(data + size), id_(id) {}
+      : data_(data), end_(data + size), id_(id) {
+    // Programmer contract, not an input check: hostile *content* is handled
+    // by the sticky Ensure() bounds below, but the span itself must be real.
+    SEDA_DCHECK(data != nullptr || size == 0)
+        << "section cursor over a null span";
+  }
 
   uint8_t GetU8() {
     uint8_t v = 0;

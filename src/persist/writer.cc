@@ -27,9 +27,8 @@ Status ImageWriter::Open(const std::string& path) {
   path_ = path;
   // Reserve the header slot with zeroes; Finish() rewrites it. Until then the
   // magic check makes readers reject the partial image.
-  FileHeader blank{};
-  std::memset(&blank, 0, sizeof(blank));
-  if (std::fwrite(&blank, sizeof(blank), 1, file_) != 1) {
+  const char blank[sizeof(FileHeader)] = {0};
+  if (std::fwrite(blank, sizeof(blank), 1, file_) != 1) {
     return Status::IoError("write failed: " + path_);
   }
   offset_ = sizeof(FileHeader);

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/check.h"
 #include "common/status.h"
 #include "persist/format.h"
 
@@ -39,7 +40,10 @@ class ImageWriter {
   void BeginSection(SectionId id);
 
   // --- primitives, valid between BeginSection and EndSection ----------
-  void PutU8(uint8_t v) { sink_->push_back(static_cast<char>(v)); }
+  void PutU8(uint8_t v) {
+    SEDA_DCHECK(in_section_) << "Put outside BeginSection/EndSection";
+    sink_->push_back(static_cast<char>(v));
+  }
   void PutU32(uint32_t v) { PutRaw(&v, sizeof(v)); }
   void PutU64(uint64_t v) { PutRaw(&v, sizeof(v)); }
   void PutDouble(double v) { PutRaw(&v, sizeof(v)); }  // exact bit pattern
@@ -61,10 +65,12 @@ class ImageWriter {
   /// them, which is what lets the store section materialize documents in
   /// parallel. Blobs do not nest.
   void BeginBlob() {
+    SEDA_DCHECK(sink_ == &buffer_) << "blobs do not nest";
     blob_.clear();
     sink_ = &blob_;
   }
   void EndBlob() {
+    SEDA_DCHECK(sink_ == &blob_) << "EndBlob without BeginBlob";
     sink_ = &buffer_;
     PutU64(blob_.size());
     buffer_.append(blob_);
@@ -79,6 +85,7 @@ class ImageWriter {
 
  private:
   void PutRaw(const void* data, size_t size) {
+    SEDA_DCHECK(in_section_) << "Put outside BeginSection/EndSection";
     const char* bytes = static_cast<const char*>(data);
     sink_->append(bytes, size);
   }

@@ -153,6 +153,19 @@ size_t InvertedIndex::TermCount() const {
   return node_postings_.size() + lazy_postings_.size();
 }
 
+std::vector<std::string> InvertedIndex::AllTerms() const {
+  std::unordered_set<std::string> seen;
+  {
+    std::shared_lock<std::shared_mutex> lock(lazy_mu_);
+    for (const auto& [term, postings] : node_postings_) seen.insert(term);
+    for (const auto& [term, span] : lazy_postings_) seen.insert(term);
+  }
+  for (const auto& [term, paths] : path_postings_) seen.insert(term);
+  std::vector<std::string> terms(seen.begin(), seen.end());
+  std::sort(terms.begin(), terms.end());
+  return terms;
+}
+
 void InvertedIndex::IndexRange(store::DocId first_doc, ThreadPool* pool) {
   nodes_by_path_.resize(store_->paths().size());
 

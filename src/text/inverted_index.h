@@ -90,6 +90,12 @@ class InvertedIndex {
   /// Number of distinct terms indexed (materialized + still-lazy).
   size_t TermCount() const;
 
+  /// Sorted union of every indexed term across both posting families —
+  /// content/phrase terms with node postings (materialized or still-lazy)
+  /// and tag/direct-text terms that only appear in the path index. The
+  /// audit layer's term walk; not a query-path API.
+  std::vector<std::string> AllTerms() const;
+
   /// Document-order node postings for a term; empty when absent.
   const std::vector<NodePosting>& Postings(const std::string& term) const;
 

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <limits>
 #include <map>
 #include <optional>
 
 #include "common/bounded_topn.h"
+#include "common/check.h"
 #include "common/thread_pool.h"
 
 namespace seda::topk {
@@ -231,7 +233,12 @@ Result<std::vector<ScoredTuple>> TopKSearcher::SearchImpl(
     return static_cast<uint64_t>(elapsed.count()) >= options.deadline_ms;
   };
 
+  double prev_bound = std::numeric_limits<double>::infinity();
   for (const auto& [bound, doc] : order) {
+    // TA correctness rests on descending upper bounds: the threshold stop
+    // below is only sound if no later document can beat the current bound.
+    SEDA_DCHECK_LE(bound, prev_bound) << "TA scan order not descending";
+    prev_bound = bound;
     if (options.k == 0) break;  // nothing to keep; skip the scan entirely
     if (deadline_expired()) {
       local_stats.deadline_exceeded = true;
@@ -283,6 +290,8 @@ Result<std::vector<ScoredTuple>> TopKSearcher::SearchImpl(
       double content = 0;
       bool distinct = true;
       for (size_t t = 0; t < m; ++t) {
+        SEDA_DCHECK_LT(idx[t], group.per_term[t].size())
+            << "cross-product odometer ran past a term stream";
         const text::NodeMatch* match = group.per_term[t][idx[t]];
         // A tuple binds m distinct nodes; a node may not play two roles.
         for (const text::NodeMatch& prev : tuple.nodes) {

@@ -1,11 +1,13 @@
 #include "twig/twig.h"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
 #include <set>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/check.h"
 #include "common/strings.h"
 #include "exec/cursor.h"
 
@@ -15,6 +17,37 @@ namespace {
 
 using store::NodeId;
 using store::NodeIdHasher;
+
+/// Amortized cooperative deadline. Expired() reads the clock only every
+/// kStride calls so the inner matching/enumeration loops stay branch-cheap;
+/// once the deadline passes the state latches and every caller unwinds.
+class DeadlineGuard {
+ public:
+  explicit DeadlineGuard(uint64_t deadline_ms) {
+    if (deadline_ms > 0) {
+      armed_ = true;
+      deadline_ = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(deadline_ms);
+    }
+  }
+
+  bool Expired() {
+    if (!armed_ || expired_) return expired_;
+    if (++calls_ % kStride != 0) return false;
+    expired_ = std::chrono::steady_clock::now() >= deadline_;
+    return expired_;
+  }
+
+  /// Whether the deadline ever fired (no clock read; for the final report).
+  bool expired() const { return expired_; }
+
+ private:
+  static constexpr uint32_t kStride = 256;
+  std::chrono::steady_clock::time_point deadline_{};
+  uint32_t calls_ = 0;
+  bool armed_ = false;
+  bool expired_ = false;
+};
 
 size_t PathDepth(const std::string& path) {
   return SplitSkipEmpty(path, '/').size();
@@ -326,11 +359,13 @@ std::vector<std::vector<text::NodeMatch>> CompleteResultGenerator::TermStreams(
 
 Result<CompleteResult> CompleteResultGenerator::Execute(
     const std::vector<TermBinding>& terms,
-    const std::vector<ChosenConnection>& connections) const {
+    const std::vector<ChosenConnection>& connections,
+    const ExecuteOptions& options) const {
   auto plan_result = BuildPlan(terms, connections);
   if (!plan_result.ok()) return plan_result.status();
   const Plan& plan = plan_result.value();
   const size_t m = terms.size();
+  DeadlineGuard guard(options.deadline_ms);
   auto streams = TermStreams(terms);
   const store::PathDictionary& dict = index_->store().paths();
 
@@ -358,6 +393,7 @@ Result<CompleteResult> CompleteResultGenerator::Execute(
   std::vector<TwigResult> twig_results(plan.twig_count);
 
   for (size_t twig_id = 0; twig_id < plan.twig_count; ++twig_id) {
+    if (guard.Expired()) break;  // remaining twigs yield no tuples
     std::vector<size_t> twig_terms;
     for (size_t t = 0; t < m; ++t) {
       if (plan.twig_of_term[t] == twig_id) twig_terms.push_back(t);
@@ -443,6 +479,7 @@ Result<CompleteResult> CompleteResultGenerator::Execute(
     };
 
     for (size_t cls : class_order) {
+      if (guard.Expired()) break;
       const PatternClass& c = classes[cls];
       std::unordered_map<NodeId, MatchEntry, NodeIdHasher>& mine = valid[cls];
       if (c.children.empty()) {
@@ -479,7 +516,10 @@ Result<CompleteResult> CompleteResultGenerator::Execute(
             break;
           }
         }
+        SEDA_DCHECK_NE(slot_index, SIZE_MAX)
+            << "class not registered in its parent's child slots";
         for (const auto& [node, entry] : mine) {
+          if (guard.Expired()) break;
           NodeId parent_id{node.doc, node.dewey.Parent()};
           MatchEntry& pe = valid[c.parent][parent_id];
           if (pe.child_nodes.size() < p.children.size()) {
@@ -525,6 +565,7 @@ Result<CompleteResult> CompleteResultGenerator::Execute(
     std::vector<size_t> preorder_pos(classes.size(), 0);
     for (size_t i = 0; i < preorder.size(); ++i) preorder_pos[preorder[i]] = i;
     auto assign = [&](auto&& self, size_t position) -> void {
+      if (guard.Expired()) return;  // unwind; tuples emitted so far stand
       if (position == preorder.size()) {
         std::vector<NodeId> tuple;
         tuple.reserve(twig_terms.size());
@@ -568,6 +609,9 @@ Result<CompleteResult> CompleteResultGenerator::Execute(
             break;
           }
         }
+        SEDA_DCHECK_NE(slot_index, SIZE_MAX)
+            << "enumeration class missing from its parent's child slots";
+        SEDA_DCHECK_LT(slot_index, it->second.child_nodes.size());
         for (const NodeId& node : it->second.child_nodes[slot_index]) {
           // The child instance must itself be valid (present in valid[cls]).
           if (!valid[cls].count(node)) continue;
@@ -604,6 +648,7 @@ Result<CompleteResult> CompleteResultGenerator::Execute(
   };
 
   for (const ChosenConnection& link : plan.links) {
+    if (guard.Expired()) break;  // partial joins handled below
     size_t ca = cluster_of_twig[plan.twig_of_term[link.term_a]];
     size_t cb = cluster_of_twig[plan.twig_of_term[link.term_b]];
     ++result.cross_twig_joins;
@@ -635,6 +680,7 @@ Result<CompleteResult> CompleteResultGenerator::Execute(
     size_t pb = term_pos(b_cluster, link.term_b);
     std::unordered_map<NodeId, std::vector<size_t>, NodeIdHasher> b_by_target;
     for (size_t i = 0; i < b_cluster.tuples.size(); ++i) {
+      if (guard.Expired()) break;  // missing probes only shrink the join
       for (const NodeId& t : LinkEndpointInstances(*index_, b_cluster.tuples[i][pb],
                                                    b_path, link.target_path)) {
         b_by_target[t].push_back(i);
@@ -645,6 +691,7 @@ Result<CompleteResult> CompleteResultGenerator::Execute(
     merged.terms.insert(merged.terms.end(), b_cluster.terms.begin(),
                         b_cluster.terms.end());
     for (const std::vector<NodeId>& a_tuple : a_cluster.tuples) {
+      if (guard.Expired()) break;
       std::set<size_t> joined_b;  // a B tuple joins at most once per A tuple
       for (const NodeId& s : LinkEndpointInstances(*index_, a_tuple[pa], a_path,
                                                    link.source_path)) {
@@ -672,20 +719,36 @@ Result<CompleteResult> CompleteResultGenerator::Execute(
     }
   }
 
+  result.deadline_exceeded = guard.expired();
+
   // Exactly one non-empty cluster must remain (covering all terms).
   size_t final_cluster = SIZE_MAX;
   for (size_t i = 0; i < clusters.size(); ++i) {
     if (clusters[i].terms.empty()) continue;
     if (final_cluster != SIZE_MAX) {
+      if (result.deadline_exceeded) {
+        // The deadline cut off the link joins before the clusters merged;
+        // there is no well-formed tuple covering all terms, so report the
+        // truncation with an empty (but valid) result rather than an error.
+        return result;
+      }
       return Status::InvalidArgument(
           "query terms form disconnected twigs; add connections");
     }
     final_cluster = i;
   }
-  if (final_cluster == SIZE_MAX) return CompleteResult{};
+  if (final_cluster == SIZE_MAX) return result;
 
   const Cluster& last = clusters[final_cluster];
+  if (last.terms.size() != m) {
+    // Deadline expired before every twig was joined in; no full-width tuples.
+    SEDA_DCHECK(result.deadline_exceeded)
+        << "final cluster misses terms without a deadline cut";
+    return result;
+  }
   for (const std::vector<NodeId>& tuple : last.tuples) {
+    SEDA_DCHECK_EQ(tuple.size(), last.terms.size())
+        << "cluster tuple width diverged from its term list";
     ResultTuple out;
     out.nodes.resize(m);
     out.paths.resize(m);

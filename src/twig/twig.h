@@ -56,6 +56,17 @@ struct CompleteResult {
   size_t twig_count = 0;
   /// Number of cross-twig join edges executed.
   size_t cross_twig_joins = 0;
+  /// True when the generator hit its deadline and stopped early. The tuples
+  /// present are well-formed and correct, but the set may be incomplete.
+  bool deadline_exceeded = false;
+};
+
+/// Execution limits for the complete-result generator.
+struct ExecuteOptions {
+  /// Wall-clock budget in milliseconds; 0 means unbounded. The generator
+  /// checks the clock cooperatively inside the matching, enumeration and
+  /// join loops and returns a well-formed partial result on expiry.
+  uint64_t deadline_ms = 0;
 };
 
 /// The complete-result generator (paper §7): partitions the connection graph
@@ -73,8 +84,11 @@ class CompleteResultGenerator {
   /// default to a tree join at their deepest common path prefix when they
   /// live in one twig; terms in different twigs must be bridged by link
   /// connections (directly or transitively), otherwise an error is returned.
+  /// A non-zero `options.deadline_ms` bounds the run: on expiry the partial
+  /// result comes back with `deadline_exceeded` set instead of an error.
   Result<CompleteResult> Execute(const std::vector<TermBinding>& terms,
-                                 const std::vector<ChosenConnection>& connections) const;
+                                 const std::vector<ChosenConnection>& connections,
+                                 const ExecuteOptions& options = {}) const;
 
   /// Naive baseline for the A2 ablation: per-document cross products of term
   /// candidates filtered by directly verifying every connection predicate.

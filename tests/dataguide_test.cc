@@ -97,7 +97,9 @@ TEST(DataguideCollectionTest, MonotoneInThreshold) {
     DataguideCollection::Options dg;
     dg.overlap_threshold = threshold;
     size_t count = DataguideCollection::Build(store, dg).size();
-    if (!first) EXPECT_GE(count, previous) << "threshold " << threshold;
+    if (!first) {
+      EXPECT_GE(count, previous) << "threshold " << threshold;
+    }
     previous = count;
     first = false;
   }

@@ -78,7 +78,9 @@ TEST(CubeTest, AggregateFunctions) {
   auto avg = cube.value().Aggregate({"partner"}, AggFn::kAvg, "pct");
   ASSERT_TRUE(avg.ok());
   for (const Cell& cell : avg.value().cells) {
-    if (cell.group[0] == "China") EXPECT_NEAR(cell.value, 13.766666, 1e-5);
+    if (cell.group[0] == "China") {
+      EXPECT_NEAR(cell.value, 13.766666, 1e-5);
+    }
   }
 }
 

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -35,7 +37,11 @@ std::string DeltaDoc(int i) {
 }
 
 std::string TempImagePath(const std::string& name) {
-  return ::testing::TempDir() + "seda_persist_" + name + ".img";
+  // ctest -j runs every TEST as its own process; the pid keeps concurrent
+  // tests (e.g. the corruption fixture's shared "corrupt" image) from
+  // clobbering each other's files.
+  return ::testing::TempDir() + "seda_persist_" + name + "_" +
+         std::to_string(::getpid()) + ".img";
 }
 
 /// Byte-exact serialization of everything a SearchResponse carries that a
@@ -366,6 +372,39 @@ TEST_F(PersistCorruptionTest, RejectsBitFlipAnywhereInTheBody) {
     Status status = OpenImage();
     EXPECT_FALSE(status.ok()) << "bit flip at " << at << " loaded anyway";
   }
+}
+
+TEST_F(PersistCorruptionTest, RejectsHostileSectionCountWithValidCrc) {
+  // Fuzzer-style mutation: rewrite the store-paths section's leading count
+  // to a huge value and re-seal the section CRC, so every integrity check
+  // passes and the decode hooks themselves are what must reject the image
+  // (the SectionCursor's sticky bounds and the BoundedCount reserve clamp).
+  std::string bad = image_;
+  persist::FileHeader header;
+  std::memcpy(&header, bad.data(), sizeof(header));
+  ASSERT_LE(header.section_table_offset +
+                header.section_count * sizeof(persist::SectionEntry),
+            bad.size());
+  bool patched = false;
+  for (uint64_t i = 0; i < header.section_count; ++i) {
+    size_t at = header.section_table_offset + i * sizeof(persist::SectionEntry);
+    persist::SectionEntry entry;
+    std::memcpy(&entry, bad.data() + at, sizeof(entry));
+    if (entry.id != static_cast<uint32_t>(persist::SectionId::kStorePaths)) {
+      continue;
+    }
+    ASSERT_GE(entry.size, sizeof(uint64_t));
+    uint64_t huge = ~uint64_t{0};
+    std::memcpy(bad.data() + entry.offset, &huge, sizeof(huge));
+    entry.crc = persist::Crc32(bad.data() + entry.offset,
+                               static_cast<size_t>(entry.size));
+    std::memcpy(bad.data() + at, &entry, sizeof(entry));
+    patched = true;
+  }
+  ASSERT_TRUE(patched);
+  WriteFile(path_, bad);
+  Status status = OpenImage();
+  EXPECT_FALSE(status.ok()) << "hostile count decoded as a valid image";
 }
 
 TEST_F(PersistCorruptionTest, RejectsGarbageFile) {

@@ -201,5 +201,81 @@ TEST_F(TwigTest, ContentPredicateFiltersTuples) {
   }
 }
 
+TEST_F(TwigTest, DeadlineUnsetLeavesResultComplete) {
+  std::vector<TermBinding> terms{
+      {kName, us_expr_.get()}, {kTrade, nullptr}, {kPct, nullptr}};
+  auto result = generator_->Execute(terms, {}, ExecuteOptions{});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result.value().deadline_exceeded);
+  EXPECT_EQ(result.value().tuples.size(), 8u);
+}
+
+/// Deadline coverage uses a synthetic wide document: N items each with an
+/// <a> and a <b> child, joined cross-item at the root, so the enumeration
+/// must walk ~N^2 pairs — enough work that a 1 ms budget reliably expires.
+class TwigDeadlineTest : public ::testing::Test {
+ protected:
+  static constexpr size_t kItems = 256;
+
+  void SetUp() override {
+    std::string xml = "<root>";
+    for (size_t i = 0; i < kItems; ++i) {
+      xml += "<item><a>x</a><b>y</b></item>";
+    }
+    xml += "</root>";
+    ASSERT_TRUE(store_.AddXml(xml, "wide").ok());
+    graph_ = std::make_unique<graph::DataGraph>(&store_);
+    index_ = std::make_unique<text::InvertedIndex>(&store_);
+    generator_ = std::make_unique<CompleteResultGenerator>(index_.get(),
+                                                           graph_.get());
+    cross_.term_a = 0;
+    cross_.term_b = 1;
+    cross_.is_link = false;
+    cross_.join_path = "/root";
+  }
+
+  std::vector<TermBinding> Terms() const {
+    return {{"/root/item/a", nullptr}, {"/root/item/b", nullptr}};
+  }
+
+  store::DocumentStore store_;
+  std::unique_ptr<graph::DataGraph> graph_;
+  std::unique_ptr<text::InvertedIndex> index_;
+  std::unique_ptr<CompleteResultGenerator> generator_;
+  ChosenConnection cross_;
+};
+
+TEST_F(TwigDeadlineTest, UnboundedRunEnumeratesAllPairs) {
+  auto result = generator_->Execute(Terms(), {cross_});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result.value().deadline_exceeded);
+  // Cross-item pairs only: LCA exactly at /root excludes same-item pairs.
+  EXPECT_EQ(result.value().tuples.size(), kItems * kItems - kItems);
+}
+
+TEST_F(TwigDeadlineTest, TightDeadlineReturnsWellFormedPartialResult) {
+  ExecuteOptions options;
+  options.deadline_ms = 1;
+  auto result = generator_->Execute(Terms(), {cross_}, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const CompleteResult& partial = result.value();
+  if (!partial.deadline_exceeded) {
+    // Machine outran the budget; the result must then be the full set.
+    EXPECT_EQ(partial.tuples.size(), kItems * kItems - kItems);
+    return;
+  }
+  EXPECT_LT(partial.tuples.size(), kItems * kItems - kItems);
+  // Whatever was emitted before the cut must be fully correct tuples.
+  for (const ResultTuple& tuple : partial.tuples) {
+    ASSERT_EQ(tuple.nodes.size(), 2u);
+    EXPECT_EQ(tuple.nodes[0].doc, tuple.nodes[1].doc);
+    EXPECT_EQ(xml::CommonPrefixLength(tuple.nodes[0].dewey,
+                                      tuple.nodes[1].dewey),
+              1u);  // joined exactly at /root
+    EXPECT_NE(tuple.paths[0], store::kInvalidPathId);
+    EXPECT_NE(tuple.paths[1], store::kInvalidPathId);
+  }
+}
+
 }  // namespace
 }  // namespace seda::twig

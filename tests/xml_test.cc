@@ -93,8 +93,12 @@ TEST(DeweyPropertyTest, StrictTotalOrderOnRandomIds) {
   for (const auto& a : ids) {
     EXPECT_FALSE(a < a);
     for (const auto& b : ids) {
-      if (a < b) EXPECT_FALSE(b < a);
-      if (!(a < b) && !(b < a)) EXPECT_EQ(a, b);
+      if (a < b) {
+        EXPECT_FALSE(b < a);
+      }
+      if (!(a < b) && !(b < a)) {
+        EXPECT_EQ(a, b);
+      }
     }
   }
   std::sort(ids.begin(), ids.end());
