@@ -51,6 +51,10 @@ struct StatsDto {
   uint64_t heap_evictions = 0;
   uint64_t hub_links_skipped = 0;
   uint64_t tuples_trimmed = 0;
+  // Graph-kernel counters (graph/csr.h ablation; see topk::SearchStats):
+  uint64_t bfs_expansions = 0;
+  uint64_t intersection_probes = 0;
+  uint64_t sketch_hits = 0;
 };
 
 /// Stable node reference: document id + Dewey id ("1.2.2.1"), plus the

@@ -41,6 +41,9 @@ StatsDto MakeStats(const topk::SearchStats& stats, double elapsed_ms,
   dto.heap_evictions = stats.heap_evictions;
   dto.hub_links_skipped = stats.hub_links_skipped;
   dto.tuples_trimmed = stats.tuples_trimmed;
+  dto.bfs_expansions = stats.bfs_expansions;
+  dto.intersection_probes = stats.intersection_probes;
+  dto.sketch_hits = stats.sketch_hits;
   return dto;
 }
 

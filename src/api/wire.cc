@@ -602,6 +602,9 @@ Json ToJson(const StatsDto& v) {
   json.Set("heap_evictions", Json::Uint(v.heap_evictions));
   json.Set("hub_links_skipped", Json::Uint(v.hub_links_skipped));
   json.Set("tuples_trimmed", Json::Uint(v.tuples_trimmed));
+  json.Set("bfs_expansions", Json::Uint(v.bfs_expansions));
+  json.Set("intersection_probes", Json::Uint(v.intersection_probes));
+  json.Set("sketch_hits", Json::Uint(v.sketch_hits));
   return json;
 }
 
@@ -621,6 +624,9 @@ StatsDto StatsDtoFromJson(const Json& json) {
   v.heap_evictions = UintField(json, "heap_evictions");
   v.hub_links_skipped = UintField(json, "hub_links_skipped");
   v.tuples_trimmed = UintField(json, "tuples_trimmed");
+  v.bfs_expansions = UintField(json, "bfs_expansions");
+  v.intersection_probes = UintField(json, "intersection_probes");
+  v.sketch_hits = UintField(json, "sketch_hits");
   return v;
 }
 

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "graph/csr.h"
 #include "persist/format.h"
 #include "xml/document.h"
 
@@ -384,6 +385,119 @@ void SnapshotAuditor::AuditGraph(AuditReport* report) const {
                       std::to_string(in_seen[e]) + "x backward (want 1/1)");
     }
   }
+
+  // CSR kernel layer (graph/csr.h), when built: the arrays must agree
+  // entry-for-entry with the store and the hash-map adjacency they mirror —
+  // a stale Csr (edges added after BuildCsr) or a tampered image section
+  // would silently change distance answers otherwise.
+  const graph::Csr* csr = graph_->csr();
+  if (csr == nullptr) return;
+
+  // graph.csr_offsets: vertex numbering covers exactly the non-text nodes,
+  // each legacy-order row replays the ForEachNeighbor walk, and the O(1)
+  // degrees match the hash-map counts.
+  uint64_t non_text = 0;
+  store_->ForEachNode([&](const store::NodeId&, xml::Node* node) {
+    if (node->kind() != xml::NodeKind::kText) ++non_text;
+  });
+  ++report->checks_run;
+  if (csr->num_vertices() != non_text) {
+    report->Add("graph.csr_offsets",
+                "csr numbers " + std::to_string(csr->num_vertices()) +
+                    " vertices, store holds " + std::to_string(non_text) +
+                    " non-text nodes");
+  }
+  ++report->checks_run;
+  if (csr->edge_count() != edges.size()) {
+    report->Add("graph.csr_offsets",
+                "csr built over " + std::to_string(csr->edge_count()) +
+                    " edges, log holds " + std::to_string(edges.size()));
+  }
+  const uint32_t v_count = csr->num_vertices();
+  for (uint32_t v = 0; v < v_count; ++v) {
+    const store::NodeId id = csr->NodeIdOf(v);
+    const uint32_t* it = csr->RowBegin(v);
+    const uint32_t* end = csr->RowEnd(v);
+    bool row_ok = true;
+    graph_->ForEachNeighbor(id, [&](const store::NodeId& next) {
+      auto u = csr->VertexOf(next);
+      if (it == end || !u.has_value() || *it != *u) {
+        row_ok = false;
+        return false;
+      }
+      ++it;
+      return true;
+    });
+    if (it != end) row_ok = false;
+    ++report->checks_run;
+    if (!row_ok) {
+      report->Add("graph.csr_offsets",
+                  "csr row of " + NodeRef(id) +
+                      " disagrees with the ForEachNeighbor walk");
+    }
+    ++report->checks_run;
+    if (csr->NonTreeDegreeOf(v) != graph_->Degree(id)) {
+      report->Add("graph.csr_offsets",
+                  "csr non-tree degree of " + NodeRef(id) + " is " +
+                      std::to_string(csr->NonTreeDegreeOf(v)) +
+                      ", adjacency maps hold " +
+                      std::to_string(graph_->Degree(id)));
+    }
+  }
+
+  // graph.csr_symmetry: sorted rows strictly ascend and are symmetric
+  // (u in sorted(v) <=> v in sorted(u)) — what the intersection kernels
+  // assume; and each hub sketch equals an exact 2-hop recomputation.
+  for (uint32_t v = 0; v < v_count; ++v) {
+    const uint32_t* begin = csr->SortedRowBegin(v);
+    const uint32_t* end = csr->SortedRowEnd(v);
+    for (const uint32_t* it = begin; it != end; ++it) {
+      ++report->checks_run;
+      if (it != begin && *(it - 1) >= *it) {
+        report->Add("graph.csr_symmetry",
+                    "sorted row of vertex " + std::to_string(v) +
+                        " is not strictly ascending");
+        break;
+      }
+      if (!std::binary_search(csr->SortedRowBegin(*it), csr->SortedRowEnd(*it),
+                              v)) {
+        report->Add("graph.csr_symmetry",
+                    "vertex " + std::to_string(v) + " lists neighbor " +
+                        std::to_string(*it) + " which does not list it back");
+      }
+    }
+  }
+  std::vector<uint32_t> frontier;
+  std::vector<uint32_t> next_frontier;
+  std::vector<bool> within_two(v_count, false);
+  for (size_t i = 0; i < csr->SketchCount(); ++i) {
+    const uint32_t hub = csr->SketchHub(i);
+    std::fill(within_two.begin(), within_two.end(), false);
+    within_two[hub] = true;
+    frontier.assign(1, hub);
+    for (int depth = 0; depth < 2; ++depth) {
+      next_frontier.clear();
+      for (uint32_t v : frontier) {
+        for (const uint32_t* it = csr->RowBegin(v); it != csr->RowEnd(v);
+             ++it) {
+          if (!within_two[*it]) {
+            within_two[*it] = true;
+            next_frontier.push_back(*it);
+          }
+        }
+      }
+      frontier.swap(next_frontier);
+    }
+    for (uint32_t v = 0; v < v_count; ++v) {
+      ++report->checks_run;
+      if (csr->SketchCovers(static_cast<int>(i), v) != within_two[v]) {
+        report->Add("graph.csr_symmetry",
+                    "sketch of hub vertex " + std::to_string(hub) +
+                        " disagrees with a 2-hop BFS at vertex " +
+                        std::to_string(v));
+      }
+    }
+  }
 }
 
 void SnapshotAuditor::AuditDataguides(AuditReport* report) const {
@@ -468,7 +582,7 @@ void SnapshotAuditor::AuditImage(const persist::MappedImage& image,
     const char* name = persist::SectionName(static_cast<SectionId>(entry.id));
     ++report->checks_run;
     if (entry.id < static_cast<uint32_t>(SectionId::kOptions) ||
-        entry.id > static_cast<uint32_t>(SectionId::kDataguides)) {
+        entry.id > static_cast<uint32_t>(SectionId::kGraphCsr)) {
       report->Add("image.section_id",
                   "unknown section id " + std::to_string(entry.id));
     }
@@ -533,6 +647,16 @@ void SnapshotAuditor::AuditImage(const persist::MappedImage& image,
     }
     uint64_t declared_edges = cursor->GetU64();
     check_count(SectionId::kGraphEdges, "image.graph_edge_count",
+                graph_->EdgeCount(), declared_edges, !cursor->failed());
+  }
+  if (auto cursor = persist::OpenSection(image, SectionId::kGraphCsr);
+      cursor.ok() && graph_->csr() != nullptr) {
+    uint32_t declared_vertices = cursor->GetU32();
+    uint32_t declared_edges = cursor->GetU32();
+    check_count(SectionId::kGraphCsr, "image.csr_vertex_count",
+                graph_->csr()->num_vertices(), declared_vertices,
+                !cursor->failed());
+    check_count(SectionId::kGraphCsr, "image.csr_edge_count",
                 graph_->EdgeCount(), declared_edges, !cursor->failed());
   }
   if (auto cursor = persist::OpenSection(image, SectionId::kDataguides);

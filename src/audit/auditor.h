@@ -54,7 +54,10 @@ struct AuditReport {
 ///   index.*      posting-list order/bounds/path agreement, document
 ///                frequencies, max-tf, path postings, path->nodes table.
 ///   graph.*      edge-log index bounds, forward/backward adjacency
-///                symmetry, endpoint resolution.
+///                symmetry, endpoint resolution; CSR kernel arrays
+///                (graph.csr_offsets: numbering + row-for-row agreement
+///                with the legacy walk, graph.csr_symmetry: sorted-row
+///                symmetry + sketch bitmaps vs exact 2-hop recomputation).
 ///   dataguide.*  sorted guide paths, exactly-once member coverage, guide
 ///                path sets covering their members' documents.
 ///   image.*      persisted-image section table sanity and agreement between

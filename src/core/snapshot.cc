@@ -41,6 +41,9 @@ std::shared_ptr<const Snapshot> Snapshot::Build(
   for (const SedaOptions::ValueEdge& edge : options.value_edges) {
     snap->graph_->AddValueBasedEdges(edge.pk_path, edge.fk_path, edge.label);
   }
+  // The edge log is final for this epoch: build the CSR kernel layer the
+  // connection-scoring hot path runs on (graph/csr.h).
+  snap->graph_->BuildCsr();
 
   // Stage 3: inverted index — with a base epoch, only the new documents'
   // shards are built and merged (appending after the base postings, which is
@@ -152,7 +155,7 @@ Result<std::shared_ptr<const Snapshot>> Snapshot::Load(
   SEDA_ASSIGN_OR_RETURN(snap->store_,
                         store::DocumentStore::LoadFrom(*image, load_pool));
   SEDA_ASSIGN_OR_RETURN(
-      snap->graph_, graph::DataGraph::LoadFrom(*image, snap->store_.get()));
+      snap->graph_, graph::DataGraph::LoadFrom(image, snap->store_.get()));
   SEDA_ASSIGN_OR_RETURN(
       snap->index_, text::InvertedIndex::LoadFrom(image, snap->store_.get()));
   SEDA_ASSIGN_OR_RETURN(auto guides, dataguide::DataguideCollection::LoadFrom(

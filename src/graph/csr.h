@@ -1,0 +1,212 @@
+#ifndef SEDA_GRAPH_CSR_H_
+#define SEDA_GRAPH_CSR_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/data_graph.h"
+#include "store/document_store.h"
+
+namespace seda::persist {
+class ImageWriter;
+class MappedImage;
+}  // namespace seda::persist
+
+namespace seda::graph {
+
+/// Flat u32 array that is either owned (built at Commit or decoded on a
+/// pre-CSR image) or a zero-copy view into a mapped snapshot image whose
+/// lifetime the owning Csr pins.
+class U32View {
+ public:
+  U32View() = default;
+  void Own(std::vector<uint32_t> values) {
+    owned_ = std::move(values);
+    data_ = owned_.data();
+    size_ = owned_.size();
+  }
+  void Borrow(const uint32_t* data, size_t size) {
+    owned_.clear();
+    owned_.shrink_to_fit();
+    data_ = data;
+    size_ = size;
+  }
+  const uint32_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  uint32_t operator[](size_t i) const { return data_[i]; }
+  const uint32_t* begin() const { return data_; }
+  const uint32_t* end() const { return data_ + size_; }
+
+ private:
+  const uint32_t* data_ = nullptr;
+  size_t size_ = 0;
+  std::vector<uint32_t> owned_;
+};
+
+/// Index-based graph kernels over the data graph (ROADMAP "CSR graph kernels"
+/// item, following the TriangleCounting playbook): every non-text node gets a
+/// dense uint32 vertex number in document order, and adjacency — tree edges
+/// plus both directions of the non-tree edge log — lives in two CSR layouts:
+///
+///   offsets/adjacency:               rows in exactly ForEachNeighbor order
+///                                    (parent, children, out edges, in edges,
+///                                    duplicates preserved), so a frontier
+///                                    BFS over the arrays visits nodes in the
+///                                    same order as the hash-map walk and
+///                                    returns byte-identical paths;
+///   sorted_offsets/sorted_adjacency: rows sorted ascending and deduplicated,
+///                                    for O(log d) membership tests and
+///                                    linear/galloping intersection.
+///
+/// Distance-1/2 queries — the bulk of cross-document ConnectionSize hops, the
+/// engine's hottest path — are answered exactly by sorted-row intersection
+/// (galloping for skewed degree pairs, a generation-stamped scratch bitmap
+/// for hub-against-hub) or by precomputed 2-hop sketches for the hottest hub
+/// vertices, with no BFS and no work-budget dependence; deeper queries fall
+/// back to an allocation-free budgeted BFS with the exact visit accounting of
+/// the legacy walker. All query entry points are const and thread-safe
+/// (scratch is thread_local).
+class Csr {
+ public:
+  /// Builds the arrays from the store's trees plus the non-tree edge log.
+  /// Returns nullptr when some edge endpoint does not resolve to a stored
+  /// non-text node (a graph only a hand-crafted test or hostile image
+  /// produces) — callers then keep the hash-map walk.
+  static std::unique_ptr<Csr> Build(const store::DocumentStore& store,
+                                    const std::vector<Edge>& edges,
+                                    const CsrOptions& options = {});
+
+  /// Writes the arrays as the kGraphCsr image section (all-u32 layout, so
+  /// every array stays 4-byte aligned for the zero-copy reopen).
+  Status SaveTo(persist::ImageWriter* writer) const;
+
+  /// Reconstructs kernels over a mapped image: bulk arrays are borrowed
+  /// straight from the mapping (the Csr co-owns `image`), only the vertex
+  /// numbering (node pointers) is rebuilt from the store. Every array is
+  /// validated against the store and edge log before any kernel may run, so
+  /// a hostile image fails with a clean ParseError.
+  static Result<std::unique_ptr<Csr>> LoadFrom(
+      std::shared_ptr<const persist::MappedImage> image,
+      const store::DocumentStore& store, const std::vector<Edge>& edges);
+
+  uint32_t num_vertices() const { return num_vertices_; }
+  uint32_t edge_count() const { return edge_count_; }
+  const CsrOptions& options() const { return options_; }
+
+  /// Dense vertex of a node, or nullopt for text/nonexistent nodes. O(log n)
+  /// binary search over the document's Dewey-ordered vertex range — vertex
+  /// numbering is document order, which is Dewey-lexicographic order.
+  std::optional<uint32_t> VertexOf(const store::NodeId& id) const;
+  store::NodeId NodeIdOf(uint32_t v) const {
+    return store::NodeId{doc_of_[v], node_of_[v]->dewey()};
+  }
+
+  // Row accessors (legacy = ForEachNeighbor order, duplicates preserved).
+  const uint32_t* RowBegin(uint32_t v) const {
+    return adjacency_.data() + offsets_[v];
+  }
+  const uint32_t* RowEnd(uint32_t v) const {
+    return adjacency_.data() + offsets_[v + 1];
+  }
+  const uint32_t* SortedRowBegin(uint32_t v) const {
+    return sorted_adjacency_.data() + sorted_offsets_[v];
+  }
+  const uint32_t* SortedRowEnd(uint32_t v) const {
+    return sorted_adjacency_.data() + sorted_offsets_[v + 1];
+  }
+  /// Total degree (tree + non-tree, duplicates counted), O(1).
+  uint32_t DegreeOf(uint32_t v) const { return offsets_[v + 1] - offsets_[v]; }
+  /// Non-tree degree (out + in), O(1) — what the hub caps consult.
+  uint32_t NonTreeDegreeOf(uint32_t v) const { return non_tree_degree_[v]; }
+
+  size_t SketchCount() const { return sketch_hubs_.size(); }
+  uint32_t SketchHub(size_t i) const { return sketch_hubs_[i]; }
+  /// Index of v's sketch, or -1. Linear over the (tiny, capped) hub list.
+  int SketchIndexOf(uint32_t v) const;
+  /// True iff sketch `index` covers `v`, i.e. dist(hub, v) <= 2.
+  bool SketchCovers(int index, uint32_t v) const {
+    size_t word = static_cast<size_t>(index) * words_per_sketch_ + (v >> 5);
+    return (sketch_bits_[word] >> (v & 31u)) & 1u;
+  }
+
+  /// Kernel results carry a resolved flag: false means an endpoint has no
+  /// vertex (text or nonexistent node) and the caller must use the legacy
+  /// walker — the only case the arrays cannot answer.
+  struct Distance {
+    bool resolved = false;
+    std::optional<size_t> length;
+  };
+  struct Path {
+    bool resolved = false;
+    std::vector<store::NodeId> nodes;  ///< empty = not connected
+  };
+
+  /// Budgeted shortest-path length with the legacy walker's exact accounting
+  /// when BFS runs. Under kCsrIntersect/kAuto, distance <= 2 is answered
+  /// exactly by intersection/sketch first — those answers are budget- and
+  /// depth-order-independent, which is what turns `max_connect_visits` into
+  /// a pure optimization threshold for the dominant 1-hub-hop tuples.
+  Distance ShortestPathLength(const store::NodeId& a, const store::NodeId& b,
+                              size_t max_depth, size_t max_visits,
+                              GraphKernelMode mode, GraphStats* stats) const;
+
+  /// Shortest path inclusive of endpoints; the witness node of a distance-2
+  /// fast-path answer is chosen to match the legacy BFS parent exactly.
+  Path ShortestPath(const store::NodeId& a, const store::NodeId& b,
+                    size_t max_depth, size_t max_visits, GraphKernelMode mode,
+                    GraphStats* stats) const;
+
+ private:
+  Csr() = default;
+
+  void Number(const store::DocumentStore& store);
+  bool BuildAdjacency(const store::DocumentStore& store,
+                      const std::vector<Edge>& edges);
+  void BuildSorted();
+  void BuildSketches();
+  Status Validate(const std::vector<Edge>& edges) const;
+
+  /// True iff dist(va, vb) == 1 (sorted-row membership on the smaller row).
+  bool Adjacent(uint32_t va, uint32_t vb, GraphStats* stats) const;
+  /// True iff the sorted rows of va and vb intersect (some common neighbor,
+  /// i.e. dist <= 2 given non-adjacency).
+  bool RowsIntersect(uint32_t va, uint32_t vb, GraphStats* stats) const;
+  /// Exact dist<=2 test via the fast paths; nullopt when no sketch applies
+  /// and `mode` does not allow intersection.
+  std::optional<bool> WithinTwo(uint32_t va, uint32_t vb, GraphKernelMode mode,
+                                GraphStats* stats) const;
+  /// First legacy-order neighbor w of va with vb in w's sorted row — the
+  /// parent the legacy BFS would have recorded for vb on a distance-2 path.
+  std::optional<uint32_t> DistanceTwoWitness(uint32_t va, uint32_t vb,
+                                             GraphStats* stats) const;
+
+  CsrOptions options_;
+  uint32_t num_vertices_ = 0;
+  uint32_t edge_count_ = 0;
+  uint32_t words_per_sketch_ = 0;
+
+  /// Vertex -> node mapping, rebuilt from the store on every load (node
+  /// pointers cannot be persisted); doc_base_[d] .. doc_base_[d+1] is the
+  /// contiguous vertex range of document d.
+  std::vector<const xml::Node*> node_of_;
+  std::vector<store::DocId> doc_of_;
+  std::vector<uint32_t> doc_base_;
+
+  U32View offsets_;           ///< V+1
+  U32View adjacency_;         ///< legacy ForEachNeighbor order
+  U32View sorted_offsets_;    ///< V+1
+  U32View sorted_adjacency_;  ///< ascending, deduplicated
+  U32View non_tree_degree_;   ///< V
+  std::vector<uint32_t> sketch_hubs_;
+  U32View sketch_bits_;  ///< SketchCount() * words_per_sketch_ bitmap words
+
+  /// Pins the mapping the borrowed views point into (zero-copy reopen).
+  std::shared_ptr<const persist::MappedImage> image_;
+};
+
+}  // namespace seda::graph
+
+#endif  // SEDA_GRAPH_CSR_H_

@@ -7,6 +7,7 @@
 
 #include "common/strings.h"
 #include "common/thread_pool.h"
+#include "graph/csr.h"
 #include "persist/reader.h"
 #include "persist/writer.h"
 
@@ -74,6 +75,15 @@ const char* EdgeTypeName(EdgeType type) {
   return "unknown";
 }
 
+DataGraph::DataGraph(const store::DocumentStore* store) : store_(store) {}
+
+DataGraph::~DataGraph() = default;
+
+bool DataGraph::BuildCsr(const CsrOptions& options) {
+  csr_ = Csr::Build(*store_, edges_, options);
+  return csr_ != nullptr;
+}
+
 void DataGraph::AddEdge(const store::NodeId& from, const store::NodeId& to,
                         EdgeType type, const std::string& label) {
   uint32_t index = static_cast<uint32_t>(edges_.size());
@@ -105,13 +115,21 @@ Status DataGraph::SaveTo(persist::ImageWriter* writer) const {
     writer->PutU8(static_cast<uint8_t>(edge.type));
     writer->PutU32(label_ids[edge.label]);
   }
-  return writer->EndSection();
+  SEDA_RETURN_IF_ERROR(writer->EndSection());
+  // The CSR arrays ride along as their own (optional) section, mapped
+  // zero-copy on reopen; readers of images without it rebuild from the log.
+  if (csr_ != nullptr) {
+    SEDA_RETURN_IF_ERROR(csr_->SaveTo(writer));
+  }
+  return Status::OK();
 }
 
 Result<std::unique_ptr<DataGraph>> DataGraph::LoadFrom(
-    const persist::MappedImage& image, const store::DocumentStore* store) {
-  SEDA_ASSIGN_OR_RETURN(persist::SectionCursor cursor,
-                        persist::OpenSection(image, persist::SectionId::kGraphEdges));
+    std::shared_ptr<const persist::MappedImage> image,
+    const store::DocumentStore* store) {
+  SEDA_ASSIGN_OR_RETURN(
+      persist::SectionCursor cursor,
+      persist::OpenSection(*image, persist::SectionId::kGraphEdges));
   auto graph = std::make_unique<DataGraph>(store);
 
   uint32_t label_count = cursor.GetU32();
@@ -135,6 +153,14 @@ Result<std::unique_ptr<DataGraph>> DataGraph::LoadFrom(
     graph->AddEdge(from, to, static_cast<EdgeType>(type), labels[label]);
   }
   SEDA_RETURN_IF_ERROR(cursor.status());
+  if (image->HasSection(persist::SectionId::kGraphCsr)) {
+    SEDA_ASSIGN_OR_RETURN(graph->csr_,
+                          Csr::LoadFrom(image, *store, graph->edges_));
+  } else {
+    // Pre-CSR image: rebuild the kernels from the replayed log, so old
+    // images answer through the same fast paths (no format break).
+    graph->BuildCsr();
+  }
   return graph;
 }
 
@@ -281,25 +307,21 @@ std::vector<store::NodeId> DataGraph::Neighbors(const store::NodeId& node) const
   return out;
 }
 
-std::optional<size_t> DataGraph::ShortestPathLength(const store::NodeId& a,
-                                                    const store::NodeId& b,
-                                                    size_t max_depth,
-                                                    size_t max_visits) const {
-  auto path = ShortestPath(a, b, max_depth, max_visits);
-  if (path.empty()) return std::nullopt;
-  return path.size() - 1;
-}
-
-std::vector<store::NodeId> DataGraph::ShortestPath(const store::NodeId& a,
-                                                   const store::NodeId& b,
-                                                   size_t max_depth,
-                                                   size_t max_visits) const {
-  if (a == b) return {a};
+std::optional<size_t> DataGraph::LegacyBfs(const store::NodeId& a,
+                                           const store::NodeId& b,
+                                           size_t max_depth, size_t max_visits,
+                                           std::vector<store::NodeId>* path_out,
+                                           GraphStats* stats) const {
+  if (a == b) {
+    if (path_out != nullptr) *path_out = {a};
+    return 0;
+  }
   std::unordered_map<store::NodeId, store::NodeId, store::NodeIdHasher> parent;
   std::deque<std::pair<store::NodeId, size_t>> queue;
   queue.emplace_back(a, 0);
   parent.emplace(a, a);
   size_t visited = 1;
+  size_t found_depth = 0;
   bool found = false;
   while (!queue.empty() && !found) {
     auto [current, depth] = queue.front();
@@ -309,12 +331,14 @@ std::vector<store::NodeId> DataGraph::ShortestPath(const store::NodeId& a,
     // a few hops, so an exhausted budget reads as "not connected" instead of
     // flooding the store on every call.
     if (max_visits > 0 && visited >= max_visits) break;
+    if (stats != nullptr) ++stats->bfs_expansions;
     // Allocation-free neighbor walk (identical visit order to Neighbors()).
     ForEachNeighbor(current, [&](const store::NodeId& next) {
       if (parent.count(next)) return true;
       parent.emplace(next, current);
       ++visited;
       if (next == b) {
+        found_depth = depth + 1;
         found = true;
         return false;
       }
@@ -322,20 +346,52 @@ std::vector<store::NodeId> DataGraph::ShortestPath(const store::NodeId& a,
       return true;
     });
   }
-  if (!found) return {};
-  std::vector<store::NodeId> path{b};
-  store::NodeId walk = b;
-  while (!(walk == a)) {
-    walk = parent.at(walk);
-    path.push_back(walk);
+  if (!found) return std::nullopt;
+  if (path_out != nullptr) {
+    std::vector<store::NodeId> path{b};
+    store::NodeId walk = b;
+    while (!(walk == a)) {
+      walk = parent.at(walk);
+      path.push_back(walk);
+    }
+    std::reverse(path.begin(), path.end());
+    *path_out = std::move(path);
   }
-  std::reverse(path.begin(), path.end());
+  return found_depth;
+}
+
+std::optional<size_t> DataGraph::ShortestPathLength(const store::NodeId& a,
+                                                    const store::NodeId& b,
+                                                    size_t max_depth,
+                                                    size_t max_visits,
+                                                    GraphStats* stats) const {
+  if (csr_ != nullptr && kernel_mode_ != GraphKernelMode::kLegacy) {
+    Csr::Distance result = csr_->ShortestPathLength(a, b, max_depth,
+                                                    max_visits, kernel_mode_,
+                                                    stats);
+    if (result.resolved) return result.length;
+  }
+  return LegacyBfs(a, b, max_depth, max_visits, nullptr, stats);
+}
+
+std::vector<store::NodeId> DataGraph::ShortestPath(const store::NodeId& a,
+                                                   const store::NodeId& b,
+                                                   size_t max_depth,
+                                                   size_t max_visits,
+                                                   GraphStats* stats) const {
+  if (csr_ != nullptr && kernel_mode_ != GraphKernelMode::kLegacy) {
+    Csr::Path result =
+        csr_->ShortestPath(a, b, max_depth, max_visits, kernel_mode_, stats);
+    if (result.resolved) return std::move(result.nodes);
+  }
+  std::vector<store::NodeId> path;
+  LegacyBfs(a, b, max_depth, max_visits, &path, stats);
   return path;
 }
 
 std::optional<size_t> DataGraph::ConnectionSize(
     const std::vector<store::NodeId>& nodes, size_t max_depth,
-    size_t max_visits) const {
+    size_t max_visits, GraphStats* stats) const {
   if (nodes.size() <= 1) return 0;
   // Group nodes by document.
   std::unordered_map<store::DocId, std::vector<xml::DeweyId>> by_doc;
@@ -379,7 +435,7 @@ std::optional<size_t> DataGraph::ConnectionSize(
           continue;
         }
         auto len = ShortestPathLength(representatives[j], representatives[i],
-                                      max_depth, max_visits);
+                                      max_depth, max_visits, stats);
         if (len && *len < best_cost) {
           best_cost = *len;
           best_index = i;

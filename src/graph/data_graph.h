@@ -2,6 +2,7 @@
 #define SEDA_GRAPH_DATA_GRAPH_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -41,6 +42,32 @@ struct Edge {
   std::string label;
 };
 
+class Csr;
+
+/// Graph-kernel work counters, aggregated per scored tuple into
+/// topk::SearchStats (deterministically: the parallel scoring batch sums
+/// per-tuple counters in enumeration order).
+struct GraphStats {
+  uint64_t bfs_expansions = 0;      ///< nodes expanded by (legacy or CSR) BFS
+  uint64_t intersection_probes = 0; ///< sorted-row elements examined
+  uint64_t sketch_hits = 0;         ///< distance queries answered by a sketch
+};
+
+/// Tuning for the CSR kernel build (see graph/csr.h for semantics).
+struct CsrOptions {
+  uint32_t sketch_min_degree = 32;
+  uint32_t sketch_max_count = 8;
+};
+
+/// Which kernel answers distance queries. kAuto is the production setting;
+/// the others exist for the equivalence tests and the bench ablation.
+enum class GraphKernelMode {
+  kAuto,          ///< sketches, then intersection, then budgeted CSR BFS
+  kLegacy,        ///< hash-map ForEachNeighbor BFS (pre-CSR engine)
+  kCsrBfs,        ///< CSR arrays, BFS only (no distance-1/2 fast paths)
+  kCsrIntersect,  ///< CSR + intersection fast paths, no sketches
+};
+
 /// The data graph G(V, E) of an XML collection (paper Definition 2): V is the
 /// set of element/attribute nodes in the DocumentStore; parent/child edges are
 /// implicit in the stored trees, while IDREF, XLink and value-based edges are
@@ -55,7 +82,9 @@ struct Edge {
 /// const and thread-safe.
 class DataGraph {
  public:
-  explicit DataGraph(const store::DocumentStore* store) : store_(store) {}
+  // Both out of line: csr_ is an incomplete type here.
+  explicit DataGraph(const store::DocumentStore* store);
+  ~DataGraph();
 
   const store::DocumentStore& store() const { return *store_; }
 
@@ -89,6 +118,20 @@ class DataGraph {
   /// Non-tree edges leaving `node` (both stored directions).
   std::vector<Edge> NonTreeEdges(const store::NodeId& node) const;
 
+  /// Visits the same edges as NonTreeEdges (same order) without
+  /// materializing the vector — the top-k cross-document borrow runs this
+  /// once per candidate, and the Edge copies (two Dewey vectors + a label
+  /// string each) were a measurable share of its time.
+  template <typename Fn>
+  void ForEachNonTreeEdge(const store::NodeId& node, const Fn& fn) const {
+    if (auto it = out_edges_.find(node); it != out_edges_.end()) {
+      for (uint32_t e : it->second) fn(edges_[e]);
+    }
+    if (auto it = in_edges_.find(node); it != in_edges_.end()) {
+      for (uint32_t e : it->second) fn(edges_[e]);
+    }
+  }
+
   /// Non-tree degree of `node` (out + in) without materializing the edges —
   /// the hub test TopKSearcher's cross-document borrow runs per edge.
   size_t Degree(const store::NodeId& node) const;
@@ -100,11 +143,30 @@ class DataGraph {
   /// byte-identical to the ones the resolve scans built.
   const std::vector<Edge>& edges() const { return edges_; }
 
+  /// Builds the CSR kernel layer (graph/csr.h) from the current edge log;
+  /// called once per snapshot commit, after all edges are resolved. Returns
+  /// false (leaving the graph on the legacy walker) when some edge endpoint
+  /// does not resolve to a stored non-text node. Not thread-safe — part of
+  /// construction, before the graph is published.
+  bool BuildCsr(const CsrOptions& options = {});
+  const Csr* csr() const { return csr_.get(); }
+
+  /// Kernel selection for the ablation bench and equivalence tests; queries
+  /// fall back to the legacy walker automatically whenever the CSR layer is
+  /// absent or cannot resolve an endpoint. Set-up time only (not
+  /// thread-safe, not persisted).
+  void set_kernel_mode(GraphKernelMode mode) { kernel_mode_ = mode; }
+  GraphKernelMode kernel_mode() const { return kernel_mode_; }
+
   /// Persistence hooks (src/persist/): writes the edge log with a label
-  /// string pool / reconstructs a graph over `store` by replaying it.
+  /// string pool (plus the CSR arrays when built) / reconstructs a graph
+  /// over `store` by replaying the log, mapping the CSR section zero-copy —
+  /// `image` is retained by the kernels — or rebuilding it when absent
+  /// (pre-CSR images load unchanged; no format break).
   Status SaveTo(persist::ImageWriter* writer) const;
   static Result<std::unique_ptr<DataGraph>> LoadFrom(
-      const persist::MappedImage& image, const store::DocumentStore* store);
+      std::shared_ptr<const persist::MappedImage> image,
+      const store::DocumentStore* store);
 
   /// All neighbors of `node`: parent, children, plus non-tree edges.
   std::vector<store::NodeId> Neighbors(const store::NodeId& node) const;
@@ -163,13 +225,15 @@ class DataGraph {
   std::optional<size_t> ShortestPathLength(const store::NodeId& a,
                                            const store::NodeId& b,
                                            size_t max_depth,
-                                           size_t max_visits = 0) const;
+                                           size_t max_visits = 0,
+                                           GraphStats* stats = nullptr) const;
 
   /// Shortest path (sequence of nodes, inclusive of endpoints) or empty.
   std::vector<store::NodeId> ShortestPath(const store::NodeId& a,
                                           const store::NodeId& b,
                                           size_t max_depth,
-                                          size_t max_visits = 0) const;
+                                          size_t max_visits = 0,
+                                          GraphStats* stats = nullptr) const;
 
   /// Size (edge count) of the minimal connected subgraph containing all
   /// `nodes`. For nodes within one document this is the exact Steiner-tree
@@ -184,7 +248,8 @@ class DataGraph {
   /// ShortestPathLength).
   std::optional<size_t> ConnectionSize(const std::vector<store::NodeId>& nodes,
                                        size_t max_depth = 12,
-                                       size_t max_visits = 0) const;
+                                       size_t max_visits = 0,
+                                       GraphStats* stats = nullptr) const;
 
  private:
   /// id attribute value -> element carrying it (first occurrence wins).
@@ -192,6 +257,17 @@ class DataGraph {
 
   size_t ResolveIdRefs(const IdTargetMap& targets, ThreadPool* pool);
   size_t ResolveXLinks(const IdTargetMap& targets, ThreadPool* pool);
+
+  /// The one BFS walker behind ShortestPathLength and ShortestPath (their
+  /// bodies had drifted apart): hash-map visited set over ForEachNeighbor.
+  /// Fills `path_out` (endpoints inclusive) when non-null and found. Used
+  /// when no CSR layer exists, when kernel_mode_ is kLegacy, or when an
+  /// endpoint has no vertex.
+  std::optional<size_t> LegacyBfs(const store::NodeId& a,
+                                  const store::NodeId& b, size_t max_depth,
+                                  size_t max_visits,
+                                  std::vector<store::NodeId>* path_out,
+                                  GraphStats* stats) const;
 
   const store::DocumentStore* store_;
   /// Each edge is stored once, in the insertion-order log; the adjacency
@@ -203,6 +279,10 @@ class DataGraph {
       in_edges_;
   /// Insertion-order log of every AddEdge call (see edges()).
   std::vector<Edge> edges_;
+  /// CSR kernel layer (graph/csr.h), built at commit / image load; null on a
+  /// hand-assembled graph that never called BuildCsr.
+  std::unique_ptr<Csr> csr_;
+  GraphKernelMode kernel_mode_ = GraphKernelMode::kAuto;
 };
 
 }  // namespace seda::graph

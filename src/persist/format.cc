@@ -21,6 +21,8 @@ const char* SectionName(SectionId id) {
       return "index-paths";
     case SectionId::kDataguides:
       return "dataguides";
+    case SectionId::kGraphCsr:
+      return "graph-csr";
   }
   return "unknown";
 }

@@ -47,6 +47,9 @@ enum class SectionId : uint32_t {
   kIndexTerms = 5,  ///< term -> node postings, document frequencies, max tf
   kIndexPaths = 6,  ///< term -> path postings/counts, path -> nodes table
   kDataguides = 7,  ///< dataguide summary: guides, stats, path-level links
+  kGraphCsr = 8,    ///< CSR graph-kernel arrays (all-u32, mapped zero-copy);
+                    ///< optional — absent sections are rebuilt from the edge
+                    ///< log, so pre-CSR images load unchanged
 };
 
 const char* SectionName(SectionId id);

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/check.h"
@@ -116,6 +117,22 @@ class SectionCursor {
     std::memcpy(out.data(), data_, bytes);
     data_ += bytes;
     return out;
+  }
+
+  /// Zero-copy twin of GetU32Array: returns (pointer, count) into the
+  /// mapping and skips past the array. Valid only in sections whose layout
+  /// is all-u32 (e.g. kGraphCsr): section payloads are 64-byte aligned and
+  /// every preceding read advanced by a multiple of 4, so the span is
+  /// 4-byte aligned for direct uint32_t access.
+  std::pair<const uint32_t*, size_t> GetU32Span() {
+    uint32_t count = GetU32();
+    size_t bytes = size_t{count} * sizeof(uint32_t);
+    if (!Ensure(bytes)) return {nullptr, 0};
+    SEDA_DCHECK_EQ(reinterpret_cast<uintptr_t>(data_) % alignof(uint32_t), 0u)
+        << "GetU32Span in a section with non-u32 layout";
+    const uint32_t* span = reinterpret_cast<const uint32_t*>(data_);
+    data_ += bytes;
+    return {span, count};
   }
 
   /// Reads a u64-length-prefixed sub-blob (ImageWriter::BeginBlob/EndBlob):

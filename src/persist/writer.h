@@ -59,6 +59,12 @@ class ImageWriter {
     PutU32(static_cast<uint32_t>(values.size()));
     PutRaw(values.data(), values.size() * sizeof(uint32_t));
   }
+  /// PutU32Array over raw memory — lets zero-copy views (graph/csr.h
+  /// U32View) round-trip without re-vectorizing.
+  void PutU32Span(const uint32_t* values, size_t count) {
+    PutU32(static_cast<uint32_t>(count));
+    if (count > 0) PutRaw(values, count * sizeof(uint32_t));
+  }
 
   /// Redirects subsequent Puts into a standalone blob; EndBlob() emits it as
   /// a u64-length-prefixed unit. Readers can skip blobs without decoding

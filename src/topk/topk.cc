@@ -142,7 +142,10 @@ Result<std::vector<ScoredTuple>> TopKSearcher::SearchImpl(
               continue;
             }
           }
-          for (const graph::Edge& edge : graph_->NonTreeEdges(match->node)) {
+          // Allocation-free edge walk: NonTreeEdges() copied every edge
+          // (two Dewey vectors + a label) per candidate, visible in the
+          // scan profile on link-dense corpora.
+          graph_->ForEachNonTreeEdge(match->node, [&](const graph::Edge& edge) {
             // The hub may also sit on the far side, when the candidate is a
             // low-degree FK leaf pointing at it.
             if (options.max_hub_degree > 0) {
@@ -150,7 +153,7 @@ Result<std::vector<ScoredTuple>> TopKSearcher::SearchImpl(
                   edge.from == match->node ? edge.to : edge.from;
               if (graph_->Degree(far) > options.max_hub_degree) {
                 ++local_stats.hub_links_skipped;
-                continue;
+                return;
               }
             }
             store::DocId other =
@@ -158,7 +161,7 @@ Result<std::vector<ScoredTuple>> TopKSearcher::SearchImpl(
             if (other != doc && groups.count(other)) {
               doc_links.emplace_back(doc, other);
             }
-          }
+          });
         }
       }
     }
@@ -208,6 +211,7 @@ Result<std::vector<ScoredTuple>> TopKSearcher::SearchImpl(
   // ConnectionSize and their resulting sizes.
   std::vector<ScoredTuple> batch;
   std::vector<std::optional<size_t>> sizes;
+  std::vector<graph::GraphStats> kernel_stats;
 
   // Saturating size of a group's per-term cross product, for budget
   // accounting ahead of (or instead of) enumerating it.
@@ -322,6 +326,9 @@ Result<std::vector<ScoredTuple>> TopKSearcher::SearchImpl(
     // enumeration order keeps results identical at any worker count.
     local_stats.tuples_scored += batch.size();
     sizes.assign(batch.size(), std::nullopt);
+    // Per-tuple kernel counters, merged sequentially below in enumeration
+    // order: the totals are identical at any worker count.
+    kernel_stats.assign(batch.size(), graph::GraphStats{});
     ThreadPool* pool =
         batch.size() >= options.parallel_batch_min ? pool_ : nullptr;
     RunParallel(pool, batch.size(), [&](size_t i) {
@@ -329,8 +336,14 @@ Result<std::vector<ScoredTuple>> TopKSearcher::SearchImpl(
       node_ids.reserve(m);
       for (const auto& nm : batch[i].nodes) node_ids.push_back(nm.node);
       sizes[i] = graph_->ConnectionSize(node_ids, options.max_connect_depth,
-                                        options.max_connect_visits);
+                                        options.max_connect_visits,
+                                        &kernel_stats[i]);
     });
+    for (const graph::GraphStats& ks : kernel_stats) {
+      local_stats.bfs_expansions += ks.bfs_expansions;
+      local_stats.intersection_probes += ks.intersection_probes;
+      local_stats.sketch_hits += ks.sketch_hits;
+    }
     for (size_t i = 0; i < batch.size(); ++i) {
       if (!sizes[i].has_value()) continue;
       ScoredTuple& tuple = batch[i];

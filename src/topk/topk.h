@@ -43,6 +43,11 @@ struct SearchStats {
   // Hub/budget trimming (ROADMAP perf-cliff fix; see TopKOptions):
   uint64_t hub_links_skipped = 0;    ///< cross-doc links dropped at hub nodes
   uint64_t tuples_trimmed = 0;       ///< tuples skipped by the per-query budget
+  // Graph-kernel counters (graph/csr.h), summed over connection scoring in
+  // tuple-enumeration order so any worker count reports identical stats:
+  uint64_t bfs_expansions = 0;       ///< nodes expanded by BFS (legacy or CSR)
+  uint64_t intersection_probes = 0;  ///< sorted-row elements examined
+  uint64_t sketch_hits = 0;          ///< distance queries answered by a sketch
   /// The per-request deadline (TopKOptions::deadline_ms) fired and the scan
   /// stopped with unexamined documents remaining: the returned top-k is the
   /// best of what was scored in time, not the full TA fixpoint. Surfaced in

@@ -42,6 +42,9 @@ StatsDto SampleStats() {
   stats.hub_links_skipped = 0;
   // Saturated budget counters must survive the wire exactly.
   stats.tuples_trimmed = std::numeric_limits<uint64_t>::max();
+  stats.bfs_expansions = 4242;
+  stats.intersection_probes = 171717;
+  stats.sketch_hits = 13;
   return stats;
 }
 

@@ -1,0 +1,468 @@
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "audit/auditor.h"
+#include "core/seda.h"
+#include "data/generators.h"
+#include "graph/csr.h"
+#include "graph/data_graph.h"
+#include "persist/reader.h"
+#include "persist/writer.h"
+#include "store/document_store.h"
+
+namespace seda::graph {
+namespace {
+
+std::string TempImagePath(const std::string& name) {
+  return ::testing::TempDir() + "seda_graph_kernel_" + name + "_" +
+         std::to_string(::getpid()) + ".img";
+}
+
+/// All non-text nodes of the store, in document order — the CSR vertex
+/// universe.
+std::vector<store::NodeId> ElementNodes(const store::DocumentStore& store) {
+  std::vector<store::NodeId> nodes;
+  store.ForEachNode([&](const store::NodeId& id, xml::Node* node) {
+    if (node->kind() == xml::NodeKind::kText) return;
+    nodes.push_back(id);
+  });
+  return nodes;
+}
+
+/// Deterministic sample of ~`want` entries spread across the vector.
+std::vector<store::NodeId> Sample(const std::vector<store::NodeId>& nodes,
+                                  size_t want) {
+  std::vector<store::NodeId> out;
+  if (nodes.empty()) return out;
+  size_t stride = std::max<size_t>(1, nodes.size() / want);
+  for (size_t i = 0; i < nodes.size(); i += stride) out.push_back(nodes[i]);
+  return out;
+}
+
+std::optional<size_t> Dist(DataGraph* graph, GraphKernelMode mode,
+                           const store::NodeId& a, const store::NodeId& b,
+                           size_t max_depth, size_t max_visits = 0,
+                           GraphStats* stats = nullptr) {
+  graph->set_kernel_mode(mode);
+  return graph->ShortestPathLength(a, b, max_depth, max_visits, stats);
+}
+
+std::vector<store::NodeId> PathOf(DataGraph* graph, GraphKernelMode mode,
+                                  const store::NodeId& a,
+                                  const store::NodeId& b, size_t max_depth,
+                                  size_t max_visits = 0) {
+  graph->set_kernel_mode(mode);
+  return graph->ShortestPath(a, b, max_depth, max_visits);
+}
+
+/// One corpus the property tests run over: an owned store + a resolved,
+/// CSR-built graph.
+struct Corpus {
+  std::string name;
+  std::unique_ptr<store::DocumentStore> store;
+  std::unique_ptr<DataGraph> graph;
+};
+
+Corpus MakeScenario() {
+  Corpus c;
+  c.name = "scenario";
+  c.store = std::make_unique<store::DocumentStore>();
+  data::PopulateScenario(c.store.get());
+  c.graph = std::make_unique<DataGraph>(c.store.get());
+  c.graph->ResolveLinks(/*idrefs=*/true, /*xlinks=*/true);
+  c.graph->AddValueBasedEdges(
+      "/country/name", "/country/economy/import_partners/item/trade_country",
+      "trade_partner");
+  return c;
+}
+
+/// The ROADMAP hub cliff in miniature: every satellite's trade_country leaf
+/// links to the one US name node, so one vertex carries ~all non-tree edges.
+Corpus MakeHub(int satellites) {
+  Corpus c;
+  c.name = "hub";
+  c.store = std::make_unique<store::DocumentStore>();
+  EXPECT_TRUE(c.store
+                  ->AddXml(
+                      "<country><name>United States</name><economy>"
+                      "<GDP>14000</GDP></economy></country>",
+                      "us")
+                  .ok());
+  for (int i = 0; i < satellites; ++i) {
+    EXPECT_TRUE(c.store
+                    ->AddXml("<country><name>Satellite " + std::to_string(i) +
+                                 "</name><economy><import_partners><item>"
+                                 "<trade_country>United States</trade_country>"
+                                 "<percentage>" + std::to_string(10 + i) +
+                                 ".5</percentage></item></import_partners>"
+                                 "</economy></country>",
+                             "satellite-" + std::to_string(i))
+                    .ok());
+  }
+  c.graph = std::make_unique<DataGraph>(c.store.get());
+  EXPECT_EQ(c.graph->AddValueBasedEdges(
+                "/country/name",
+                "/country/economy/import_partners/item/trade_country",
+                "trade_partner"),
+            static_cast<size_t>(satellites));
+  return c;
+}
+
+Corpus MakeMondial() {
+  Corpus c;
+  c.name = "mondial";
+  c.store = std::make_unique<store::DocumentStore>();
+  data::MondialGenerator::Options options;
+  options.scale = 0.02;
+  data::MondialGenerator(options).Populate(c.store.get());
+  c.graph = std::make_unique<DataGraph>(c.store.get());
+  c.graph->ResolveLinks(/*idrefs=*/true, /*xlinks=*/true);
+  return c;
+}
+
+Corpus MakeFactbook() {
+  Corpus c;
+  c.name = "factbook";
+  c.store = std::make_unique<store::DocumentStore>();
+  data::WorldFactbookGenerator::Options options;
+  options.scale = 0.02;
+  data::WorldFactbookGenerator(options).Populate(c.store.get());
+  c.graph = std::make_unique<DataGraph>(c.store.get());
+  c.graph->ResolveLinks(/*idrefs=*/true, /*xlinks=*/true);
+  return c;
+}
+
+/// Runs `fn(corpus)` over every generator corpus with the CSR layer built.
+template <typename Fn>
+void ForEachCorpus(const Fn& fn) {
+  for (auto* make : {&MakeScenario, &MakeMondial, &MakeFactbook}) {
+    Corpus c = make();
+    ASSERT_TRUE(c.graph->BuildCsr()) << c.name;
+    ASSERT_NE(c.graph->csr(), nullptr) << c.name;
+    fn(c);
+  }
+  Corpus hub = MakeHub(40);
+  ASSERT_TRUE(hub.graph->BuildCsr());
+  fn(hub);
+}
+
+/// Deterministic pair sample: each sampled node against a handful of
+/// pseudo-scattered partners (same-document and cross-document mixes).
+std::vector<std::pair<store::NodeId, store::NodeId>> SamplePairs(
+    const std::vector<store::NodeId>& nodes, size_t want_nodes) {
+  std::vector<store::NodeId> sampled = Sample(nodes, want_nodes);
+  std::vector<std::pair<store::NodeId, store::NodeId>> pairs;
+  for (size_t i = 0; i < sampled.size(); ++i) {
+    for (size_t step : {1u, 7u, 23u}) {
+      pairs.emplace_back(sampled[i], sampled[(i * 3 + step) % sampled.size()]);
+    }
+  }
+  return pairs;
+}
+
+TEST(CsrLayoutTest, RowsMatchForEachNeighborWalk) {
+  ForEachCorpus([](const Corpus& c) {
+    const Csr* csr = c.graph->csr();
+    std::vector<store::NodeId> nodes = ElementNodes(*c.store);
+    EXPECT_EQ(csr->num_vertices(), nodes.size()) << c.name;
+    EXPECT_EQ(csr->edge_count(), c.graph->EdgeCount()) << c.name;
+    for (const store::NodeId& id : Sample(nodes, 300)) {
+      auto v = csr->VertexOf(id);
+      ASSERT_TRUE(v.has_value()) << c.name;
+      EXPECT_EQ(csr->NodeIdOf(*v), id) << c.name;
+      // The legacy walk, mapped to vertices, must equal the CSR row
+      // element for element (duplicates and all).
+      std::vector<uint32_t> walk;
+      c.graph->ForEachNeighbor(id, [&](const store::NodeId& n) {
+        auto vn = csr->VertexOf(n);
+        EXPECT_TRUE(vn.has_value()) << c.name;
+        walk.push_back(*vn);
+        return true;
+      });
+      std::vector<uint32_t> row(csr->RowBegin(*v), csr->RowEnd(*v));
+      EXPECT_EQ(row, walk) << c.name << " vertex " << *v;
+      EXPECT_EQ(csr->DegreeOf(*v), walk.size()) << c.name;
+      EXPECT_EQ(csr->NonTreeDegreeOf(*v), c.graph->Degree(id)) << c.name;
+    }
+  });
+}
+
+TEST(CsrLayoutTest, SortedRowsAreSortedDedupedRows) {
+  ForEachCorpus([](const Corpus& c) {
+    const Csr* csr = c.graph->csr();
+    for (uint32_t v = 0; v < csr->num_vertices();
+         v += std::max<uint32_t>(1, csr->num_vertices() / 300)) {
+      std::vector<uint32_t> expect(csr->RowBegin(v), csr->RowEnd(v));
+      std::sort(expect.begin(), expect.end());
+      expect.erase(std::unique(expect.begin(), expect.end()), expect.end());
+      std::vector<uint32_t> sorted(csr->SortedRowBegin(v),
+                                   csr->SortedRowEnd(v));
+      EXPECT_EQ(sorted, expect) << c.name << " vertex " << v;
+    }
+  });
+}
+
+TEST(CsrLayoutTest, TextNodesHaveNoVertexAndFallBackToLegacy) {
+  Corpus c = MakeScenario();
+  ASSERT_TRUE(c.graph->BuildCsr());
+  std::optional<store::NodeId> text;
+  c.store->ForEachNode([&](const store::NodeId& id, xml::Node* node) {
+    if (!text.has_value() && node->kind() == xml::NodeKind::kText) text = id;
+  });
+  ASSERT_TRUE(text.has_value());
+  EXPECT_FALSE(c.graph->csr()->VertexOf(*text).has_value());
+  // Kernel-mode queries from a text endpoint resolve via the legacy walker
+  // and still agree with forced-legacy answers.
+  store::NodeId other = ElementNodes(*c.store).front();
+  EXPECT_EQ(Dist(c.graph.get(), GraphKernelMode::kAuto, *text, other, 12),
+            Dist(c.graph.get(), GraphKernelMode::kLegacy, *text, other, 12));
+}
+
+TEST(KernelEquivalenceTest, ShortestPathLengthMatchesLegacyBudgetOff) {
+  ForEachCorpus([](const Corpus& c) {
+    auto pairs = SamplePairs(ElementNodes(*c.store), 40);
+    for (const auto& [a, b] : pairs) {
+      for (size_t depth : {2u, 4u, 12u}) {
+        auto legacy = Dist(c.graph.get(), GraphKernelMode::kLegacy, a, b, depth);
+        for (GraphKernelMode mode :
+             {GraphKernelMode::kCsrBfs, GraphKernelMode::kCsrIntersect,
+              GraphKernelMode::kAuto}) {
+          EXPECT_EQ(Dist(c.graph.get(), mode, a, b, depth), legacy)
+              << c.name << " depth " << depth;
+        }
+      }
+    }
+  });
+}
+
+TEST(KernelEquivalenceTest, ShortestPathNodesMatchLegacyBudgetOff) {
+  ForEachCorpus([](const Corpus& c) {
+    auto pairs = SamplePairs(ElementNodes(*c.store), 25);
+    for (const auto& [a, b] : pairs) {
+      auto legacy = PathOf(c.graph.get(), GraphKernelMode::kLegacy, a, b, 6);
+      for (GraphKernelMode mode :
+           {GraphKernelMode::kCsrBfs, GraphKernelMode::kCsrIntersect,
+            GraphKernelMode::kAuto}) {
+        EXPECT_EQ(PathOf(c.graph.get(), mode, a, b, 6), legacy) << c.name;
+      }
+    }
+  });
+}
+
+TEST(KernelEquivalenceTest, ConnectionSizeMatchesLegacyBudgetOff) {
+  ForEachCorpus([](const Corpus& c) {
+    std::vector<store::NodeId> sampled = Sample(ElementNodes(*c.store), 30);
+    for (size_t i = 0; i + 2 < sampled.size(); i += 3) {
+      std::vector<store::NodeId> tuple = {sampled[i], sampled[i + 1],
+                                          sampled[i + 2]};
+      c.graph->set_kernel_mode(GraphKernelMode::kLegacy);
+      auto legacy = c.graph->ConnectionSize(tuple);
+      c.graph->set_kernel_mode(GraphKernelMode::kAuto);
+      EXPECT_EQ(c.graph->ConnectionSize(tuple), legacy) << c.name;
+    }
+  });
+}
+
+TEST(KernelEquivalenceTest, BudgetedCsrBfsMatchesLegacyExactly) {
+  // kCsrBfs preserves the legacy engine bit for bit, including the budget's
+  // false negatives: same answers and the same expansion counts.
+  ForEachCorpus([](const Corpus& c) {
+    auto pairs = SamplePairs(ElementNodes(*c.store), 30);
+    for (const auto& [a, b] : pairs) {
+      for (size_t visits : {1u, 3u, 8u}) {
+        GraphStats legacy_stats, csr_stats;
+        auto legacy = Dist(c.graph.get(), GraphKernelMode::kLegacy, a, b, 12,
+                           visits, &legacy_stats);
+        auto csr = Dist(c.graph.get(), GraphKernelMode::kCsrBfs, a, b, 12,
+                        visits, &csr_stats);
+        EXPECT_EQ(csr, legacy) << c.name << " visits " << visits;
+        EXPECT_EQ(csr_stats.bfs_expansions, legacy_stats.bfs_expansions)
+            << c.name << " visits " << visits;
+      }
+    }
+  });
+}
+
+TEST(KernelEquivalenceTest, AutoAnswersWithinTwoAreBudgetIndependent) {
+  // The intended semantic upgrade: under kAuto, any distance <= 2 answer is
+  // exact regardless of max_visits (the legacy walker's budget could
+  // truncate those to "not connected").
+  ForEachCorpus([](const Corpus& c) {
+    auto pairs = SamplePairs(ElementNodes(*c.store), 30);
+    for (const auto& [a, b] : pairs) {
+      auto unbudgeted = Dist(c.graph.get(), GraphKernelMode::kAuto, a, b, 12);
+      if (!unbudgeted.has_value() || *unbudgeted > 2) continue;
+      for (size_t visits : {1u, 2u, 5u}) {
+        EXPECT_EQ(Dist(c.graph.get(), GraphKernelMode::kAuto, a, b, 12, visits),
+                  unbudgeted)
+            << c.name;
+      }
+    }
+  });
+}
+
+TEST(KernelCounterTest, CountersFireOnTheHubCorpus) {
+  Corpus c = MakeHub(40);
+  CsrOptions options;
+  options.sketch_min_degree = 4;
+  options.sketch_max_count = 4;
+  ASSERT_TRUE(c.graph->BuildCsr(options));
+  const Csr* csr = c.graph->csr();
+  ASSERT_GT(csr->SketchCount(), 0u);
+
+  // Probes from the hub (US name node) into one satellite: trade_country is
+  // distance 1 (the value edge), its parent item distance 2, and the sibling
+  // percentage leaf distance 3 — one node per kernel tier.
+  std::vector<store::NodeId> nodes = ElementNodes(*c.store);
+  std::optional<store::NodeId> hub, dist1, dist2, dist3;
+  for (const store::NodeId& id : nodes) {
+    xml::Node* n = c.store->GetNode(id);
+    if (id.doc == 0 && n->name() == "name") hub = id;
+    if (id.doc == 5 && n->name() == "trade_country") dist1 = id;
+    if (id.doc == 5 && n->name() == "item") dist2 = id;
+    if (id.doc == 5 && n->name() == "percentage") dist3 = id;
+  }
+  ASSERT_TRUE(hub.has_value() && dist1.has_value() && dist2.has_value() &&
+              dist3.has_value());
+
+  GraphStats bfs_stats;
+  EXPECT_EQ(Dist(c.graph.get(), GraphKernelMode::kCsrBfs, *hub, *dist3, 12, 0,
+                 &bfs_stats),
+            std::optional<size_t>(3));
+  EXPECT_GT(bfs_stats.bfs_expansions, 0u);
+
+  GraphStats isect_stats;
+  EXPECT_EQ(Dist(c.graph.get(), GraphKernelMode::kCsrIntersect, *hub, *dist1,
+                 12, 0, &isect_stats),
+            std::optional<size_t>(1));
+  EXPECT_GT(isect_stats.intersection_probes, 0u);
+  EXPECT_EQ(isect_stats.bfs_expansions, 0u);
+
+  GraphStats auto_stats;
+  EXPECT_EQ(Dist(c.graph.get(), GraphKernelMode::kAuto, *hub, *dist2, 12, 0,
+                 &auto_stats),
+            std::optional<size_t>(2));
+  EXPECT_GT(auto_stats.sketch_hits, 0u);
+  EXPECT_EQ(auto_stats.bfs_expansions, 0u);
+}
+
+TEST(KernelCounterTest, SketchAnswersMatchIntersection) {
+  Corpus c = MakeHub(60);
+  CsrOptions options;
+  options.sketch_min_degree = 2;
+  options.sketch_max_count = 8;
+  ASSERT_TRUE(c.graph->BuildCsr(options));
+  ASSERT_GT(c.graph->csr()->SketchCount(), 0u);
+  auto pairs = SamplePairs(ElementNodes(*c.store), 40);
+  for (const auto& [a, b] : pairs) {
+    EXPECT_EQ(Dist(c.graph.get(), GraphKernelMode::kAuto, a, b, 12),
+              Dist(c.graph.get(), GraphKernelMode::kCsrIntersect, a, b, 12));
+  }
+}
+
+TEST(CsrPersistenceTest, ImageRoundTripPreservesKernels) {
+  Corpus c = MakeScenario();
+  ASSERT_TRUE(c.graph->BuildCsr());
+  std::string path = TempImagePath("roundtrip");
+  {
+    persist::ImageWriter writer;
+    ASSERT_TRUE(writer.Open(path).ok());
+    ASSERT_TRUE(c.graph->SaveTo(&writer).ok());
+    ASSERT_TRUE(writer.Finish(/*epoch=*/1).ok());
+  }
+  auto image = persist::MappedImage::Open(path);
+  ASSERT_TRUE(image.ok()) << image.status().ToString();
+  auto loaded = DataGraph::LoadFrom(std::move(image).value(), c.store.get());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  DataGraph* reopened = loaded.value().get();
+  ASSERT_NE(reopened->csr(), nullptr);
+  EXPECT_EQ(reopened->csr()->num_vertices(), c.graph->csr()->num_vertices());
+  EXPECT_EQ(reopened->csr()->edge_count(), c.graph->csr()->edge_count());
+
+  auto pairs = SamplePairs(ElementNodes(*c.store), 30);
+  for (const auto& [a, b] : pairs) {
+    for (GraphKernelMode mode :
+         {GraphKernelMode::kCsrBfs, GraphKernelMode::kAuto}) {
+      EXPECT_EQ(Dist(reopened, mode, a, b, 12),
+                Dist(c.graph.get(), GraphKernelMode::kLegacy, a, b, 12));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CsrPersistenceTest, MissingCsrSectionRebuildsOnLoad) {
+  // A pre-CSR image (graph saved before BuildCsr) must reopen with the
+  // kernels rebuilt from the edge log — no format break.
+  Corpus c = MakeScenario();  // deliberately no BuildCsr()
+  std::string path = TempImagePath("rebuild");
+  {
+    persist::ImageWriter writer;
+    ASSERT_TRUE(writer.Open(path).ok());
+    ASSERT_TRUE(c.graph->SaveTo(&writer).ok());
+    ASSERT_TRUE(writer.Finish(/*epoch=*/1).ok());
+  }
+  auto image = persist::MappedImage::Open(path);
+  ASSERT_TRUE(image.ok());
+  EXPECT_FALSE(image.value()->HasSection(persist::SectionId::kGraphCsr));
+  auto loaded = DataGraph::LoadFrom(std::move(image).value(), c.store.get());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_NE(loaded.value()->csr(), nullptr);
+  std::remove(path.c_str());
+}
+
+TEST(CsrPersistenceTest, SedaSaveOpenRoundTripKeepsKernelAnswers) {
+  core::SedaOptions options;
+  options.value_edges.push_back(
+      {"/country/name", "/country/economy/import_partners/item/trade_country",
+       "trade_partner"});
+  core::Seda writer;
+  data::PopulateScenario(writer.mutable_store());
+  ASSERT_TRUE(writer.Finalize(options).ok());
+  ASSERT_NE(writer.data_graph().csr(), nullptr);
+
+  std::string path = TempImagePath("seda");
+  ASSERT_TRUE(writer.Save(path).ok());
+  core::Seda reader;
+  ASSERT_TRUE(reader.Open(path).ok());
+  ASSERT_NE(reader.data_graph().csr(), nullptr);
+
+  auto pairs = SamplePairs(ElementNodes(writer.store()), 30);
+  for (const auto& [a, b] : pairs) {
+    EXPECT_EQ(reader.data_graph().ShortestPathLength(a, b, 12),
+              writer.data_graph().ShortestPathLength(a, b, 12));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CsrAuditTest, StaleCsrIsCaughtByTheAuditor) {
+  Corpus c = MakeScenario();
+  ASSERT_TRUE(c.graph->BuildCsr());
+  {
+    audit::SnapshotAuditor auditor(c.store.get(), nullptr, c.graph.get(),
+                                   nullptr);
+    audit::AuditReport report;
+    auditor.AuditGraph(&report);
+    EXPECT_FALSE(report.Has("graph.csr_offsets")) << report.ToString();
+    EXPECT_FALSE(report.Has("graph.csr_symmetry")) << report.ToString();
+  }
+  // An edge added after BuildCsr leaves the arrays stale — exactly what the
+  // csr invariants exist to catch.
+  std::vector<store::NodeId> nodes = ElementNodes(*c.store);
+  c.graph->AddEdge(nodes.front(), nodes.back(), EdgeType::kIdRef, "stale");
+  audit::SnapshotAuditor auditor(c.store.get(), nullptr, c.graph.get(),
+                                 nullptr);
+  audit::AuditReport report;
+  auditor.AuditGraph(&report);
+  EXPECT_TRUE(report.Has("graph.csr_offsets")) << report.ToString();
+}
+
+}  // namespace
+}  // namespace seda::graph
