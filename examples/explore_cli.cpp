@@ -12,11 +12,16 @@
 //   echo '{"method":"search","query":"(name, *)"}' | build/examples/explore_cli -
 //       with "-", reads one JSON request envelope per stdin line and writes
 //       one JSON response per line to stdout (the service wire, verbatim)
+//   echo '{"method":"statz"}' | build/examples/explore_cli --connect 127.0.0.1:7474
+//       same stdin/stdout wire, but each envelope is framed and sent to a
+//       running seda_server over TCP (src/net/) instead of an in-process
+//       service — the CLI becomes a true network client
 //
 // Every query below flows through SedaService::Handle() — parse, execute,
 // encode — exactly the path a network frontend would use.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -26,6 +31,7 @@
 #include "api/wire.h"
 #include "core/seda.h"
 #include "data/generators.h"
+#include "net/client.h"
 
 namespace {
 
@@ -86,6 +92,41 @@ void PrintPanels(const seda::api::SearchResponseDto& response) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc == 3 && std::strcmp(argv[1], "--connect") == 0) {
+    // Network mode: stdin JSON envelopes -> SEDA frames over TCP -> stdout
+    // JSON responses, one per line. Exactly the "-" wire, remoted.
+    const std::string target = argv[2];
+    const size_t colon = target.rfind(':');
+    if (colon == std::string::npos) {
+      std::fprintf(stderr, "--connect expects host:port, got '%s'\n",
+                   target.c_str());
+      return 2;
+    }
+    seda::net::BlockingClient client;
+    const seda::Status connected =
+        client.Connect(target.substr(0, colon),
+                       static_cast<uint16_t>(
+                           std::atoi(target.c_str() + colon + 1)));
+    if (!connected.ok()) {
+      std::fprintf(stderr, "connect failed: %s\n",
+                   connected.ToString().c_str());
+      return 1;
+    }
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (line.empty()) continue;
+      auto response = client.Call(line);
+      if (!response.ok()) {
+        std::fprintf(stderr, "call failed: %s\n",
+                     response.status().ToString().c_str());
+        return 1;
+      }
+      std::printf("%s\n", response.value().c_str());
+      std::fflush(stdout);
+    }
+    return 0;
+  }
+
   const bool pipe_mode = argc == 2 && std::strcmp(argv[1], "-") == 0;
   if (!pipe_mode) std::printf("loading synthetic World Factbook...\n");
 

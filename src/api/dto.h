@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -105,6 +106,45 @@ struct ConnectionDto {
   std::vector<ConnectionStepDto> steps;
   uint64_t instance_count = 0;
   bool false_positive = false;
+};
+
+// --- Observability (statz) ---------------------------------------------
+
+/// Per-request-type accounting: request count, error count, and a
+/// fixed-bound latency histogram (bucket i counts requests with latency <=
+/// StatzResponse::bucket_bounds_ms[i]; the final bucket is the overflow).
+struct MethodStatsDto {
+  std::string method;
+  uint64_t count = 0;
+  uint64_t errors = 0;             ///< responses with non-OK status
+  uint64_t deadline_exceeded = 0;  ///< responses flagged as partial
+  double total_ms = 0;             ///< summed wall clock across requests
+  std::vector<uint64_t> latency_buckets;
+};
+
+struct StatzRequest {};
+
+/// The service's observability surface: session-registry gauges, per-method
+/// latency histograms and the cumulative engine counters, all monotonic
+/// since service construction. Served as envelope method "statz" — this is
+/// what the net-layer admission controller, the CI server smoke and any
+/// dashboard poll.
+struct StatzResponse {
+  WireStatus status;
+  uint64_t epoch = 0;             ///< currently served snapshot epoch
+  uint64_t sessions = 0;          ///< live (non-evicted) sessions
+  uint64_t sessions_created = 0;
+  uint64_t sessions_evicted = 0;  ///< TTL + LRU evictions (not explicit closes)
+  double uptime_ms = 0;           ///< since service construction
+  std::vector<double> bucket_bounds_ms;  ///< histogram upper bounds
+  std::vector<MethodStatsDto> methods;
+  /// Cumulative topk::SearchStats counters summed over every search-shaped
+  /// response (epoch/elapsed/deadline fields carry their usual per-request
+  /// meaning nowhere here and stay zero except deadline_ms-independent sums).
+  StatsDto cumulative;
+  /// Transport counters injected by a hosting frontend (net::Server) —
+  /// empty when the service is driven in-process.
+  std::vector<std::pair<std::string, uint64_t>> transport;
 };
 
 // --- Session lifecycle -------------------------------------------------

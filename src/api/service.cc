@@ -14,14 +14,30 @@ double ElapsedMs(Clock::time_point start) {
   return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
 }
 
-/// Layers a request's overrides (top-k, deadline) over the snapshot's
-/// configured engine options.
+/// Layers a request's overrides (top-k, deadline) and the service's serving
+/// mode (shard count) over the snapshot's configured engine options.
 topk::TopKOptions RequestTopKOptions(const core::Snapshot& snapshot, uint64_t k,
-                                     uint64_t deadline_ms) {
+                                     uint64_t deadline_ms, size_t shards) {
   topk::TopKOptions options = snapshot.options().topk;
   if (k > 0) options.k = static_cast<size_t>(k);
   options.deadline_ms = deadline_ms;
+  options.shard_count = shards > 1 ? shards : 0;
   return options;
+}
+
+/// statz latency histogram bounds (upper bound per bucket, ms); one overflow
+/// bucket rides at the end, so there are kLatencyBucketCount+1 counters.
+constexpr double kLatencyBoundsMs[] = {0.25, 0.5,  1,    2,    5,    10,
+                                       25,   50,   100,  250,  500,  1000,
+                                       2500, 5000, 10000};
+constexpr size_t kLatencyBucketCount =
+    sizeof(kLatencyBoundsMs) / sizeof(*kLatencyBoundsMs);
+
+const char* MethodName(size_t method) {
+  static constexpr const char* kNames[] = {
+      "create_session", "close_session", "search", "refine",
+      "complete",       "cube",          "statz"};
+  return kNames[method];
 }
 
 StatsDto MakeStats(const topk::SearchStats& stats, double elapsed_ms,
@@ -171,6 +187,7 @@ void SedaService::SweepExpiredLocked(Clock::time_point now) {
     if (entry.ttl_ms > 0 &&
         now - entry.last_used >= std::chrono::milliseconds(entry.ttl_ms)) {
       it = sessions_.erase(it);  // in-flight requests keep the shared_ptr
+      ++sessions_evicted_;
     } else {
       ++it;
     }
@@ -184,10 +201,11 @@ void SedaService::EvictLruForInsertLocked() {
       if (it->second->last_used < oldest->second->last_used) oldest = it;
     }
     sessions_.erase(oldest);
+    ++sessions_evicted_;
   }
 }
 
-CreateSessionResponse SedaService::CreateSession(
+CreateSessionResponse SedaService::DoCreateSession(
     const CreateSessionRequest& request) {
   CreateSessionResponse response;
   auto session = seda_->NewSession();
@@ -220,11 +238,12 @@ CreateSessionResponse SedaService::CreateSession(
   entry->last_used = now;
   response.epoch = entry->session.epoch();
   sessions_.emplace(id, std::move(entry));
+  ++sessions_created_;
   response.session_id = std::move(id);
   return response;
 }
 
-CloseSessionResponse SedaService::CloseSession(
+CloseSessionResponse SedaService::DoCloseSession(
     const CloseSessionRequest& request) {
   CloseSessionResponse response;
   std::lock_guard<std::mutex> lock(registry_mu_);
@@ -256,13 +275,14 @@ Result<std::shared_ptr<SedaService::SessionEntry>> SedaService::FindSession(
   if (entry.ttl_ms > 0 &&
       now - entry.last_used >= std::chrono::milliseconds(entry.ttl_ms)) {
     sessions_.erase(it);
+    ++sessions_evicted_;
     return Status::NotFound("session '" + id + "' expired");
   }
   entry.last_used = now;
   return it->second;
 }
 
-SearchResponseDto SedaService::Search(const SearchRequest& request) {
+SearchResponseDto SedaService::DoSearch(const SearchRequest& request) {
   const Clock::time_point start = Clock::now();
   const uint64_t deadline_ms = EffectiveDeadline(request.deadline_ms);
   SearchResponseDto response;
@@ -278,7 +298,7 @@ SearchResponseDto SedaService::Search(const SearchRequest& request) {
     }
     auto result = session->Search(
         request.query, RequestTopKOptions(session->snapshot(), request.k,
-                                          deadline_ms));
+                                          deadline_ms, options_.topk_shards));
     if (!result.ok()) {
       response.status = WireStatus::FromStatus(result.status());
       return response;
@@ -297,8 +317,8 @@ SearchResponseDto SedaService::Search(const SearchRequest& request) {
   SessionEntry& state = *entry.value();
   std::lock_guard<std::mutex> lock(state.mu);
   auto result = state.session.Search(
-      request.query,
-      RequestTopKOptions(state.session.snapshot(), request.k, deadline_ms));
+      request.query, RequestTopKOptions(state.session.snapshot(), request.k,
+                                        deadline_ms, options_.topk_shards));
   if (!result.ok()) {
     response.status = WireStatus::FromStatus(result.status());
     return response;
@@ -309,7 +329,7 @@ SearchResponseDto SedaService::Search(const SearchRequest& request) {
   return response;
 }
 
-SearchResponseDto SedaService::Refine(const RefineRequest& request) {
+SearchResponseDto SedaService::DoRefine(const RefineRequest& request) {
   const Clock::time_point start = Clock::now();
   const uint64_t deadline_ms = EffectiveDeadline(request.deadline_ms);
   SearchResponseDto response;
@@ -322,7 +342,8 @@ SearchResponseDto SedaService::Refine(const RefineRequest& request) {
   std::lock_guard<std::mutex> lock(state.mu);
   auto result = state.session.RefineContexts(
       request.chosen_paths,
-      RequestTopKOptions(state.session.snapshot(), request.k, deadline_ms));
+      RequestTopKOptions(state.session.snapshot(), request.k, deadline_ms,
+                         options_.topk_shards));
   if (!result.ok()) {
     response.status = WireStatus::FromStatus(result.status());
     return response;
@@ -333,7 +354,7 @@ SearchResponseDto SedaService::Refine(const RefineRequest& request) {
   return response;
 }
 
-CompleteResponseDto SedaService::Complete(const CompleteRequest& request) {
+CompleteResponseDto SedaService::DoComplete(const CompleteRequest& request) {
   const Clock::time_point start = Clock::now();
   const uint64_t deadline_ms = EffectiveDeadline(request.deadline_ms);
   CompleteResponseDto response;
@@ -406,7 +427,7 @@ CompleteResponseDto SedaService::Complete(const CompleteRequest& request) {
   return response;
 }
 
-CubeResponseDto SedaService::Cube(const CubeRequest& request) {
+CubeResponseDto SedaService::DoCube(const CubeRequest& request) {
   const Clock::time_point start = Clock::now();
   const uint64_t deadline_ms = EffectiveDeadline(request.deadline_ms);
   CubeResponseDto response;
@@ -474,6 +495,128 @@ CubeResponseDto SedaService::Cube(const CubeRequest& request) {
   return response;
 }
 
+// --- Metric-recording wrappers -----------------------------------------
+
+CreateSessionResponse SedaService::CreateSession(
+    const CreateSessionRequest& request) {
+  const Clock::time_point start = Clock::now();
+  CreateSessionResponse response = DoCreateSession(request);
+  RecordMetrics(kCreateSession, ElapsedMs(start), response.status.ok(),
+                nullptr);
+  return response;
+}
+
+CloseSessionResponse SedaService::CloseSession(
+    const CloseSessionRequest& request) {
+  const Clock::time_point start = Clock::now();
+  CloseSessionResponse response = DoCloseSession(request);
+  RecordMetrics(kCloseSession, ElapsedMs(start), response.status.ok(),
+                nullptr);
+  return response;
+}
+
+SearchResponseDto SedaService::Search(const SearchRequest& request) {
+  const Clock::time_point start = Clock::now();
+  SearchResponseDto response = DoSearch(request);
+  RecordMetrics(kSearch, ElapsedMs(start), response.status.ok(),
+                &response.stats);
+  return response;
+}
+
+SearchResponseDto SedaService::Refine(const RefineRequest& request) {
+  const Clock::time_point start = Clock::now();
+  SearchResponseDto response = DoRefine(request);
+  RecordMetrics(kRefine, ElapsedMs(start), response.status.ok(),
+                &response.stats);
+  return response;
+}
+
+CompleteResponseDto SedaService::Complete(const CompleteRequest& request) {
+  const Clock::time_point start = Clock::now();
+  CompleteResponseDto response = DoComplete(request);
+  RecordMetrics(kComplete, ElapsedMs(start), response.status.ok(),
+                &response.stats);
+  return response;
+}
+
+CubeResponseDto SedaService::Cube(const CubeRequest& request) {
+  const Clock::time_point start = Clock::now();
+  CubeResponseDto response = DoCube(request);
+  RecordMetrics(kCube, ElapsedMs(start), response.status.ok(),
+                &response.stats);
+  return response;
+}
+
+void SedaService::RecordMetrics(Method method, double elapsed_ms, bool ok,
+                                const StatsDto* stats) {
+  // Bucket i counts latency <= kLatencyBoundsMs[i]; the last slot overflows.
+  size_t bucket = 0;
+  while (bucket < kLatencyBucketCount && elapsed_ms > kLatencyBoundsMs[bucket]) {
+    ++bucket;
+  }
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  MethodMetrics& m = metrics_[method];
+  if (m.latency_buckets.empty()) {
+    m.latency_buckets.assign(kLatencyBucketCount + 1, 0);
+  }
+  ++m.count;
+  if (!ok) ++m.errors;
+  m.total_ms += elapsed_ms;
+  ++m.latency_buckets[bucket];
+  if (stats != nullptr) {
+    if (stats->deadline_exceeded) ++m.deadline_exceeded;
+    cumulative_.candidates_total += stats->candidates_total;
+    cumulative_.docs_considered += stats->docs_considered;
+    cumulative_.docs_scored += stats->docs_scored;
+    cumulative_.tuples_scored += stats->tuples_scored;
+    cumulative_.postings_advanced += stats->postings_advanced;
+    cumulative_.docs_skipped += stats->docs_skipped;
+    cumulative_.heap_evictions += stats->heap_evictions;
+    cumulative_.hub_links_skipped += stats->hub_links_skipped;
+    cumulative_.tuples_trimmed += stats->tuples_trimmed;
+    cumulative_.bfs_expansions += stats->bfs_expansions;
+    cumulative_.intersection_probes += stats->intersection_probes;
+    cumulative_.sketch_hits += stats->sketch_hits;
+  }
+}
+
+StatzResponse SedaService::Statz(const StatzRequest&) {
+  const Clock::time_point start = Clock::now();
+  StatzResponse response;
+  const std::shared_ptr<const core::Snapshot> snapshot = seda_->snapshot();
+  response.epoch = snapshot != nullptr ? snapshot->epoch() : 0;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    response.sessions = sessions_.size();
+    response.sessions_created = sessions_created_;
+    response.sessions_evicted = sessions_evicted_;
+  }
+  response.uptime_ms = ElapsedMs(start_time_);
+  response.bucket_bounds_ms.assign(kLatencyBoundsMs,
+                                   kLatencyBoundsMs + kLatencyBucketCount);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    response.methods.reserve(kMethodCount);
+    for (size_t method = 0; method < kMethodCount; ++method) {
+      const MethodMetrics& m = metrics_[method];
+      MethodStatsDto dto;
+      dto.method = MethodName(method);
+      dto.count = m.count;
+      dto.errors = m.errors;
+      dto.deadline_exceeded = m.deadline_exceeded;
+      dto.total_ms = m.total_ms;
+      dto.latency_buckets = m.latency_buckets.empty()
+                                ? std::vector<uint64_t>(kLatencyBucketCount + 1, 0)
+                                : m.latency_buckets;
+      response.methods.push_back(std::move(dto));
+    }
+    response.cumulative = cumulative_;
+  }
+  if (transport_statz_) response.transport = transport_statz_();
+  RecordMetrics(kStatz, ElapsedMs(start), /*ok=*/true, nullptr);
+  return response;
+}
+
 std::string SedaService::Handle(const std::string& request_json) {
   auto envelope = Json::Parse(request_json);
   auto envelope_error = [](const Status& status) {
@@ -508,9 +651,13 @@ std::string SedaService::Handle(const std::string& request_json) {
   if (method == "cube") {
     return ToJson(Cube(CubeRequestFromJson(json))).Write();
   }
+  if (method == "statz") {
+    return ToJson(Statz(StatzRequest{})).Write();
+  }
   return envelope_error(Status::InvalidArgument(
       "unknown method '" + method +
-      "'; expected create_session|close_session|search|refine|complete|cube"));
+      "'; expected "
+      "create_session|close_session|search|refine|complete|cube|statz"));
 }
 
 }  // namespace seda::api

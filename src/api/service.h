@@ -3,11 +3,13 @@
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "api/dto.h"
@@ -26,6 +28,13 @@ struct ServiceOptions {
   uint64_t session_ttl_ms = 15 * 60 * 1000;
   /// Applied when a request carries deadline_ms == 0. 0 = no deadline.
   uint64_t default_deadline_ms = 0;
+  /// Shard-by-DocId scatter-gather for every search/refine request: with
+  /// N > 1, the TA scan fans out into N per-shard scans over the snapshot's
+  /// thread pool and the merged ranking is byte-identical to the unsharded
+  /// one (see topk::TopKOptions::shard_count for the exactness argument and
+  /// budget caveat). 0/1 = unsharded. This is a serving-mode knob — the
+  /// seda_server --shards flag lands here.
+  size_t topk_shards = 1;
 };
 
 /// The service facade over the whole Fig. 6 loop — the one supported public
@@ -71,6 +80,18 @@ class SedaService {
   SearchResponseDto Refine(const RefineRequest& request);
   CompleteResponseDto Complete(const CompleteRequest& request);
   CubeResponseDto Cube(const CubeRequest& request);
+  /// Observability snapshot: registry gauges, per-method latency histograms
+  /// and cumulative engine counters (api/dto.h StatzResponse). Cheap —
+  /// O(methods x buckets) under a stats mutex, no engine work.
+  StatzResponse Statz(const StatzRequest& request);
+
+  /// Lets a hosting transport (net::Server) contribute its own counters to
+  /// every Statz response, as name/value pairs under "transport". Call
+  /// before serving; the callback must be thread-safe.
+  void set_transport_statz(
+      std::function<std::vector<std::pair<std::string, uint64_t>>()> source) {
+    transport_statz_ = std::move(source);
+  }
 
   /// Wire entry point: one JSON request envelope in, one JSON response out.
   /// The envelope is the request DTO's object plus a "method" field:
@@ -122,6 +143,34 @@ class SedaService {
                                     : options_.default_deadline_ms;
   }
 
+  /// Index into metrics_ — one slot per envelope method.
+  enum Method : size_t {
+    kCreateSession = 0,
+    kCloseSession,
+    kSearch,
+    kRefine,
+    kComplete,
+    kCube,
+    kStatz,
+    kMethodCount,
+  };
+
+  /// Records one finished request into the statz accounting (histogram slot,
+  /// error/deadline counters, cumulative engine sums). `stats` may be null
+  /// for requests without a stats block (create/close session).
+  void RecordMetrics(Method method, double elapsed_ms, bool ok,
+                     const StatsDto* stats);
+
+  // The typed entry points above are thin metric-recording wrappers over
+  // these implementations, so every return path of a request lands in the
+  // statz accounting exactly once.
+  CreateSessionResponse DoCreateSession(const CreateSessionRequest& request);
+  CloseSessionResponse DoCloseSession(const CloseSessionRequest& request);
+  SearchResponseDto DoSearch(const SearchRequest& request);
+  SearchResponseDto DoRefine(const RefineRequest& request);
+  CompleteResponseDto DoComplete(const CompleteRequest& request);
+  CubeResponseDto DoCube(const CubeRequest& request);
+
   const core::Seda* seda_;
   ServiceOptions options_;
 
@@ -131,6 +180,26 @@ class SedaService {
   /// Last full expiry sweep (guarded by registry_mu_); lookups re-sweep at
   /// most once per second to keep the hot path O(1).
   std::chrono::steady_clock::time_point last_sweep_{};
+  /// Registry lifecycle counters for statz (guarded by registry_mu_).
+  uint64_t sessions_created_ = 0;
+  uint64_t sessions_evicted_ = 0;
+
+  /// Per-method statz accounting (guarded by stats_mu_ — the mutex costs
+  /// nanoseconds against engine work that costs milliseconds).
+  struct MethodMetrics {
+    uint64_t count = 0;
+    uint64_t errors = 0;
+    uint64_t deadline_exceeded = 0;
+    double total_ms = 0;
+    std::vector<uint64_t> latency_buckets;
+  };
+  mutable std::mutex stats_mu_;
+  MethodMetrics metrics_[kMethodCount];
+  StatsDto cumulative_;  ///< summed engine counters, guarded by stats_mu_
+  std::chrono::steady_clock::time_point start_time_ =
+      std::chrono::steady_clock::now();
+  std::function<std::vector<std::pair<std::string, uint64_t>>()>
+      transport_statz_;
 };
 
 }  // namespace seda::api

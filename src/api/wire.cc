@@ -480,7 +480,7 @@ Status WireStatus::ToStatus() const {
       StatusCode::kAlreadyExists,   StatusCode::kParseError,
       StatusCode::kOutOfRange,      StatusCode::kFailedPrecondition,
       StatusCode::kInternal,        StatusCode::kUnimplemented,
-      StatusCode::kIoError};
+      StatusCode::kIoError,         StatusCode::kUnavailable};
   for (StatusCode candidate : kCodes) {
     if (code == StatusCodeName(candidate)) {
       switch (candidate) {
@@ -494,6 +494,7 @@ Status WireStatus::ToStatus() const {
         case StatusCode::kInternal: return Status::Internal(message);
         case StatusCode::kUnimplemented: return Status::Unimplemented(message);
         case StatusCode::kIoError: return Status::IoError(message);
+        case StatusCode::kUnavailable: return Status::Unavailable(message);
         default: break;
       }
     }
@@ -1058,6 +1059,90 @@ CubeResponseDto CubeResponseDtoFromJson(const Json& json) {
   return v;
 }
 
+Json ToJson(const MethodStatsDto& v) {
+  Json json = Json::Object();
+  json.Set("method", Json::Str(v.method));
+  json.Set("count", Json::Uint(v.count));
+  json.Set("errors", Json::Uint(v.errors));
+  json.Set("deadline_exceeded", Json::Uint(v.deadline_exceeded));
+  json.Set("total_ms", Json::Double(v.total_ms));
+  json.Set("latency_buckets", ListToJson(v.latency_buckets, [](uint64_t n) {
+    return Json::Uint(n);
+  }));
+  return json;
+}
+
+MethodStatsDto MethodStatsDtoFromJson(const Json& json) {
+  MethodStatsDto v;
+  v.method = StringField(json, "method");
+  v.count = UintField(json, "count");
+  v.errors = UintField(json, "errors");
+  v.deadline_exceeded = UintField(json, "deadline_exceeded");
+  v.total_ms = DoubleField(json, "total_ms");
+  v.latency_buckets = ListFromJson<uint64_t>(
+      json.Find("latency_buckets"), [](const Json& n) { return n.AsUint(); });
+  return v;
+}
+
+Json ToJson(const StatzRequest&) { return Json::Object(); }
+
+StatzRequest StatzRequestFromJson(const Json&) { return StatzRequest{}; }
+
+Json ToJson(const StatzResponse& v) {
+  Json json = Json::Object();
+  json.Set("status", ToJson(v.status));
+  json.Set("epoch", Json::Uint(v.epoch));
+  json.Set("sessions", Json::Uint(v.sessions));
+  json.Set("sessions_created", Json::Uint(v.sessions_created));
+  json.Set("sessions_evicted", Json::Uint(v.sessions_evicted));
+  json.Set("uptime_ms", Json::Double(v.uptime_ms));
+  json.Set("bucket_bounds_ms", ListToJson(v.bucket_bounds_ms, [](double b) {
+    return Json::Double(b);
+  }));
+  json.Set("methods", ListToJson(v.methods, [](const MethodStatsDto& m) {
+    return ToJson(m);
+  }));
+  json.Set("cumulative", ToJson(v.cumulative));
+  // Transport counters keep the source's pair order (an object would merge
+  // duplicate names silently and lose it).
+  Json transport = Json::Array();
+  for (const auto& [name, value] : v.transport) {
+    Json counter = Json::Object();
+    counter.Set("name", Json::Str(name));
+    counter.Set("value", Json::Uint(value));
+    transport.Append(std::move(counter));
+  }
+  json.Set("transport", std::move(transport));
+  return json;
+}
+
+StatzResponse StatzResponseFromJson(const Json& json) {
+  StatzResponse v;
+  const Json* status = json.Find("status");
+  if (status != nullptr) v.status = WireStatusFromJson(*status);
+  v.epoch = UintField(json, "epoch");
+  v.sessions = UintField(json, "sessions");
+  v.sessions_created = UintField(json, "sessions_created");
+  v.sessions_evicted = UintField(json, "sessions_evicted");
+  v.uptime_ms = DoubleField(json, "uptime_ms");
+  v.bucket_bounds_ms = ListFromJson<double>(
+      json.Find("bucket_bounds_ms"), [](const Json& b) { return b.AsDouble(); });
+  v.methods = ListFromJson<MethodStatsDto>(json.Find("methods"),
+                                           MethodStatsDtoFromJson);
+  const Json* transport = json.Find("transport");
+  if (transport != nullptr) {
+    v.transport.reserve(transport->size());
+    for (size_t i = 0; i < transport->size(); ++i) {
+      const Json& counter = transport->at(i);
+      v.transport.emplace_back(StringField(counter, "name"),
+                               UintField(counter, "value"));
+    }
+  }
+  const Json* cumulative = json.Find("cumulative");
+  if (cumulative != nullptr) v.cumulative = StatsDtoFromJson(*cumulative);
+  return v;
+}
+
 // --- String-level wrappers ----------------------------------------------
 
 #define SEDA_API_STRING_CODEC(Type)                                         \
@@ -1089,6 +1174,9 @@ SEDA_API_STRING_CODEC(CubeRequest)
 SEDA_API_STRING_CODEC(TableDto)
 SEDA_API_STRING_CODEC(CellDto)
 SEDA_API_STRING_CODEC(CubeResponseDto)
+SEDA_API_STRING_CODEC(MethodStatsDto)
+SEDA_API_STRING_CODEC(StatzRequest)
+SEDA_API_STRING_CODEC(StatzResponse)
 
 #undef SEDA_API_STRING_CODEC
 

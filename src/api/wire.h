@@ -97,6 +97,9 @@ std::string Encode(const CubeRequest& v);
 std::string Encode(const TableDto& v);
 std::string Encode(const CellDto& v);
 std::string Encode(const CubeResponseDto& v);
+std::string Encode(const MethodStatsDto& v);
+std::string Encode(const StatzRequest& v);
+std::string Encode(const StatzResponse& v);
 
 Result<WireStatus> DecodeWireStatus(const std::string& json);
 Result<StatsDto> DecodeStatsDto(const std::string& json);
@@ -119,6 +122,9 @@ Result<CubeRequest> DecodeCubeRequest(const std::string& json);
 Result<TableDto> DecodeTableDto(const std::string& json);
 Result<CellDto> DecodeCellDto(const std::string& json);
 Result<CubeResponseDto> DecodeCubeResponseDto(const std::string& json);
+Result<MethodStatsDto> DecodeMethodStatsDto(const std::string& json);
+Result<StatzRequest> DecodeStatzRequest(const std::string& json);
+Result<StatzResponse> DecodeStatzResponse(const std::string& json);
 
 // Json-level converters, for composing DTOs into envelopes (the service's
 // Handle() dispatch uses these; the string Encode/Decode pairs above wrap
@@ -144,6 +150,9 @@ Json ToJson(const CubeRequest& v);
 Json ToJson(const TableDto& v);
 Json ToJson(const CellDto& v);
 Json ToJson(const CubeResponseDto& v);
+Json ToJson(const MethodStatsDto& v);
+Json ToJson(const StatzRequest& v);
+Json ToJson(const StatzResponse& v);
 
 WireStatus WireStatusFromJson(const Json& json);
 StatsDto StatsDtoFromJson(const Json& json);
@@ -166,6 +175,9 @@ CubeRequest CubeRequestFromJson(const Json& json);
 TableDto TableDtoFromJson(const Json& json);
 CellDto CellDtoFromJson(const Json& json);
 CubeResponseDto CubeResponseDtoFromJson(const Json& json);
+MethodStatsDto MethodStatsDtoFromJson(const Json& json);
+StatzRequest StatzRequestFromJson(const Json& json);
+StatzResponse StatzResponseFromJson(const Json& json);
 
 }  // namespace seda::api
 

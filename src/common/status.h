@@ -33,6 +33,10 @@ enum class StatusCode {
   kInternal,
   kUnimplemented,
   kIoError,
+  /// Transient serving-side refusal (admission control / load shedding /
+  /// shutdown drain): the request was well-formed but the server chose not
+  /// to execute it right now. Retryable, unlike the codes above.
+  kUnavailable,
 };
 
 /// Returns a human-readable name for a status code (e.g. "InvalidArgument").
@@ -74,6 +78,9 @@ class Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

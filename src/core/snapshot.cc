@@ -190,10 +190,63 @@ Result<SearchResponse> Snapshot::Search(
   exec::CandidateSet candidates = exec::BuildCandidates(
       *index_, query, topk_options.max_candidates_per_term);
 
-  auto topk_result =
-      searcher_->Search(query, topk_options, candidates, &response.stats);
-  if (!topk_result.ok()) return topk_result.status();
-  response.topk = std::move(topk_result).value();
+  if (topk_options.shard_count > 1) {
+    // Shard-by-DocId scatter-gather (the src/net/ serving mode): every shard
+    // scans the same shared candidate set but scores only its own DocIds,
+    // the scans fan out one-per-worker (each scoring inline — ParallelFor
+    // must not nest), and the merged ranking is byte-identical to the
+    // unsharded scan as long as no per-shard budget fires (see
+    // topk::TopKOptions::shard_count).
+    const size_t shards = topk_options.shard_count;
+    std::vector<std::vector<topk::ScoredTuple>> shard_topk(shards);
+    std::vector<topk::SearchStats> shard_stats(shards);
+    std::vector<Status> shard_status(shards);
+    RunParallel(query_pool_.get(), shards, [&](size_t s) {
+      topk::TopKOptions shard_options = topk_options;
+      shard_options.shard_index = s;
+      auto result =
+          searcher_->Search(query, shard_options, candidates, &shard_stats[s]);
+      if (result.ok()) {
+        shard_topk[s] = std::move(result).value();
+      } else {
+        shard_status[s] = result.status();
+      }
+    });
+    for (const Status& status : shard_status) SEDA_RETURN_IF_ERROR(status);
+    response.topk = topk::MergeShardTopK(std::move(shard_topk), topk_options.k);
+    // Candidate-set counters (candidates_total, postings_advanced,
+    // docs_skipped) and the borrowing-phase hub skips are computed over the
+    // full candidate set in every shard, so they are identical copies —
+    // keep shard 0's. Scan-side counters partition across shards and sum.
+    response.stats = shard_stats[0];
+    response.stats.docs_considered = 0;
+    response.stats.docs_scored = 0;
+    response.stats.tuples_scored = 0;
+    response.stats.heap_evictions = 0;
+    response.stats.tuples_trimmed = 0;
+    response.stats.bfs_expansions = 0;
+    response.stats.intersection_probes = 0;
+    response.stats.sketch_hits = 0;
+    response.stats.early_terminated = false;
+    response.stats.deadline_exceeded = false;
+    for (const topk::SearchStats& stats : shard_stats) {
+      response.stats.docs_considered += stats.docs_considered;
+      response.stats.docs_scored += stats.docs_scored;
+      response.stats.tuples_scored += stats.tuples_scored;
+      response.stats.heap_evictions += stats.heap_evictions;
+      response.stats.tuples_trimmed += stats.tuples_trimmed;
+      response.stats.bfs_expansions += stats.bfs_expansions;
+      response.stats.intersection_probes += stats.intersection_probes;
+      response.stats.sketch_hits += stats.sketch_hits;
+      response.stats.early_terminated |= stats.early_terminated;
+      response.stats.deadline_exceeded |= stats.deadline_exceeded;
+    }
+  } else {
+    auto topk_result =
+        searcher_->Search(query, topk_options, candidates, &response.stats);
+    if (!topk_result.ok()) return topk_result.status();
+    response.topk = std::move(topk_result).value();
+  }
   response.stats.epoch = epoch_;
 
   summary::ContextSummaryGenerator context_gen(index_.get());

@@ -1,0 +1,48 @@
+#include "net/admission.h"
+
+namespace seda::net {
+
+const char* AdmissionVerdictName(AdmissionVerdict verdict) {
+  switch (verdict) {
+    case AdmissionVerdict::kAdmit: return "admit";
+    case AdmissionVerdict::kTooManyConnections:
+      return "connection limit reached";
+    case AdmissionVerdict::kInflightLimit:
+      return "per-connection in-flight limit reached";
+    case AdmissionVerdict::kConnectionRate:
+      return "per-connection request rate exceeded";
+    case AdmissionVerdict::kSessionRate:
+      return "per-session request rate exceeded";
+    case AdmissionVerdict::kQueueFull: return "server work queue full";
+    case AdmissionVerdict::kDraining: return "server shutting down";
+  }
+  return "overloaded";
+}
+
+AdmissionVerdict AdmissionController::OnRequest(
+    size_t inflight, TokenBucket& connection_bucket,
+    const std::string& session_id,
+    std::chrono::steady_clock::time_point now) {
+  if (options_.max_inflight_per_connection > 0 &&
+      inflight >= options_.max_inflight_per_connection) {
+    return AdmissionVerdict::kInflightLimit;
+  }
+  if (!connection_bucket.TryAcquire(now)) {
+    return AdmissionVerdict::kConnectionRate;
+  }
+  if (options_.per_session_rps > 0 && !session_id.empty()) {
+    std::lock_guard<std::mutex> lock(session_mu_);
+    auto it = session_buckets_.find(session_id);
+    if (it == session_buckets_.end()) {
+      it = session_buckets_
+               .emplace(session_id,
+                        TokenBucket(options_.per_session_rps,
+                                    options_.per_session_rps * 2))
+               .first;
+    }
+    if (!it->second.TryAcquire(now)) return AdmissionVerdict::kSessionRate;
+  }
+  return AdmissionVerdict::kAdmit;
+}
+
+}  // namespace seda::net

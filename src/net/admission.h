@@ -1,0 +1,131 @@
+#ifndef SEDA_NET_ADMISSION_H_
+#define SEDA_NET_ADMISSION_H_
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace seda::net {
+
+/// Classic token bucket: capacity `burst`, refilled at `rate_per_sec`.
+/// Cheap enough to sit on every frame; time is injected so tests do not
+/// sleep.
+class TokenBucket {
+ public:
+  TokenBucket(double rate_per_sec, double burst)
+      : rate_per_sec_(rate_per_sec), burst_(burst), tokens_(burst) {}
+
+  /// Takes one token if available. `now` must be monotone per bucket.
+  bool TryAcquire(std::chrono::steady_clock::time_point now) {
+    if (rate_per_sec_ <= 0) return true;  // limiter disabled
+    if (last_refill_.time_since_epoch().count() != 0) {
+      const double elapsed =
+          std::chrono::duration<double>(now - last_refill_).count();
+      tokens_ = std::min(burst_, tokens_ + elapsed * rate_per_sec_);
+    }
+    last_refill_ = now;
+    if (tokens_ < 1.0) return false;
+    tokens_ -= 1.0;
+    return true;
+  }
+
+ private:
+  double rate_per_sec_;
+  double burst_;
+  double tokens_;
+  std::chrono::steady_clock::time_point last_refill_{};
+};
+
+/// Admission policy knobs; zero always means "unlimited" so a default
+/// constructed controller admits everything.
+struct AdmissionOptions {
+  size_t max_connections = 0;
+  /// Frames a single connection may have queued or executing at once;
+  /// excess requests are shed with `overloaded` (a pipelining client must
+  /// cap its window).
+  size_t max_inflight_per_connection = 0;
+  /// Per-connection request rate limit (token bucket, burst = 2x rate).
+  double per_connection_rps = 0;
+  /// Per-session_id request rate limit across connections — a session id is
+  /// the closest thing the protocol has to a tenant.
+  double per_session_rps = 0;
+};
+
+/// Why a request/connection was refused. Every refusal maps to a
+/// well-formed `overloaded` error frame — admission control NEVER silently
+/// drops or resets; the client always learns what happened.
+enum class AdmissionVerdict {
+  kAdmit,
+  kTooManyConnections,
+  kInflightLimit,
+  kConnectionRate,
+  kSessionRate,
+  kQueueFull,  ///< produced by the Server's work queue, not the controller
+  kDraining,   ///< produced during graceful shutdown
+};
+
+/// Human-readable refusal detail for the error frame message.
+const char* AdmissionVerdictName(AdmissionVerdict verdict);
+
+/// Tracks connection counts and rate buckets. Connection count is atomic
+/// (touched from every accept); session buckets share one mutex — refusals
+/// are supposed to be rare, and the map only grows on new session ids.
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionOptions options)
+      : options_(options) {}
+
+  const AdmissionOptions& options() const { return options_; }
+
+  /// Accept-time check; pairs with OnConnectionClosed().
+  AdmissionVerdict OnConnectionOpen() {
+    if (options_.max_connections > 0) {
+      size_t count = connections_.load(std::memory_order_relaxed);
+      do {
+        if (count >= options_.max_connections) {
+          return AdmissionVerdict::kTooManyConnections;
+        }
+      } while (!connections_.compare_exchange_weak(
+          count, count + 1, std::memory_order_relaxed));
+    } else {
+      connections_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return AdmissionVerdict::kAdmit;
+  }
+
+  void OnConnectionClosed() {
+    connections_.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  size_t connection_count() const {
+    return connections_.load(std::memory_order_relaxed);
+  }
+
+  /// Frame-time check. `inflight` is the connection's current in-flight
+  /// count (tracked loop-thread-locally by the connection itself);
+  /// `connection_bucket` is the connection's own rate bucket; `session_id`
+  /// may be empty (one-shot requests skip the per-session limiter).
+  AdmissionVerdict OnRequest(size_t inflight, TokenBucket& connection_bucket,
+                             const std::string& session_id,
+                             std::chrono::steady_clock::time_point now);
+
+  /// Session buckets currently tracked (statz).
+  size_t session_bucket_count() const {
+    std::lock_guard<std::mutex> lock(session_mu_);
+    return session_buckets_.size();
+  }
+
+ private:
+  AdmissionOptions options_;
+  std::atomic<size_t> connections_{0};
+  mutable std::mutex session_mu_;
+  std::unordered_map<std::string, TokenBucket> session_buckets_;
+};
+
+}  // namespace seda::net
+
+#endif  // SEDA_NET_ADMISSION_H_

@@ -1,0 +1,110 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace seda::net {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::IoError(std::string(what) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Status BlockingClient::Connect(const std::string& host, uint16_t port,
+                               uint64_t recv_timeout_ms) {
+  Close();
+  fd_ = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) return Errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string resolved = host == "localhost" ? "127.0.0.1" : host;
+  if (inet_pton(AF_INET, resolved.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    return Status::InvalidArgument("bad address '" + host + "'");
+  }
+  if (connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status status = Errno("connect");
+    Close();
+    return status;
+  }
+  const int enable = 1;
+  setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
+  if (recv_timeout_ms > 0) {
+    timeval timeout{};
+    timeout.tv_sec = static_cast<time_t>(recv_timeout_ms / 1000);
+    timeout.tv_usec = static_cast<suseconds_t>((recv_timeout_ms % 1000) * 1000);
+    setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  }
+  decoder_ = FrameDecoder();
+  return Status::OK();
+}
+
+Result<std::string> BlockingClient::Call(const std::string& request_json) {
+  SEDA_RETURN_IF_ERROR(Send(request_json));
+  return ReadFrame();
+}
+
+Status BlockingClient::Send(const std::string& request_json) {
+  return SendRaw(EncodeFrame(request_json));
+}
+
+Status BlockingClient::SendRaw(const std::string& bytes) {
+  if (fd_ < 0) return Status::FailedPrecondition("client not connected");
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<std::string> BlockingClient::ReadFrame() {
+  if (fd_ < 0) return Status::FailedPrecondition("client not connected");
+  for (;;) {
+    FrameDecoder::Result result = decoder_.Next();
+    if (result.event == FrameDecoder::Event::kFrame) {
+      return std::move(result.payload);
+    }
+    if (result.event == FrameDecoder::Event::kError) {
+      return Status::ParseError("response stream corrupt: " + result.error);
+    }
+    char buf[64 * 1024];
+    const ssize_t n = recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      decoder_.Feed(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      return Status::IoError("connection closed by server");
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::IoError("receive timeout waiting for response frame");
+    }
+    return Errno("recv");
+  }
+}
+
+void BlockingClient::Close() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace seda::net

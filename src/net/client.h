@@ -1,0 +1,53 @@
+#ifndef SEDA_NET_CLIENT_H_
+#define SEDA_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "net/frame.h"
+
+namespace seda::net {
+
+/// Minimal blocking client for the SEDA frame protocol — what explore_cli
+/// --connect, the loopback tests and the frontend benchmark speak. One
+/// socket, synchronous Call() (send one request frame, read one response
+/// frame) plus split Send()/ReadFrame() for pipelining tests. Not
+/// thread-safe; one client per thread.
+class BlockingClient {
+ public:
+  BlockingClient() = default;
+  ~BlockingClient() { Close(); }
+  BlockingClient(const BlockingClient&) = delete;
+  BlockingClient& operator=(const BlockingClient&) = delete;
+  BlockingClient(BlockingClient&& other) noexcept : fd_(other.fd_) {
+    other.fd_ = -1;
+  }
+
+  /// Connects to host:port (IPv4 dotted or "localhost").
+  /// `recv_timeout_ms` > 0 sets SO_RCVTIMEO so a hung server surfaces as
+  /// IoError instead of blocking the caller forever.
+  Status Connect(const std::string& host, uint16_t port,
+                 uint64_t recv_timeout_ms = 0);
+
+  /// One round trip: frame `request_json`, send, read one response frame.
+  Result<std::string> Call(const std::string& request_json);
+
+  /// Sends one framed request without waiting (pipelining).
+  Status Send(const std::string& request_json);
+  /// Sends raw bytes verbatim — malformed-input tests.
+  Status SendRaw(const std::string& bytes);
+  /// Reads the next complete response frame.
+  Result<std::string> ReadFrame();
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+ private:
+  int fd_ = -1;
+  FrameDecoder decoder_;
+};
+
+}  // namespace seda::net
+
+#endif  // SEDA_NET_CLIENT_H_

@@ -1,0 +1,211 @@
+#include "net/connection.h"
+
+#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+#include "common/check.h"
+#include "net/server.h"
+
+namespace seda::net {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+}  // namespace
+
+Connection::Connection(Server* server, EventLoop* loop, int fd)
+    : server_(server),
+      loop_(loop),
+      fd_(fd),
+      decoder_(server->options().max_frame_bytes),
+      rate_bucket_(server->options().admission.per_connection_rps,
+                   server->options().admission.per_connection_rps * 2),
+      last_activity_(Clock::now()) {}
+
+Connection::~Connection() {
+  if (fd_ >= 0) close(fd_);
+}
+
+void Connection::Register() {
+  interest_ = EPOLLIN;
+  std::shared_ptr<Connection> self = shared_from_this();
+  Status status = loop_->Add(
+      fd_, interest_, [self](uint32_t events) { self->OnEvents(events); });
+  if (!status.ok()) Close();
+}
+
+void Connection::OnEvents(uint32_t events) {
+  if (closed_) return;
+  if ((events & (EPOLLHUP | EPOLLERR)) != 0) {
+    Close();
+    return;
+  }
+  if ((events & EPOLLIN) != 0 && reading_) ReadSome();
+  if (closed_) return;
+  if ((events & EPOLLOUT) != 0) FlushWrites();
+}
+
+void Connection::ReadSome() {
+  char buf[64 * 1024];
+  for (;;) {
+    const ssize_t n = recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      last_activity_ = Clock::now();
+      server_->mutable_stats().bytes_read.fetch_add(
+          static_cast<uint64_t>(n), std::memory_order_relaxed);
+      decoder_.Feed(buf, static_cast<size_t>(n));
+      if (static_cast<size_t>(n) < sizeof(buf)) break;
+      continue;
+    }
+    if (n == 0) {
+      // Client half-closed. Finish in-flight work and flush responses, then
+      // close; with nothing pending this closes immediately.
+      reading_ = false;
+      close_after_flush_ = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    Close();
+    return;
+  }
+  if (closed_) return;
+  for (;;) {
+    FrameDecoder::Result result = decoder_.Next();
+    if (result.event == FrameDecoder::Event::kFrame) {
+      server_->OnFrame(shared_from_this(), std::move(result.payload));
+      if (closed_) return;
+      continue;
+    }
+    if (result.event == FrameDecoder::Event::kError) {
+      server_->mutable_stats().protocol_errors.fetch_add(
+          1, std::memory_order_relaxed);
+      Status error = Status::InvalidArgument(result.error);
+      api::Json envelope = api::Json::Object();
+      envelope.Set("status",
+                   api::ToJson(api::WireStatus::FromStatus(error)));
+      FailProtocol(envelope.Write());
+    }
+    break;
+  }
+  UpdateInterest();
+}
+
+void Connection::SendPayload(const std::string& payload) {
+  if (closed_) return;
+  out_.append(EncodeFrame(payload));
+  server_->mutable_stats().responses_sent.fetch_add(1,
+                                                    std::memory_order_relaxed);
+  FlushWrites();
+}
+
+void Connection::CompleteRequest(const std::string& payload) {
+  if (closed_) return;
+  SEDA_DCHECK_GT(inflight_, 0u);
+  --inflight_;
+  SendPayload(payload);
+}
+
+void Connection::AbortRequest() {
+  if (closed_) return;
+  SEDA_DCHECK_GT(inflight_, 0u);
+  --inflight_;
+  UpdateInterest();
+}
+
+void Connection::FailProtocol(const std::string& payload) {
+  if (closed_) return;
+  // The stream past the violation is garbage; never read again. In-flight
+  // requests still complete (their frames were well-formed), then the
+  // flushed connection closes.
+  reading_ = false;
+  close_after_flush_ = true;
+  SendPayload(payload);
+  UpdateInterest();
+}
+
+void Connection::StartDrain() {
+  if (closed_) return;
+  reading_ = false;
+  close_after_flush_ = true;
+  UpdateInterest();
+}
+
+void Connection::FlushWrites() {
+  if (closed_) return;
+  while (pending_bytes() > 0) {
+    const ssize_t n = send(fd_, out_.data() + out_offset_, pending_bytes(),
+                           MSG_NOSIGNAL);
+    if (n > 0) {
+      last_activity_ = Clock::now();
+      server_->mutable_stats().bytes_written.fetch_add(
+          static_cast<uint64_t>(n), std::memory_order_relaxed);
+      out_offset_ += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    Close();
+    return;
+  }
+  if (pending_bytes() == 0) {
+    out_.clear();
+    out_offset_ = 0;
+  }
+  UpdateInterest();
+}
+
+void Connection::UpdateInterest() {
+  if (closed_) return;
+  if (!reading_ && pending_bytes() == 0 && inflight_ == 0 &&
+      close_after_flush_) {
+    Close();
+    return;
+  }
+  const uint32_t wanted = (reading_ ? EPOLLIN : 0u) |
+                          (pending_bytes() > 0 ? EPOLLOUT : 0u);
+  if (wanted == interest_) return;
+  interest_ = wanted;
+  if (!loop_->Modify(fd_, wanted).ok()) Close();
+}
+
+void Connection::Close() {
+  if (closed_) return;
+  closed_ = true;
+  loop_->Remove(fd_);
+  close(fd_);
+  fd_ = -1;
+  server_->OnConnectionClosed(this);
+}
+
+void Connection::FlushAndClose(Clock::time_point deadline) {
+  if (closed_) return;
+  while (pending_bytes() > 0) {
+    const ssize_t n = send(fd_, out_.data() + out_offset_, pending_bytes(),
+                           MSG_NOSIGNAL);
+    if (n > 0) {
+      server_->mutable_stats().bytes_written.fetch_add(
+          static_cast<uint64_t>(n), std::memory_order_relaxed);
+      out_offset_ += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      const Clock::time_point now = Clock::now();
+      if (now >= deadline) break;
+      pollfd pfd{fd_, POLLOUT, 0};
+      const int wait_ms = static_cast<int>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now)
+              .count());
+      if (poll(&pfd, 1, wait_ms > 0 ? wait_ms : 1) <= 0) break;
+      continue;
+    }
+    break;
+  }
+  Close();
+}
+
+}  // namespace seda::net

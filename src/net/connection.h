@@ -1,0 +1,109 @@
+#ifndef SEDA_NET_CONNECTION_H_
+#define SEDA_NET_CONNECTION_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "net/admission.h"
+#include "net/event_loop.h"
+#include "net/frame.h"
+
+namespace seda::net {
+
+class Server;
+
+/// One accepted TCP connection, pinned to one EventLoop for its whole life.
+/// Every member is touched only from that loop's thread — worker threads
+/// deliver responses by Post()ing CompleteRequest back to the loop — so
+/// there is no per-connection lock. Lifetime is shared_ptr-managed: the
+/// loop's registry holds one reference, every queued request holds another,
+/// so a connection that closes mid-request stays valid until its last
+/// response is dropped on the floor (Complete on a closed connection is a
+/// no-op).
+class Connection : public std::enable_shared_from_this<Connection> {
+ public:
+  Connection(Server* server, EventLoop* loop, int fd);
+  ~Connection();
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  /// Registers with the loop (EPOLLIN). Loop thread only.
+  void Register();
+
+  /// Frames `payload` and queues it for write, flushing as far as the
+  /// socket allows; leftovers drain via EPOLLOUT.
+  void SendPayload(const std::string& payload);
+
+  /// Marks one frame as queued/executing; paired with CompleteRequest or
+  /// AbortRequest. Loop thread only (the counter is unsynchronized).
+  void OnRequestQueued() { ++inflight_; }
+
+  /// Worker-response entry point (always via loop->Post): sends the
+  /// response and retires one in-flight slot.
+  void CompleteRequest(const std::string& payload);
+
+  /// Retires an in-flight slot without a send (response suppressed because
+  /// the connection failed its protocol in the meantime).
+  void AbortRequest();
+
+  /// Protocol violation: best-effort error frame, stop reading, close once
+  /// the write buffer drains. The decoder error is sticky so no further
+  /// frames can be misparsed from the corrupt stream.
+  void FailProtocol(const std::string& payload);
+
+  /// Stops reading new frames but finishes in-flight work and flushes
+  /// responses before closing (graceful drain).
+  void StartDrain();
+
+  /// Immediately unregisters and closes. Loop thread only; idempotent.
+  void Close();
+
+  /// Final shutdown flush: blocks (poll) up to `deadline` trying to empty
+  /// the write buffer, then closes.
+  void FlushAndClose(std::chrono::steady_clock::time_point deadline);
+
+  bool closed() const { return closed_; }
+  size_t inflight() const { return inflight_; }
+  TokenBucket& rate_bucket() { return rate_bucket_; }
+  int fd() const { return fd_; }
+  EventLoop* loop() const { return loop_; }
+
+  /// True when idle (no traffic, nothing in flight) for `idle_timeout`.
+  bool IdleExpired(std::chrono::steady_clock::time_point now,
+                   std::chrono::milliseconds idle_timeout) const {
+    return inflight_ == 0 && pending_bytes() == 0 &&
+           now - last_activity_ >= idle_timeout;
+  }
+
+ private:
+  void OnEvents(uint32_t events);
+  void ReadSome();
+  void FlushWrites();
+  /// Re-derives the epoll interest mask from (reading?, pending writes?)
+  /// and closes when neither remains and a close is pending.
+  void UpdateInterest();
+  size_t pending_bytes() const { return out_.size() - out_offset_; }
+
+  Server* server_;
+  EventLoop* loop_;
+  int fd_;
+  FrameDecoder decoder_;
+  TokenBucket rate_bucket_;
+
+  std::string out_;        ///< pending write bytes
+  size_t out_offset_ = 0;  ///< prefix of out_ already written
+  uint32_t interest_ = 0;  ///< current epoll mask
+  size_t inflight_ = 0;    ///< frames queued or executing for this connection
+
+  bool reading_ = true;            ///< false after EOF/protocol error/drain
+  bool close_after_flush_ = false;
+  bool closed_ = false;
+
+  std::chrono::steady_clock::time_point last_activity_;
+};
+
+}  // namespace seda::net
+
+#endif  // SEDA_NET_CONNECTION_H_

@@ -1,0 +1,144 @@
+#include "net/event_loop.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <iterator>
+#include <thread>
+#include <utility>
+
+#include "common/check.h"
+
+namespace seda::net {
+
+namespace {
+
+uint64_t ThisThreadId() {
+  return std::hash<std::thread::id>{}(std::this_thread::get_id());
+}
+
+Status Errno(const char* what) {
+  return Status::Internal(std::string(what) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+EventLoop::EventLoop() {
+  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) {
+    status_ = Errno("epoll_create1");
+    return;
+  }
+  wake_fd_ = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake_fd_ < 0) {
+    status_ = Errno("eventfd");
+    return;
+  }
+  epoll_event event{};
+  event.events = EPOLLIN;
+  event.data.fd = wake_fd_;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &event) != 0) {
+    status_ = Errno("epoll_ctl(wake)");
+  }
+}
+
+EventLoop::~EventLoop() {
+  if (wake_fd_ >= 0) close(wake_fd_);
+  if (epoll_fd_ >= 0) close(epoll_fd_);
+}
+
+Status EventLoop::Add(int fd, uint32_t events, FdCallback callback) {
+  SEDA_RETURN_IF_ERROR(status_);
+  epoll_event event{};
+  event.events = events;
+  event.data.fd = fd;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &event) != 0) {
+    return Errno("epoll_ctl(add)");
+  }
+  callbacks_[fd] = std::move(callback);
+  return Status::OK();
+}
+
+Status EventLoop::Modify(int fd, uint32_t events) {
+  SEDA_RETURN_IF_ERROR(status_);
+  epoll_event event{};
+  event.events = events;
+  event.data.fd = fd;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &event) != 0) {
+    return Errno("epoll_ctl(mod)");
+  }
+  return Status::OK();
+}
+
+void EventLoop::Remove(int fd) {
+  epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  callbacks_.erase(fd);
+}
+
+void EventLoop::Post(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(posted_mu_);
+    posted_.push_back(std::move(task));
+  }
+  const uint64_t one = 1;
+  // A full eventfd counter (EAGAIN) already guarantees a pending wakeup.
+  [[maybe_unused]] ssize_t n = write(wake_fd_, &one, sizeof(one));
+}
+
+void EventLoop::DrainPosted() {
+  std::vector<std::function<void()>> tasks;
+  {
+    std::lock_guard<std::mutex> lock(posted_mu_);
+    tasks.swap(posted_);
+  }
+  for (auto& task : tasks) task();
+}
+
+void EventLoop::Run(const std::function<void()>& tick, int tick_interval_ms) {
+  SEDA_DCHECK(status_.ok()) << "running a failed EventLoop";
+  loop_thread_.store(ThisThreadId(), std::memory_order_relaxed);
+  epoll_event events[64];
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(posted_mu_);
+      if (stop_) break;
+    }
+    const int n = epoll_wait(epoll_fd_, events,
+                             static_cast<int>(std::size(events)),
+                             tick_interval_ms > 0 ? tick_interval_ms : -1);
+    if (n < 0 && errno != EINTR) break;
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        uint64_t drained;
+        while (read(wake_fd_, &drained, sizeof(drained)) > 0) {
+        }
+        continue;
+      }
+      auto it = callbacks_.find(fd);
+      if (it != callbacks_.end()) it->second(events[i].events);
+    }
+    DrainPosted();
+    if (tick) tick();
+  }
+  DrainPosted();  // run anything posted between Stop() and exit
+  loop_thread_.store(0, std::memory_order_relaxed);
+}
+
+void EventLoop::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(posted_mu_);
+    stop_ = true;
+  }
+  const uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = write(wake_fd_, &one, sizeof(one));
+}
+
+bool EventLoop::InLoopThread() const {
+  return loop_thread_.load(std::memory_order_relaxed) == ThisThreadId();
+}
+
+}  // namespace seda::net

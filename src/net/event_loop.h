@@ -1,0 +1,80 @@
+#ifndef SEDA_NET_EVENT_LOOP_H_
+#define SEDA_NET_EVENT_LOOP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace seda::net {
+
+/// One epoll reactor, run on exactly one thread. Connections register their
+/// fds with edge-level callbacks; other threads hand work to the loop thread
+/// through Post() (an eventfd wakes the epoll_wait). This is the
+/// thread-per-core serving core: the Server owns N loops, each connection is
+/// pinned to one, so per-connection state needs no locking — it is only ever
+/// touched from its loop's thread.
+class EventLoop {
+ public:
+  /// Callback for fd readiness. `events` is the raw epoll bitmask (EPOLLIN /
+  /// EPOLLOUT / EPOLLHUP / EPOLLERR).
+  using FdCallback = std::function<void(uint32_t events)>;
+
+  EventLoop();
+  ~EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// True when construction acquired its epoll + eventfd descriptors.
+  Status status() const { return status_; }
+
+  /// Registers `fd` for the epoll events in `events`; the callback fires on
+  /// the loop thread. The callback object must stay valid until Remove().
+  Status Add(int fd, uint32_t events, FdCallback callback);
+  /// Changes the event mask of a registered fd (EPOLLOUT backpressure).
+  Status Modify(int fd, uint32_t events);
+  /// Unregisters `fd`. Safe on the loop thread only. Does not close the fd.
+  void Remove(int fd);
+
+  /// Enqueues `task` to run on the loop thread and wakes the epoll. Safe
+  /// from any thread — this is how worker threads return responses to a
+  /// connection they do not own.
+  void Post(std::function<void()> task);
+
+  /// Runs the reactor until Stop(). `tick` (may be null) fires between epoll
+  /// waits, at least every tick_interval_ms — connection idle sweeps hang
+  /// off it.
+  void Run(const std::function<void()>& tick, int tick_interval_ms);
+
+  /// Signals Run() to return after the current iteration; any thread.
+  void Stop();
+
+  /// True on the thread currently inside Run().
+  bool InLoopThread() const;
+
+ private:
+  void DrainPosted();
+
+  Status status_;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  ///< eventfd: Post()/Stop() wakeups
+  /// Registered callbacks, keyed by fd. epoll events carry the fd (not a
+  /// pointer), so a callback Remove()d mid-dispatch-batch is simply not
+  /// found for the stale event — no dangling pointer.
+  std::unordered_map<int, FdCallback> callbacks_;
+
+  std::mutex posted_mu_;
+  std::vector<std::function<void()>> posted_;
+  bool stop_ = false;  ///< guarded by posted_mu_
+
+  /// Hashed thread id of the Run() caller; 0 when not running.
+  std::atomic<uint64_t> loop_thread_{0};
+};
+
+}  // namespace seda::net
+
+#endif  // SEDA_NET_EVENT_LOOP_H_

@@ -1,0 +1,76 @@
+#include "net/frame.h"
+
+#include <cstring>
+
+namespace seda::net {
+
+std::string EncodeFrame(const std::string& payload) {
+  const uint32_t length = static_cast<uint32_t>(payload.size());
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  frame.append(kFrameMagic, sizeof(kFrameMagic));
+  char header[4];
+  header[0] = static_cast<char>(length & 0xff);
+  header[1] = static_cast<char>((length >> 8) & 0xff);
+  header[2] = static_cast<char>((length >> 16) & 0xff);
+  header[3] = static_cast<char>((length >> 24) & 0xff);
+  frame.append(header, sizeof(header));
+  frame.append(payload);
+  return frame;
+}
+
+void FrameDecoder::Feed(const char* data, size_t size) {
+  if (failed_ || size == 0) return;
+  // Drop the consumed prefix before growing: buffered_bytes() stays bounded
+  // by one max-size frame regardless of how many frames already passed.
+  if (consumed_ > 0) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(data, size);
+}
+
+FrameDecoder::Result FrameDecoder::Next() {
+  Result result;
+  if (failed_) {
+    result.event = Event::kError;
+    result.error = error_;
+    return result;
+  }
+  const size_t available = buffer_.size() - consumed_;
+  const char* head = buffer_.data() + consumed_;
+  // Reject a bad magic as soon as the mismatching byte arrives — a client
+  // speaking the wrong protocol should not have to fill 8 bytes first.
+  const size_t magic_have =
+      available < sizeof(kFrameMagic) ? available : sizeof(kFrameMagic);
+  if (std::memcmp(head, kFrameMagic, magic_have) != 0) {
+    failed_ = true;
+    error_ = "bad frame magic (expected \"SEDA\")";
+    result.event = Event::kError;
+    result.error = error_;
+    return result;
+  }
+  if (available < kFrameHeaderBytes) return result;  // kNeedMore
+  const unsigned char* len_bytes =
+      reinterpret_cast<const unsigned char*>(head + sizeof(kFrameMagic));
+  const uint32_t length = static_cast<uint32_t>(len_bytes[0]) |
+                          static_cast<uint32_t>(len_bytes[1]) << 8 |
+                          static_cast<uint32_t>(len_bytes[2]) << 16 |
+                          static_cast<uint32_t>(len_bytes[3]) << 24;
+  if (length > max_payload_bytes_) {
+    failed_ = true;
+    error_ = "frame payload of " + std::to_string(length) +
+             " bytes exceeds the limit of " +
+             std::to_string(max_payload_bytes_);
+    result.event = Event::kError;
+    result.error = error_;
+    return result;
+  }
+  if (available < kFrameHeaderBytes + length) return result;  // kNeedMore
+  result.event = Event::kFrame;
+  result.payload.assign(head + kFrameHeaderBytes, length);
+  consumed_ += kFrameHeaderBytes + length;
+  return result;
+}
+
+}  // namespace seda::net

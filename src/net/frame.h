@@ -1,0 +1,79 @@
+#ifndef SEDA_NET_FRAME_H_
+#define SEDA_NET_FRAME_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace seda::net {
+
+/// The wire framing under the JSON envelope protocol: every message —
+/// request or response — is one frame
+///
+///   +------+----------------+-------------------+
+///   | "SEDA" (4 bytes magic) | u32 LE payload len | payload (JSON bytes) |
+///   +------+----------------+-------------------+
+///
+/// The magic makes accidental cross-protocol connects (HTTP, TLS hellos)
+/// fail fast with a typed error instead of a 4 GiB length allocation; the
+/// length cap bounds per-connection memory. The payload is exactly the JSON
+/// the in-process SedaService::Handle() speaks — framing adds transport
+/// boundaries, nothing else.
+
+inline constexpr char kFrameMagic[4] = {'S', 'E', 'D', 'A'};
+inline constexpr size_t kFrameHeaderBytes = 8;  ///< magic + u32 length
+/// Default payload cap. Responses carrying full R(q) completions are the
+/// largest legitimate frames; 16 MiB leaves an order of magnitude of slack.
+inline constexpr uint32_t kDefaultMaxPayloadBytes = 16u << 20;
+
+/// Wraps `payload` into one frame (header + bytes appended to a fresh
+/// string). Encoding never fails: lengths above 4 GiB cannot reach here
+/// because Json::Write produces in-memory strings.
+std::string EncodeFrame(const std::string& payload);
+
+/// Incremental frame parser for one connection's byte stream. Feed() raw
+/// bytes as they arrive, then Next() until it reports kNeedMore. This is an
+/// UNTRUSTED-INPUT surface (the fourth one, after wire/image/query): every
+/// state transition is bounds-checked, malformed input yields a sticky
+/// kError (the transport must close — resynchronizing inside a corrupt
+/// stream would misparse payload bytes as headers), and buffered bytes are
+/// bounded by max_payload + header.
+class FrameDecoder {
+ public:
+  enum class Event {
+    kNeedMore,  ///< no complete frame buffered; Feed() more bytes
+    kFrame,     ///< one payload extracted
+    kError,     ///< protocol violation; sticky, connection must close
+  };
+
+  struct Result {
+    Event event = Event::kNeedMore;
+    std::string payload;  ///< set when event == kFrame
+    std::string error;    ///< set when event == kError
+  };
+
+  explicit FrameDecoder(uint32_t max_payload_bytes = kDefaultMaxPayloadBytes)
+      : max_payload_bytes_(max_payload_bytes) {}
+
+  /// Appends raw bytes from the socket. Safe to call with any chunking,
+  /// including zero-length and mid-header splits.
+  void Feed(const char* data, size_t size);
+
+  /// Extracts the next complete frame, or reports kNeedMore/kError. After
+  /// kError every future Next() returns the same error.
+  Result Next();
+
+  /// Bytes currently buffered (tests + memory accounting).
+  size_t buffered_bytes() const { return buffer_.size() - consumed_; }
+
+ private:
+  uint32_t max_payload_bytes_;
+  std::string buffer_;
+  size_t consumed_ = 0;  ///< prefix of buffer_ already handed out
+  bool failed_ = false;
+  std::string error_;
+};
+
+}  // namespace seda::net
+
+#endif  // SEDA_NET_FRAME_H_

@@ -18,10 +18,14 @@ double Compactness(size_t connection_size) {
   return 1.0 / (1.0 + static_cast<double>(connection_size));
 }
 
-/// Ranking order: score desc, ties by document order of the first differing
-/// node. A total order over distinct tuples, so the kept top-k set does not
-/// depend on insertion order.
-bool TupleLess(const ScoredTuple& a, const ScoredTuple& b) {
+/// Bounded top-k buffer under the ranking order, replacing the old
+/// sort-on-every-insert.
+using TupleHeap =
+    BoundedTopN<ScoredTuple, bool (*)(const ScoredTuple&, const ScoredTuple&)>;
+
+}  // namespace
+
+bool TupleRankLess(const ScoredTuple& a, const ScoredTuple& b) {
   if (a.score != b.score) return a.score > b.score;
   for (size_t i = 0; i < a.nodes.size() && i < b.nodes.size(); ++i) {
     if (!(a.nodes[i].node == b.nodes[i].node)) {
@@ -31,12 +35,22 @@ bool TupleLess(const ScoredTuple& a, const ScoredTuple& b) {
   return false;
 }
 
-/// Bounded top-k buffer under the ranking order, replacing the old
-/// sort-on-every-insert.
-using TupleHeap =
-    BoundedTopN<ScoredTuple, bool (*)(const ScoredTuple&, const ScoredTuple&)>;
-
-}  // namespace
+std::vector<ScoredTuple> MergeShardTopK(
+    std::vector<std::vector<ScoredTuple>> shards, size_t k) {
+  std::vector<ScoredTuple> merged;
+  size_t total = 0;
+  for (const std::vector<ScoredTuple>& shard : shards) total += shard.size();
+  merged.reserve(total);
+  for (std::vector<ScoredTuple>& shard : shards) {
+    for (ScoredTuple& tuple : shard) merged.push_back(std::move(tuple));
+  }
+  // TupleRankLess only ties for byte-identical tuples (a duplicate pair of
+  // cross-borrowed enumerations), so an unstable sort cannot change the
+  // rendered bytes.
+  std::sort(merged.begin(), merged.end(), TupleRankLess);
+  if (k > 0 && merged.size() > k) merged.resize(k);
+  return merged;
+}
 
 std::string ScoredTuple::ToString(const store::DocumentStore& store) const {
   std::string out = "score=" + std::to_string(score) + " [";
@@ -82,6 +96,12 @@ Result<std::vector<ScoredTuple>> TopKSearcher::SearchImpl(
     const exec::CandidateSet* shared_candidates, SearchStats* stats) const {
   if (query.terms.empty()) {
     return Status::InvalidArgument("empty query");
+  }
+  if (options.shard_count > 1 && options.shard_index >= options.shard_count) {
+    return Status::InvalidArgument(
+        "shard_index " + std::to_string(options.shard_index) +
+        " out of range for shard_count " +
+        std::to_string(options.shard_count));
   }
   const size_t m = query.terms.size();
 
@@ -181,8 +201,15 @@ Result<std::vector<ScoredTuple>> TopKSearcher::SearchImpl(
   }
 
   // Compute upper bounds and order documents by them (TA sorted access).
+  // Sharded serving mode: grouping and borrowing above ran over the full
+  // candidate set (so cross-document tuples are identical in every shard),
+  // but this scan only scores the documents this shard owns. Each DocId
+  // belongs to exactly one shard, so the shards partition the unsharded
+  // scan's enumerations and MergeShardTopK reassembles the exact ranking.
+  const bool sharded = options.shard_count > 1;
   std::vector<std::pair<double, store::DocId>> order;
   for (auto& [doc, group] : groups) {
+    if (sharded && doc % options.shard_count != options.shard_index) continue;
     bool complete = true;
     double bound = 0;
     for (size_t t = 0; t < m; ++t) {
@@ -206,7 +233,7 @@ Result<std::vector<ScoredTuple>> TopKSearcher::SearchImpl(
   });
   local_stats.docs_considered = order.size();
 
-  TupleHeap best(options.k, TupleLess);
+  TupleHeap best(options.k, TupleRankLess);
   // Per-document scratch, reused across the scan: the tuples awaiting
   // ConnectionSize and their resulting sizes.
   std::vector<ScoredTuple> batch;
@@ -329,8 +356,12 @@ Result<std::vector<ScoredTuple>> TopKSearcher::SearchImpl(
     // Per-tuple kernel counters, merged sequentially below in enumeration
     // order: the totals are identical at any worker count.
     kernel_stats.assign(batch.size(), graph::GraphStats{});
+    // Sharded scans are already fanned out one-per-worker by the caller
+    // (core::Snapshot::Search), and ThreadPool::ParallelFor must not nest —
+    // so a shard scores its batches inline.
     ThreadPool* pool =
-        batch.size() >= options.parallel_batch_min ? pool_ : nullptr;
+        !sharded && batch.size() >= options.parallel_batch_min ? pool_
+                                                               : nullptr;
     RunParallel(pool, batch.size(), [&](size_t i) {
       std::vector<store::NodeId> node_ids;
       node_ids.reserve(m);

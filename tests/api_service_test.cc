@@ -6,6 +6,7 @@
 #include <functional>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "api/service.h"
@@ -680,6 +681,90 @@ TEST(ServiceTest, HandleDispatchesJsonEnvelopes) {
   EXPECT_EQ(unknown.value().code, "InvalidArgument");
   auto malformed = service.Handle("this is not json");
   EXPECT_NE(malformed.find("ParseError"), std::string::npos);
+}
+
+TEST(ServiceTest, StatzAccountsForEveryRequestPath) {
+  core::Seda seda;
+  data::PopulateScenario(seda.mutable_store());
+  ASSERT_TRUE(seda.Finalize().ok());
+  SedaService service(&seda);
+
+  // Two OK searches, one method-level error, one session round trip.
+  SearchRequest search;
+  search.query = R"((name, "United States"))";
+  ASSERT_TRUE(service.Search(search).status.ok());
+  ASSERT_TRUE(service.Search(search).status.ok());
+  SearchRequest bad;
+  bad.query = "((((";
+  ASSERT_FALSE(service.Search(bad).status.ok());
+  auto created = service.CreateSession(CreateSessionRequest{});
+  ASSERT_TRUE(created.status.ok());
+
+  StatzResponse statz = service.Statz(StatzRequest{});
+  EXPECT_TRUE(statz.status.ok());
+  EXPECT_GT(statz.epoch, 0u);
+  EXPECT_EQ(statz.sessions, 1u);
+  EXPECT_EQ(statz.sessions_created, 1u);
+  EXPECT_EQ(statz.sessions_evicted, 0u);
+  EXPECT_GT(statz.uptime_ms, 0.0);
+  ASSERT_FALSE(statz.bucket_bounds_ms.empty());
+
+  ASSERT_EQ(statz.methods.size(), 7u);
+  uint64_t histogram_total = 0;
+  for (const MethodStatsDto& method : statz.methods) {
+    ASSERT_EQ(method.latency_buckets.size(),
+              statz.bucket_bounds_ms.size() + 1)
+        << method.method << " histogram must carry an overflow bucket";
+    for (uint64_t bucket : method.latency_buckets) histogram_total += bucket;
+    if (method.method == "search") {
+      EXPECT_EQ(method.count, 3u);
+      EXPECT_EQ(method.errors, 1u);
+      EXPECT_GT(method.total_ms, 0.0);
+    }
+    if (method.method == "create_session") {
+      EXPECT_EQ(method.count, 1u);
+    }
+  }
+  // Every recorded request landed in exactly one histogram slot.
+  EXPECT_EQ(histogram_total, 4u);
+
+  // Cumulative engine counters summed over the search-shaped requests.
+  EXPECT_GT(statz.cumulative.docs_scored, 0u);
+  EXPECT_GT(statz.cumulative.candidates_total, 0u);
+  // No transport hosting this service: the section stays empty.
+  EXPECT_TRUE(statz.transport.empty());
+
+  // Statz records itself, so a second call sees the first.
+  StatzResponse again = service.Statz(StatzRequest{});
+  for (const MethodStatsDto& method : again.methods) {
+    if (method.method == "statz") {
+      EXPECT_EQ(method.count, 1u);
+    }
+  }
+
+  // TTL/LRU evictions (not explicit closes) feed sessions_evicted.
+  ServiceOptions tight;
+  tight.max_sessions = 1;
+  SedaService evicting(&seda, tight);
+  ASSERT_TRUE(evicting.CreateSession(CreateSessionRequest{}).status.ok());
+  ASSERT_TRUE(evicting.CreateSession(CreateSessionRequest{}).status.ok());
+  StatzResponse evicted = evicting.Statz(StatzRequest{});
+  EXPECT_EQ(evicted.sessions_created, 2u);
+  EXPECT_EQ(evicted.sessions_evicted, 1u);
+
+  // The transport callback surfaces in order.
+  evicting.set_transport_statz([] {
+    return std::vector<std::pair<std::string, uint64_t>>{{"conns", 5}};
+  });
+  StatzResponse with_transport = evicting.Statz(StatzRequest{});
+  ASSERT_EQ(with_transport.transport.size(), 1u);
+  EXPECT_EQ(with_transport.transport[0].first, "conns");
+  EXPECT_EQ(with_transport.transport[0].second, 5u);
+
+  // And over the Handle() wire.
+  auto wire = DecodeStatzResponse(service.Handle(R"({"method":"statz"})"));
+  ASSERT_TRUE(wire.ok());
+  EXPECT_EQ(wire.value().sessions_created, 1u);
 }
 
 // --- Satellite: concurrent registry stress (run under TSan in CI) -------

@@ -320,5 +320,34 @@ TEST(WireTest, DecodersRejectNonObjects) {
   EXPECT_FALSE(DecodeCubeResponseDto("not json at all").ok());
 }
 
+TEST(WireTest, StatzDtosByteStable) {
+  MethodStatsDto method;
+  method.method = "search";
+  method.count = 100;
+  method.errors = 3;
+  method.deadline_exceeded = 2;
+  method.total_ms = 1234.5;
+  method.latency_buckets = {0, 1, 2, 90, 7, 0};
+  ExpectByteStable(method, DecodeMethodStatsDto, "method stats");
+  ExpectByteStable(MethodStatsDto{}, DecodeMethodStatsDto,
+                   "default method stats");
+
+  ExpectByteStable(StatzRequest{}, DecodeStatzRequest, "statz request");
+
+  StatzResponse statz;
+  statz.epoch = 4;
+  statz.sessions = 12;
+  statz.sessions_created = 40;
+  statz.sessions_evicted = 28;
+  statz.uptime_ms = 98765.25;
+  statz.bucket_bounds_ms = {0.25, 1, 10, 100};
+  statz.methods = {method};
+  statz.cumulative = SampleStats();
+  statz.transport = {{"frames_received", 1000}, {"requests_shed", 17}};
+  ExpectByteStable(statz, DecodeStatzResponse, "statz response");
+  ExpectByteStable(StatzResponse{}, DecodeStatzResponse,
+                   "default statz response");
+}
+
 }  // namespace
 }  // namespace seda::api
