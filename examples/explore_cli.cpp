@@ -17,6 +17,13 @@
 //       running seda_server over TCP (src/net/) instead of an in-process
 //       service — the CLI becomes a true network client
 //
+// Observability flags (local modes):
+//   --trace     request "trace": true and pretty-print the span tree of each
+//               search (total vs self time per span, engine counters)
+//   --statz     after the queries, pretty-print the statz envelope
+//   --slowlog   sample every request into the slow-query log (in-process
+//               only) and pretty-print it after the queries
+//
 // Every query below flows through SedaService::Handle() — parse, execute,
 // encode — exactly the path a network frontend would use.
 
@@ -89,6 +96,78 @@ void PrintPanels(const seda::api::SearchResponseDto& response) {
   std::printf("\n");
 }
 
+/// Pretty-prints a span tree: per span, total time, self time (total minus
+/// direct children) and any engine counters attached to it.
+void PrintSpanTree(const seda::obs::SpanNode& node, int depth) {
+  std::printf("  %*s%-*s total=%6lluus self=%6lluus", depth * 2, "",
+              24 - depth * 2, node.name.c_str(),
+              static_cast<unsigned long long>(node.elapsed_us),
+              static_cast<unsigned long long>(node.SelfUs()));
+  for (const auto& counter : node.counters) {
+    std::printf("  %s=%llu", counter.first.c_str(),
+                static_cast<unsigned long long>(counter.second));
+  }
+  std::printf("\n");
+  for (const auto& child : node.children) PrintSpanTree(child, depth + 1);
+}
+
+void PrintTrace(const seda::obs::SpanNode& trace) {
+  if (trace.name.empty()) return;
+  std::printf("--- trace ---\n");
+  PrintSpanTree(trace, 0);
+  std::printf("\n");
+}
+
+/// Human-readable statz: the same numbers `/metrics` exposes, as a table.
+void PrintStatz(const seda::api::StatzResponse& statz) {
+  std::printf("=== statz ===\n");
+  std::printf("epoch=%llu sessions=%llu (created=%llu evicted=%llu) "
+              "uptime=%.0fms\n",
+              static_cast<unsigned long long>(statz.epoch),
+              static_cast<unsigned long long>(statz.sessions),
+              static_cast<unsigned long long>(statz.sessions_created),
+              static_cast<unsigned long long>(statz.sessions_evicted),
+              statz.uptime_ms);
+  std::printf("%-16s %8s %7s %9s %12s %10s\n", "method", "count", "errors",
+              "deadline", "total_ms", "avg_ms");
+  for (const auto& method : statz.methods) {
+    if (method.count == 0) continue;
+    std::printf("%-16s %8llu %7llu %9llu %12.3f %10.3f\n",
+                method.method.c_str(),
+                static_cast<unsigned long long>(method.count),
+                static_cast<unsigned long long>(method.errors),
+                static_cast<unsigned long long>(method.deadline_exceeded),
+                method.total_ms, method.total_ms / method.count);
+  }
+  const auto& c = statz.cumulative;
+  std::printf("engine: candidates=%llu docs_considered=%llu docs_scored=%llu "
+              "tuples_scored=%llu postings_advanced=%llu docs_skipped=%llu\n\n",
+              static_cast<unsigned long long>(c.candidates_total),
+              static_cast<unsigned long long>(c.docs_considered),
+              static_cast<unsigned long long>(c.docs_scored),
+              static_cast<unsigned long long>(c.tuples_scored),
+              static_cast<unsigned long long>(c.postings_advanced),
+              static_cast<unsigned long long>(c.docs_skipped));
+}
+
+/// Human-readable slow-query log, newest first, traces inline.
+void PrintSlowlog(const seda::api::SlowlogResponse& slowlog) {
+  std::printf("=== slow-query log (%llu logged, %zu retained) ===\n",
+              static_cast<unsigned long long>(slowlog.total_logged),
+              slowlog.entries.size());
+  for (const auto& entry : slowlog.entries) {
+    std::printf("#%llu %s %.3fms (threshold %llums, status %s)%s%s %s\n",
+                static_cast<unsigned long long>(entry.seq),
+                entry.method.c_str(), entry.elapsed_ms,
+                static_cast<unsigned long long>(entry.threshold_ms),
+                entry.status_code.c_str(), entry.sampled ? " [sampled]" : "",
+                entry.deadline_exceeded ? " [deadline]" : "",
+                entry.detail.c_str());
+    if (!entry.trace.name.empty()) PrintSpanTree(entry.trace, 1);
+  }
+  std::printf("\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -127,7 +206,19 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  const bool pipe_mode = argc == 2 && std::strcmp(argv[1], "-") == 0;
+  bool trace = false;
+  bool show_statz = false;
+  bool show_slowlog = false;
+  std::vector<std::string> queries;
+  bool pipe_mode = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-") pipe_mode = true;
+    else if (arg == "--trace") trace = true;
+    else if (arg == "--statz") show_statz = true;
+    else if (arg == "--slowlog") show_slowlog = true;
+    else queries.push_back(arg);
+  }
   if (!pipe_mode) std::printf("loading synthetic World Factbook...\n");
 
   seda::core::Seda seda;
@@ -135,7 +226,13 @@ int main(int argc, char** argv) {
   options.scale = 0.15;
   seda::data::WorldFactbookGenerator(options).Populate(seda.mutable_store());
   if (!seda.Finalize().ok()) return 1;
-  seda::api::SedaService service(&seda);
+  seda::api::ServiceOptions service_options;
+  if (show_slowlog) {
+    // Sample every request so the demo queries land in the log with their
+    // span trees even though none of them is actually slow.
+    service_options.trace_sample_every_n = 1;
+  }
+  seda::api::SedaService service(&seda, service_options);
 
   if (pipe_mode) {
     // Wire mode: stdin JSON envelopes in, stdout JSON responses out.
@@ -158,10 +255,7 @@ int main(int argc, char** argv) {
               seda.store().DocumentCount(), created.session_id.c_str(),
               static_cast<unsigned long long>(created.epoch));
 
-  std::vector<std::string> queries;
-  if (argc > 1) {
-    for (int i = 1; i < argc; ++i) queries.emplace_back(argv[i]);
-  } else {
+  if (queries.empty()) {
     queries = {
         R"((*, "United States"))",
         R"((*, "United States") AND (trade_country, *))",
@@ -174,6 +268,7 @@ int main(int argc, char** argv) {
     seda::api::SearchRequest request;
     request.session_id = created.session_id;
     request.query = text;
+    request.trace = trace;
     // The CLI is a wire client: show the exact JSON it sends, then Handle()
     // it like any other transport would.
     seda::api::Json envelope =
@@ -189,6 +284,18 @@ int main(int argc, char** argv) {
       return 1;
     }
     PrintPanels(decoded.value());
+    if (trace) PrintTrace(decoded.value().trace);
+  }
+
+  if (show_statz) {
+    auto statz = seda::api::DecodeStatzResponse(
+        service.Handle(R"({"method":"statz"})"));
+    if (statz.ok()) PrintStatz(statz.value());
+  }
+  if (show_slowlog) {
+    auto slowlog = seda::api::DecodeSlowlogResponse(
+        service.Handle(R"({"method":"slowlog"})"));
+    if (slowlog.ok()) PrintSlowlog(slowlog.value());
   }
   return 0;
 }

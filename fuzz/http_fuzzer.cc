@@ -1,0 +1,47 @@
+// Fuzz target for the HTTP request-head parser (src/net/http.h) — the
+// metrics listener's untrusted-input surface (the fifth one, after
+// wire/image/query/frame). Scrapers are friendly, but the port is a plain
+// TCP listener: anything can connect and send anything. The parser must
+// classify every byte string as kOk/kIncomplete/kBad without crashes,
+// sanitizer reports, or unbounded work, and its invariants must hold:
+// kOk implies a parsed request line within the caps, any prefix of a
+// kIncomplete head is itself incomplete or bad, and head_bytes never
+// exceeds the input.
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "net/http.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string_view input(reinterpret_cast<const char*>(data), size);
+  seda::net::HttpRequest request;
+  const seda::net::HttpParse parse =
+      seda::net::ParseHttpRequest(input, &request);
+  if (parse == seda::net::HttpParse::kOk) {
+    if (request.method.empty() || request.target.empty()) __builtin_trap();
+    if (request.head_bytes > input.size()) __builtin_trap();
+    if (request.headers.size() > seda::net::kMaxHttpHeaders) __builtin_trap();
+    // Path() strips the query string; it must be a prefix of the target.
+    const std::string path = request.Path();
+    if (path.size() > request.target.size()) __builtin_trap();
+    // Reparsing exactly the head consumed must reproduce the result — the
+    // listener may recv() extra body bytes it never looks at.
+    seda::net::HttpRequest again;
+    if (seda::net::ParseHttpRequest(input.substr(0, request.head_bytes),
+                                    &again) != seda::net::HttpParse::kOk ||
+        again.method != request.method || again.target != request.target ||
+        again.headers != request.headers) {
+      __builtin_trap();
+    }
+  } else if (parse == seda::net::HttpParse::kIncomplete) {
+    // Feeding half of an incomplete head must not flip it to kOk.
+    seda::net::HttpRequest half_request;
+    if (seda::net::ParseHttpRequest(input.substr(0, size / 2),
+                                    &half_request) ==
+        seda::net::HttpParse::kOk) {
+      __builtin_trap();
+    }
+  }
+  return 0;
+}

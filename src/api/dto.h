@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/slowlog.h"
+#include "obs/trace.h"
 
 namespace seda::api {
 
@@ -179,6 +181,10 @@ struct SearchRequest {
   std::string query;         ///< paper surface syntax, see query::ParseQuery
   uint64_t k = 0;            ///< top-k override; 0 = snapshot default
   uint64_t deadline_ms = 0;  ///< wall-clock budget; 0 = none
+  /// Return the request's span tree in the response ("trace":true on the
+  /// envelope). Tracing itself is always on (ServiceOptions::tracing); this
+  /// flag only controls whether the tree is shipped back.
+  bool trace = false;
 };
 
 struct SearchResponseDto {
@@ -187,6 +193,9 @@ struct SearchResponseDto {
   std::vector<ContextBucketDto> contexts;     ///< one bucket per query term
   std::vector<ConnectionDto> connections;
   StatsDto stats;
+  /// Detached span tree; only populated (and only serialized) when the
+  /// request asked for it — `trace.name` is empty otherwise.
+  obs::SpanNode trace;
 };
 
 /// Feedback edge: context picks (one list per term of the session's current
@@ -196,6 +205,7 @@ struct RefineRequest {
   std::vector<std::vector<std::string>> chosen_paths;
   uint64_t k = 0;            ///< top-k override for the re-search; 0 = default
   uint64_t deadline_ms = 0;
+  bool trace = false;        ///< see SearchRequest::trace
 };
 
 /// Completion stage: the full result set R(q) for the session's current
@@ -206,6 +216,7 @@ struct CompleteRequest {
   std::vector<std::string> term_paths;  ///< one absolute path per term
   std::vector<uint64_t> connections;    ///< chosen connection indices
   uint64_t deadline_ms = 0;
+  bool trace = false;                   ///< see SearchRequest::trace
 };
 
 struct CompleteResponseDto {
@@ -215,6 +226,7 @@ struct CompleteResponseDto {
   uint64_t twig_count = 0;
   uint64_t cross_twig_joins = 0;
   StatsDto stats;
+  obs::SpanNode trace;  ///< see SearchResponseDto::trace
 };
 
 /// Last stage: star schema (and optional OLAP aggregate) from the session's
@@ -234,6 +246,7 @@ struct CubeRequest {
   std::string agg_fn = "sum";  ///< sum | count | avg | min | max
   std::string measure;
   uint64_t deadline_ms = 0;
+  bool trace = false;  ///< see SearchRequest::trace
 };
 
 /// A relational table (fact or dimension) over the wire.
@@ -259,6 +272,33 @@ struct CubeResponseDto {
   std::vector<CellDto> cells;  ///< only when CubeRequest::measure was set
   double cell_total = 0;       ///< Cuboid::Total() of the aggregate
   StatsDto stats;
+  obs::SpanNode trace;  ///< see SearchResponseDto::trace
+};
+
+// --- Observability (metricz / slowlog) ---------------------------------
+
+/// Prometheus text exposition of the service's metrics registry. The same
+/// bytes are served on the HTTP metrics listener (`GET /metrics`); this
+/// envelope method exists so frame-protocol clients (explore_cli) can scrape
+/// without a second port.
+struct MetriczRequest {};
+
+struct MetriczResponse {
+  WireStatus status;
+  std::string text;  ///< exposition format 0.0.4, byte-stable
+};
+
+/// The sampled slow-query log (obs/slowlog.h): requests that met their
+/// method's latency threshold, plus every Nth request when the sampling
+/// knob is on. Entries come back newest-first with their span trees.
+struct SlowlogRequest {
+  uint64_t limit = 0;  ///< cap on returned entries; 0 = all retained
+};
+
+struct SlowlogResponse {
+  WireStatus status;
+  uint64_t total_logged = 0;  ///< ever logged, including evicted entries
+  std::vector<obs::SlowLogEntry> entries;
 };
 
 }  // namespace seda::api

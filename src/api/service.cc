@@ -14,14 +14,17 @@ double ElapsedMs(Clock::time_point start) {
   return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
 }
 
-/// Layers a request's overrides (top-k, deadline) and the service's serving
-/// mode (shard count) over the snapshot's configured engine options.
+/// Layers a request's overrides (top-k, deadline), the service's serving
+/// mode (shard count) and the request's trace over the snapshot's configured
+/// engine options.
 topk::TopKOptions RequestTopKOptions(const core::Snapshot& snapshot, uint64_t k,
-                                     uint64_t deadline_ms, size_t shards) {
+                                     uint64_t deadline_ms, size_t shards,
+                                     obs::TraceSpan* trace) {
   topk::TopKOptions options = snapshot.options().topk;
   if (k > 0) options.k = static_cast<size_t>(k);
   options.deadline_ms = deadline_ms;
   options.shard_count = shards > 1 ? shards : 0;
+  options.trace = trace;
   return options;
 }
 
@@ -35,9 +38,41 @@ constexpr size_t kLatencyBucketCount =
 
 const char* MethodName(size_t method) {
   static constexpr const char* kNames[] = {
-      "create_session", "close_session", "search", "refine",
-      "complete",       "cube",          "statz"};
+      "create_session", "close_session", "search",  "refine", "complete",
+      "cube",           "statz",         "metricz", "slowlog"};
   return kNames[method];
+}
+
+/// Cumulative engine counters (seda_engine_*_total), in StatsDto field
+/// order — FinishRequest and Statz walk this table so a new counter only
+/// needs one row here plus its StatsDto field.
+struct EngineCounterSpec {
+  const char* name;
+  const char* help;
+};
+constexpr EngineCounterSpec kEngineCounters[] = {
+    {"seda_engine_candidates_total", "Candidate nodes produced by term lookups."},
+    {"seda_engine_docs_considered_total", "Documents entering the TA scan."},
+    {"seda_engine_docs_scored_total", "Documents fully scored by the TA scan."},
+    {"seda_engine_tuples_scored_total", "Term-node tuples scored."},
+    {"seda_engine_postings_advanced_total", "Posting cursor advances."},
+    {"seda_engine_docs_skipped_total", "Documents pruned before scoring."},
+    {"seda_engine_heap_evictions_total", "Top-k heap evictions."},
+    {"seda_engine_hub_links_skipped_total", "Hub links skipped while scoring."},
+    {"seda_engine_tuples_trimmed_total", "Tuples trimmed by per-doc budgets."},
+    {"seda_engine_bfs_expansions_total", "Connection-scoring BFS expansions."},
+    {"seda_engine_intersection_probes_total",
+     "Adjacency intersection probes (graph kernels)."},
+    {"seda_engine_sketch_hits_total", "2-hop sketch hits (graph kernels)."},
+};
+constexpr size_t kEngineCounterCount =
+    sizeof(kEngineCounters) / sizeof(*kEngineCounters);
+
+uint64_t NowUnixMs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
 }
 
 StatsDto MakeStats(const topk::SearchStats& stats, double elapsed_ms,
@@ -173,7 +208,58 @@ Result<olap::AggFn> ParseAggFn(const std::string& name) {
 }  // namespace
 
 SedaService::SedaService(const core::Seda* seda, ServiceOptions options)
-    : seda_(seda), options_(options) {}
+    : seda_(seda), options_(std::move(options)), slowlog_(options_.slowlog) {
+  const std::vector<double> bounds(kLatencyBoundsMs,
+                                   kLatencyBoundsMs + kLatencyBucketCount);
+  for (size_t method = 0; method < kMethodCount; ++method) {
+    const obs::LabelSet labels = {{"method", MethodName(method)}};
+    MethodSeries& series = method_series_[method];
+    series.count = registry_.AddCounter(
+        "seda_requests_total", "Requests handled, by envelope method.", labels);
+    series.errors = registry_.AddCounter(
+        "seda_request_errors_total",
+        "Requests that returned a non-OK status.", labels);
+    series.deadline_exceeded = registry_.AddCounter(
+        "seda_request_deadline_exceeded_total",
+        "Responses flagged as partial by a deadline overrun.", labels);
+    series.latency_ms = registry_.AddHistogram(
+        "seda_request_latency_ms",
+        "Request wall-clock latency in milliseconds.", bounds, labels);
+    slow_threshold_ms_[method] =
+        options_.slowlog.ThresholdFor(MethodName(method));
+  }
+  engine_counters_.reserve(kEngineCounterCount);
+  for (const EngineCounterSpec& spec : kEngineCounters) {
+    engine_counters_.push_back(registry_.AddCounter(spec.name, spec.help));
+  }
+  registry_.AddGauge("seda_sessions", "Live (non-evicted) sessions.", {},
+                     [this] { return static_cast<double>(SessionCount()); });
+  registry_.AddCallbackCounter("seda_sessions_created_total",
+                               "Sessions ever created.", {}, [this] {
+                                 std::lock_guard<std::mutex> lock(registry_mu_);
+                                 return sessions_created_;
+                               });
+  registry_.AddCallbackCounter(
+      "seda_sessions_evicted_total",
+      "Sessions evicted by TTL expiry or LRU pressure.", {}, [this] {
+        std::lock_guard<std::mutex> lock(registry_mu_);
+        return sessions_evicted_;
+      });
+  registry_.AddGauge("seda_epoch", "Currently served snapshot epoch.", {},
+                     [this] {
+                       const auto snapshot = seda_->snapshot();
+                       return snapshot != nullptr
+                                  ? static_cast<double>(snapshot->epoch())
+                                  : 0.0;
+                     });
+  registry_.AddGauge("seda_uptime_ms",
+                     "Milliseconds since service construction.", {},
+                     [this] { return ElapsedMs(start_time_); });
+  registry_.AddCallbackCounter(
+      "seda_slowlog_entries_total",
+      "Requests ever captured by the slow-query log.", {},
+      [this] { return slowlog_.TotalLogged(); });
+}
 
 size_t SedaService::SessionCount() const {
   std::lock_guard<std::mutex> lock(registry_mu_);
@@ -282,7 +368,8 @@ Result<std::shared_ptr<SedaService::SessionEntry>> SedaService::FindSession(
   return it->second;
 }
 
-SearchResponseDto SedaService::DoSearch(const SearchRequest& request) {
+SearchResponseDto SedaService::DoSearch(const SearchRequest& request,
+                                        obs::TraceSpan* root) {
   const Clock::time_point start = Clock::now();
   const uint64_t deadline_ms = EffectiveDeadline(request.deadline_ms);
   SearchResponseDto response;
@@ -297,8 +384,9 @@ SearchResponseDto SedaService::DoSearch(const SearchRequest& request) {
       return response;
     }
     auto result = session->Search(
-        request.query, RequestTopKOptions(session->snapshot(), request.k,
-                                          deadline_ms, options_.topk_shards));
+        request.query,
+        RequestTopKOptions(session->snapshot(), request.k, deadline_ms,
+                           options_.topk_shards, root));
     if (!result.ok()) {
       response.status = WireStatus::FromStatus(result.status());
       return response;
@@ -317,8 +405,9 @@ SearchResponseDto SedaService::DoSearch(const SearchRequest& request) {
   SessionEntry& state = *entry.value();
   std::lock_guard<std::mutex> lock(state.mu);
   auto result = state.session.Search(
-      request.query, RequestTopKOptions(state.session.snapshot(), request.k,
-                                        deadline_ms, options_.topk_shards));
+      request.query,
+      RequestTopKOptions(state.session.snapshot(), request.k, deadline_ms,
+                         options_.topk_shards, root));
   if (!result.ok()) {
     response.status = WireStatus::FromStatus(result.status());
     return response;
@@ -329,7 +418,8 @@ SearchResponseDto SedaService::DoSearch(const SearchRequest& request) {
   return response;
 }
 
-SearchResponseDto SedaService::DoRefine(const RefineRequest& request) {
+SearchResponseDto SedaService::DoRefine(const RefineRequest& request,
+                                        obs::TraceSpan* root) {
   const Clock::time_point start = Clock::now();
   const uint64_t deadline_ms = EffectiveDeadline(request.deadline_ms);
   SearchResponseDto response;
@@ -343,7 +433,7 @@ SearchResponseDto SedaService::DoRefine(const RefineRequest& request) {
   auto result = state.session.RefineContexts(
       request.chosen_paths,
       RequestTopKOptions(state.session.snapshot(), request.k, deadline_ms,
-                         options_.topk_shards));
+                         options_.topk_shards, root));
   if (!result.ok()) {
     response.status = WireStatus::FromStatus(result.status());
     return response;
@@ -354,7 +444,8 @@ SearchResponseDto SedaService::DoRefine(const RefineRequest& request) {
   return response;
 }
 
-CompleteResponseDto SedaService::DoComplete(const CompleteRequest& request) {
+CompleteResponseDto SedaService::DoComplete(const CompleteRequest& request,
+                                            obs::TraceSpan* root) {
   const Clock::time_point start = Clock::now();
   const uint64_t deadline_ms = EffectiveDeadline(request.deadline_ms);
   CompleteResponseDto response;
@@ -398,6 +489,7 @@ CompleteResponseDto SedaService::DoComplete(const CompleteRequest& request) {
 
   twig::ExecuteOptions exec_options;
   exec_options.deadline_ms = deadline_ms;
+  exec_options.trace = root;
   auto result = state.session.CompleteResults(request.term_paths, connections,
                                               exec_options);
   if (!result.ok()) {
@@ -427,7 +519,8 @@ CompleteResponseDto SedaService::DoComplete(const CompleteRequest& request) {
   return response;
 }
 
-CubeResponseDto SedaService::DoCube(const CubeRequest& request) {
+CubeResponseDto SedaService::DoCube(const CubeRequest& request,
+                                    obs::TraceSpan* root) {
   const Clock::time_point start = Clock::now();
   const uint64_t deadline_ms = EffectiveDeadline(request.deadline_ms);
   CubeResponseDto response;
@@ -445,6 +538,7 @@ CubeResponseDto SedaService::DoCube(const CubeRequest& request) {
   }
 
   cube::CubeBuilder::Options options;
+  options.trace = root;
   options.add_facts = request.add_facts;
   options.remove_facts = request.remove_facts;
   options.add_dimensions = request.add_dimensions;
@@ -495,93 +589,143 @@ CubeResponseDto SedaService::DoCube(const CubeRequest& request) {
   return response;
 }
 
-// --- Metric-recording wrappers -----------------------------------------
+// --- Tracing + metric-recording wrappers -------------------------------
+
+obs::Trace SedaService::StartTrace(Method method) const {
+  return options_.tracing ? obs::Trace(MethodName(method)) : obs::Trace();
+}
+
+void SedaService::FinishRequest(Method method, double elapsed_ms,
+                                const WireStatus& status, const StatsDto* stats,
+                                obs::Trace trace, bool trace_requested,
+                                obs::SpanNode* trace_out,
+                                const std::string& session_id,
+                                const std::string& detail) {
+  // Request accounting: every update is a relaxed atomic on a series
+  // registered at construction — no lock, no contention across methods.
+  MethodSeries& series = method_series_[method];
+  series.count->Inc();
+  if (!status.ok()) series.errors->Inc();
+  series.latency_ms->Observe(elapsed_ms);
+  if (stats != nullptr) {
+    if (stats->deadline_exceeded) series.deadline_exceeded->Inc();
+    const uint64_t values[kEngineCounterCount] = {
+        stats->candidates_total, stats->docs_considered,
+        stats->docs_scored,      stats->tuples_scored,
+        stats->postings_advanced, stats->docs_skipped,
+        stats->heap_evictions,   stats->hub_links_skipped,
+        stats->tuples_trimmed,   stats->bfs_expansions,
+        stats->intersection_probes, stats->sketch_hits};
+    for (size_t i = 0; i < kEngineCounterCount; ++i) {
+      if (values[i] > 0) engine_counters_[i]->Inc(values[i]);
+    }
+  }
+
+  // Keep the trace? Ship it back when the envelope asked; retain it in the
+  // slow log when the method's threshold fired or the sampling knob picked
+  // this request. The common case (none of the three) detaches nothing.
+  const uint64_t threshold_ms = slow_threshold_ms_[method];
+  const bool slow =
+      threshold_ms > 0 && elapsed_ms >= static_cast<double>(threshold_ms);
+  bool sampled = false;
+  if (options_.trace_sample_every_n > 0) {
+    const uint64_t n =
+        sample_counter_.fetch_add(1, std::memory_order_relaxed) + 1;
+    sampled = n % options_.trace_sample_every_n == 0;
+  }
+  if (!trace_requested && !slow && !sampled) return;
+  obs::SpanNode tree = trace.Detach();
+  if (trace_requested && trace_out != nullptr) *trace_out = tree;
+  if (!slow && !sampled) return;
+  obs::SlowLogEntry entry;
+  entry.unix_ms = NowUnixMs();
+  entry.method = MethodName(method);
+  entry.session_id = session_id;
+  entry.detail = detail;
+  entry.elapsed_ms = elapsed_ms;
+  entry.threshold_ms = threshold_ms;
+  entry.status_code = status.code;
+  entry.deadline_exceeded = stats != nullptr && stats->deadline_exceeded;
+  entry.sampled = sampled && !slow;
+  entry.trace = std::move(tree);
+  slowlog_.Add(std::move(entry));
+}
 
 CreateSessionResponse SedaService::CreateSession(
     const CreateSessionRequest& request) {
   const Clock::time_point start = Clock::now();
+  obs::Trace trace = StartTrace(kCreateSession);
   CreateSessionResponse response = DoCreateSession(request);
-  RecordMetrics(kCreateSession, ElapsedMs(start), response.status.ok(),
-                nullptr);
+  FinishRequest(kCreateSession, ElapsedMs(start), response.status, nullptr,
+                std::move(trace), /*trace_requested=*/false, nullptr,
+                request.session_id, /*detail=*/"");
   return response;
 }
 
 CloseSessionResponse SedaService::CloseSession(
     const CloseSessionRequest& request) {
   const Clock::time_point start = Clock::now();
+  obs::Trace trace = StartTrace(kCloseSession);
   CloseSessionResponse response = DoCloseSession(request);
-  RecordMetrics(kCloseSession, ElapsedMs(start), response.status.ok(),
-                nullptr);
+  FinishRequest(kCloseSession, ElapsedMs(start), response.status, nullptr,
+                std::move(trace), /*trace_requested=*/false, nullptr,
+                request.session_id, /*detail=*/"");
   return response;
 }
 
 SearchResponseDto SedaService::Search(const SearchRequest& request) {
   const Clock::time_point start = Clock::now();
-  SearchResponseDto response = DoSearch(request);
-  RecordMetrics(kSearch, ElapsedMs(start), response.status.ok(),
-                &response.stats);
+  obs::Trace trace = StartTrace(kSearch);
+  SearchResponseDto response = DoSearch(request, trace.root());
+  FinishRequest(kSearch, ElapsedMs(start), response.status, &response.stats,
+                std::move(trace), request.trace, &response.trace,
+                request.session_id, request.query);
   return response;
 }
 
 SearchResponseDto SedaService::Refine(const RefineRequest& request) {
   const Clock::time_point start = Clock::now();
-  SearchResponseDto response = DoRefine(request);
-  RecordMetrics(kRefine, ElapsedMs(start), response.status.ok(),
-                &response.stats);
+  obs::Trace trace = StartTrace(kRefine);
+  SearchResponseDto response = DoRefine(request, trace.root());
+  FinishRequest(kRefine, ElapsedMs(start), response.status, &response.stats,
+                std::move(trace), request.trace, &response.trace,
+                request.session_id,
+                std::to_string(request.chosen_paths.size()) +
+                    " context pick list(s)");
   return response;
 }
 
 CompleteResponseDto SedaService::Complete(const CompleteRequest& request) {
   const Clock::time_point start = Clock::now();
-  CompleteResponseDto response = DoComplete(request);
-  RecordMetrics(kComplete, ElapsedMs(start), response.status.ok(),
-                &response.stats);
+  obs::Trace trace = StartTrace(kComplete);
+  CompleteResponseDto response = DoComplete(request, trace.root());
+  std::string detail;
+  for (const std::string& path : request.term_paths) {
+    if (!detail.empty()) detail += ", ";
+    detail += path;
+  }
+  FinishRequest(kComplete, ElapsedMs(start), response.status, &response.stats,
+                std::move(trace), request.trace, &response.trace,
+                request.session_id, detail);
   return response;
 }
 
 CubeResponseDto SedaService::Cube(const CubeRequest& request) {
   const Clock::time_point start = Clock::now();
-  CubeResponseDto response = DoCube(request);
-  RecordMetrics(kCube, ElapsedMs(start), response.status.ok(),
-                &response.stats);
+  obs::Trace trace = StartTrace(kCube);
+  CubeResponseDto response = DoCube(request, trace.root());
+  FinishRequest(kCube, ElapsedMs(start), response.status, &response.stats,
+                std::move(trace), request.trace, &response.trace,
+                request.session_id,
+                request.measure.empty() ? std::string("star schema")
+                                        : request.agg_fn + "(" +
+                                              request.measure + ")");
   return response;
-}
-
-void SedaService::RecordMetrics(Method method, double elapsed_ms, bool ok,
-                                const StatsDto* stats) {
-  // Bucket i counts latency <= kLatencyBoundsMs[i]; the last slot overflows.
-  size_t bucket = 0;
-  while (bucket < kLatencyBucketCount && elapsed_ms > kLatencyBoundsMs[bucket]) {
-    ++bucket;
-  }
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  MethodMetrics& m = metrics_[method];
-  if (m.latency_buckets.empty()) {
-    m.latency_buckets.assign(kLatencyBucketCount + 1, 0);
-  }
-  ++m.count;
-  if (!ok) ++m.errors;
-  m.total_ms += elapsed_ms;
-  ++m.latency_buckets[bucket];
-  if (stats != nullptr) {
-    if (stats->deadline_exceeded) ++m.deadline_exceeded;
-    cumulative_.candidates_total += stats->candidates_total;
-    cumulative_.docs_considered += stats->docs_considered;
-    cumulative_.docs_scored += stats->docs_scored;
-    cumulative_.tuples_scored += stats->tuples_scored;
-    cumulative_.postings_advanced += stats->postings_advanced;
-    cumulative_.docs_skipped += stats->docs_skipped;
-    cumulative_.heap_evictions += stats->heap_evictions;
-    cumulative_.hub_links_skipped += stats->hub_links_skipped;
-    cumulative_.tuples_trimmed += stats->tuples_trimmed;
-    cumulative_.bfs_expansions += stats->bfs_expansions;
-    cumulative_.intersection_probes += stats->intersection_probes;
-    cumulative_.sketch_hits += stats->sketch_hits;
-  }
 }
 
 StatzResponse SedaService::Statz(const StatzRequest&) {
   const Clock::time_point start = Clock::now();
+  obs::Trace trace = StartTrace(kStatz);
   StatzResponse response;
   const std::shared_ptr<const core::Snapshot> snapshot = seda_->snapshot();
   response.epoch = snapshot != nullptr ? snapshot->epoch() : 0;
@@ -594,26 +738,61 @@ StatzResponse SedaService::Statz(const StatzRequest&) {
   response.uptime_ms = ElapsedMs(start_time_);
   response.bucket_bounds_ms.assign(kLatencyBoundsMs,
                                    kLatencyBoundsMs + kLatencyBucketCount);
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    response.methods.reserve(kMethodCount);
-    for (size_t method = 0; method < kMethodCount; ++method) {
-      const MethodMetrics& m = metrics_[method];
-      MethodStatsDto dto;
-      dto.method = MethodName(method);
-      dto.count = m.count;
-      dto.errors = m.errors;
-      dto.deadline_exceeded = m.deadline_exceeded;
-      dto.total_ms = m.total_ms;
-      dto.latency_buckets = m.latency_buckets.empty()
-                                ? std::vector<uint64_t>(kLatencyBucketCount + 1, 0)
-                                : m.latency_buckets;
-      response.methods.push_back(std::move(dto));
+  // The statz JSON is a projection of the metrics registry: the same series
+  // the Prometheus exposition renders, so the two surfaces cannot disagree.
+  response.methods.reserve(kMethodCount);
+  for (size_t method = 0; method < kMethodCount; ++method) {
+    const MethodSeries& series = method_series_[method];
+    MethodStatsDto dto;
+    dto.method = MethodName(method);
+    dto.count = series.count->Value();
+    dto.errors = series.errors->Value();
+    dto.deadline_exceeded = series.deadline_exceeded->Value();
+    dto.total_ms = series.latency_ms->Sum();
+    dto.latency_buckets.reserve(series.latency_ms->BucketCount());
+    for (size_t i = 0; i < series.latency_ms->BucketCount(); ++i) {
+      dto.latency_buckets.push_back(series.latency_ms->BinCount(i));
     }
-    response.cumulative = cumulative_;
+    response.methods.push_back(std::move(dto));
+  }
+  StatsDto& cumulative = response.cumulative;
+  uint64_t* fields[kEngineCounterCount] = {
+      &cumulative.candidates_total, &cumulative.docs_considered,
+      &cumulative.docs_scored,      &cumulative.tuples_scored,
+      &cumulative.postings_advanced, &cumulative.docs_skipped,
+      &cumulative.heap_evictions,   &cumulative.hub_links_skipped,
+      &cumulative.tuples_trimmed,   &cumulative.bfs_expansions,
+      &cumulative.intersection_probes, &cumulative.sketch_hits};
+  for (size_t i = 0; i < kEngineCounterCount; ++i) {
+    *fields[i] = engine_counters_[i]->Value();
   }
   if (transport_statz_) response.transport = transport_statz_();
-  RecordMetrics(kStatz, ElapsedMs(start), /*ok=*/true, nullptr);
+  FinishRequest(kStatz, ElapsedMs(start), response.status, nullptr,
+                std::move(trace), /*trace_requested=*/false, nullptr,
+                /*session_id=*/"", /*detail=*/"");
+  return response;
+}
+
+MetriczResponse SedaService::Metricz(const MetriczRequest&) {
+  const Clock::time_point start = Clock::now();
+  obs::Trace trace = StartTrace(kMetricz);
+  MetriczResponse response;
+  response.text = registry_.RenderText();
+  FinishRequest(kMetricz, ElapsedMs(start), response.status, nullptr,
+                std::move(trace), /*trace_requested=*/false, nullptr,
+                /*session_id=*/"", /*detail=*/"");
+  return response;
+}
+
+SlowlogResponse SedaService::Slowlog(const SlowlogRequest& request) {
+  const Clock::time_point start = Clock::now();
+  obs::Trace trace = StartTrace(kSlowlog);
+  SlowlogResponse response;
+  response.total_logged = slowlog_.TotalLogged();
+  response.entries = slowlog_.Entries(request.limit);
+  FinishRequest(kSlowlog, ElapsedMs(start), response.status, nullptr,
+                std::move(trace), /*trace_requested=*/false, nullptr,
+                /*session_id=*/"", /*detail=*/"");
   return response;
 }
 
@@ -654,10 +833,17 @@ std::string SedaService::Handle(const std::string& request_json) {
   if (method == "statz") {
     return ToJson(Statz(StatzRequest{})).Write();
   }
+  if (method == "metricz") {
+    return ToJson(Metricz(MetriczRequest{})).Write();
+  }
+  if (method == "slowlog") {
+    return ToJson(Slowlog(SlowlogRequestFromJson(json))).Write();
+  }
   return envelope_error(Status::InvalidArgument(
       "unknown method '" + method +
       "'; expected "
-      "create_session|close_session|search|refine|complete|cube|statz"));
+      "create_session|close_session|search|refine|complete|cube|statz|"
+      "metricz|slowlog"));
 }
 
 }  // namespace seda::api

@@ -1,6 +1,7 @@
 #ifndef SEDA_API_SERVICE_H_
 #define SEDA_API_SERVICE_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <functional>
@@ -14,6 +15,9 @@
 
 #include "api/dto.h"
 #include "core/seda.h"
+#include "obs/metrics.h"
+#include "obs/slowlog.h"
+#include "obs/trace.h"
 
 namespace seda::api {
 
@@ -35,6 +39,19 @@ struct ServiceOptions {
   /// budget caveat). 0/1 = unsharded. This is a serving-mode knob — the
   /// seda_server --shards flag lands here.
   size_t topk_shards = 1;
+  /// Per-request span collection (obs/trace.h). On (the default), every
+  /// request opens a span tree — two steady_clock reads per span, gated to
+  /// <3% throughput overhead by bench_obs. The tree is shipped back only
+  /// when the envelope says "trace":true; slow/sampled requests retain it in
+  /// the slow-query log. Off = requests run with a disabled Trace (the
+  /// null-pointer fast path the bench compares against).
+  bool tracing = true;
+  /// Slow-query sampling knob, compiled in but disabled by default: when
+  /// N > 0 every Nth request (across methods) lands in the slow log with
+  /// its span tree regardless of latency. Deterministic — tests set 1.
+  uint64_t trace_sample_every_n = 0;
+  /// Slow-query log policy (ring capacity, per-method latency thresholds).
+  obs::SlowLogOptions slowlog;
 };
 
 /// The service facade over the whole Fig. 6 loop — the one supported public
@@ -82,8 +99,13 @@ class SedaService {
   CubeResponseDto Cube(const CubeRequest& request);
   /// Observability snapshot: registry gauges, per-method latency histograms
   /// and cumulative engine counters (api/dto.h StatzResponse). Cheap —
-  /// O(methods x buckets) under a stats mutex, no engine work.
+  /// O(methods x buckets) reads of relaxed atomics, no lock, no engine work.
   StatzResponse Statz(const StatzRequest& request);
+  /// Prometheus text exposition of the metrics registry (RenderMetrics()
+  /// over the wire) — the same bytes `GET /metrics` serves.
+  MetriczResponse Metricz(const MetriczRequest& request);
+  /// The sampled slow-query log, newest-first, span trees included.
+  SlowlogResponse Slowlog(const SlowlogRequest& request);
 
   /// Lets a hosting transport (net::Server) contribute its own counters to
   /// every Statz response, as name/value pairs under "transport". Call
@@ -93,11 +115,23 @@ class SedaService {
     transport_statz_ = std::move(source);
   }
 
+  /// The service's metrics registry. A hosting transport registers its own
+  /// families here (net::Server does: seda_net_*) so one exposition covers
+  /// service + transport; tests read it back via Snapshot().
+  obs::MetricsRegistry& metrics() { return registry_; }
+  /// Prometheus text exposition of every registered family; byte-stable for
+  /// a given state. This is what the HTTP metrics listener serves.
+  std::string RenderMetrics() const { return registry_.RenderText(); }
+  /// The slow-query log (for the drain-time dump in seda_server).
+  const obs::SlowLog& slow_log() const { return slowlog_; }
+
   /// Wire entry point: one JSON request envelope in, one JSON response out.
   /// The envelope is the request DTO's object plus a "method" field:
   ///   {"method":"search","session_id":"s1","query":"(a, b)", ...}
   /// Methods: create_session, close_session, search, refine, complete,
-  /// cube. Envelope-level failures (malformed JSON, unknown method) return
+  /// cube, statz, metricz, slowlog. Search-shaped envelopes accept
+  /// "trace":true to get the request's span tree back in the response.
+  /// Envelope-level failures (malformed JSON, unknown method) return
   /// {"status":{...}} with the error; method-level failures are the
   /// method's own response DTO with its status set.
   std::string Handle(const std::string& request_json);
@@ -143,7 +177,7 @@ class SedaService {
                                     : options_.default_deadline_ms;
   }
 
-  /// Index into metrics_ — one slot per envelope method.
+  /// Index into method_series_ — one slot per envelope method.
   enum Method : size_t {
     kCreateSession = 0,
     kCloseSession,
@@ -152,24 +186,51 @@ class SedaService {
     kComplete,
     kCube,
     kStatz,
+    kMetricz,
+    kSlowlog,
     kMethodCount,
   };
 
-  /// Records one finished request into the statz accounting (histogram slot,
-  /// error/deadline counters, cumulative engine sums). `stats` may be null
-  /// for requests without a stats block (create/close session).
-  void RecordMetrics(Method method, double elapsed_ms, bool ok,
-                     const StatsDto* stats);
+  /// Registry handles for one method's request accounting. Every update is
+  /// a relaxed atomic on a pre-registered series — the old stats_mu_ mutex
+  /// serialized all methods through one lock and showed up as contention in
+  /// the concurrent-connection bench once the engine work got cheap
+  /// (sessions run concurrently, but every response funneled through it);
+  /// per-series atomics make recording wait-free and scale with cores.
+  struct MethodSeries {
+    obs::Counter* count = nullptr;
+    obs::Counter* errors = nullptr;
+    obs::Counter* deadline_exceeded = nullptr;
+    obs::Histogram* latency_ms = nullptr;
+  };
 
-  // The typed entry points above are thin metric-recording wrappers over
+  /// Opens the per-request trace (enabled iff ServiceOptions::tracing).
+  obs::Trace StartTrace(Method method) const;
+
+  /// Records one finished request into the registry (count/error/deadline
+  /// counters, latency histogram, cumulative engine sums — all atomics),
+  /// then decides whether the trace is kept: shipped back via `trace_out`
+  /// when the request asked, retained in the slow log when the method's
+  /// latency threshold fired or the sampling knob picked the request.
+  /// `stats` may be null for requests without a stats block.
+  void FinishRequest(Method method, double elapsed_ms, const WireStatus& status,
+                     const StatsDto* stats, obs::Trace trace,
+                     bool trace_requested, obs::SpanNode* trace_out,
+                     const std::string& session_id, const std::string& detail);
+
+  // The typed entry points above are thin tracing+metric wrappers over
   // these implementations, so every return path of a request lands in the
-  // statz accounting exactly once.
+  // accounting exactly once. `root` is the request's root span (null when
+  // tracing is off).
   CreateSessionResponse DoCreateSession(const CreateSessionRequest& request);
   CloseSessionResponse DoCloseSession(const CloseSessionRequest& request);
-  SearchResponseDto DoSearch(const SearchRequest& request);
-  SearchResponseDto DoRefine(const RefineRequest& request);
-  CompleteResponseDto DoComplete(const CompleteRequest& request);
-  CubeResponseDto DoCube(const CubeRequest& request);
+  SearchResponseDto DoSearch(const SearchRequest& request,
+                             obs::TraceSpan* root);
+  SearchResponseDto DoRefine(const RefineRequest& request,
+                             obs::TraceSpan* root);
+  CompleteResponseDto DoComplete(const CompleteRequest& request,
+                                 obs::TraceSpan* root);
+  CubeResponseDto DoCube(const CubeRequest& request, obs::TraceSpan* root);
 
   const core::Seda* seda_;
   ServiceOptions options_;
@@ -184,18 +245,19 @@ class SedaService {
   uint64_t sessions_created_ = 0;
   uint64_t sessions_evicted_ = 0;
 
-  /// Per-method statz accounting (guarded by stats_mu_ — the mutex costs
-  /// nanoseconds against engine work that costs milliseconds).
-  struct MethodMetrics {
-    uint64_t count = 0;
-    uint64_t errors = 0;
-    uint64_t deadline_exceeded = 0;
-    double total_ms = 0;
-    std::vector<uint64_t> latency_buckets;
-  };
-  mutable std::mutex stats_mu_;
-  MethodMetrics metrics_[kMethodCount];
-  StatsDto cumulative_;  ///< summed engine counters, guarded by stats_mu_
+  /// All request/engine accounting lives in the registry as lock-free
+  /// atomics (see MethodSeries for the contention story); statz renders its
+  /// JSON from these same series, so statz and /metrics can never disagree.
+  obs::MetricsRegistry registry_;
+  MethodSeries method_series_[kMethodCount];
+  /// Cumulative topk::SearchStats counters (seda_engine_*_total), indexed
+  /// in StatsDto field order — see kEngineCounters in service.cc.
+  std::vector<obs::Counter*> engine_counters_;
+  obs::SlowLog slowlog_;
+  /// Per-method slow threshold, resolved once from options_.slowlog.
+  uint64_t slow_threshold_ms_[kMethodCount] = {};
+  /// Round-robin pick for the every-Nth-request sampling knob.
+  mutable std::atomic<uint64_t> sample_counter_{0};
   std::chrono::steady_clock::time_point start_time_ =
       std::chrono::steady_clock::now();
   std::function<std::vector<std::pair<std::string, uint64_t>>()>

@@ -807,6 +807,9 @@ Json ToJson(const SearchRequest& v) {
   json.Set("query", Json::Str(v.query));
   json.Set("k", Json::Uint(v.k));
   json.Set("deadline_ms", Json::Uint(v.deadline_ms));
+  // Only serialized when set, so untraced requests keep their pre-tracing
+  // canonical bytes (same below for responses' "trace" subtree).
+  if (v.trace) json.Set("trace", Json::Bool(true));
   return json;
 }
 
@@ -816,6 +819,7 @@ SearchRequest SearchRequestFromJson(const Json& json) {
   v.query = StringField(json, "query");
   v.k = UintField(json, "k");
   v.deadline_ms = UintField(json, "deadline_ms");
+  v.trace = BoolField(json, "trace");
   return v;
 }
 
@@ -832,6 +836,7 @@ Json ToJson(const SearchResponseDto& v) {
     return ToJson(c);
   }));
   json.Set("stats", ToJson(v.stats));
+  if (!v.trace.name.empty()) json.Set("trace", ToJson(v.trace));
   return json;
 }
 
@@ -846,6 +851,8 @@ SearchResponseDto SearchResponseDtoFromJson(const Json& json) {
       ListFromJson<ConnectionDto>(json.Find("connections"), ConnectionDtoFromJson);
   const Json* stats = json.Find("stats");
   if (stats != nullptr) v.stats = StatsDtoFromJson(*stats);
+  const Json* trace = json.Find("trace");
+  if (trace != nullptr) v.trace = SpanNodeFromJson(*trace);
   return v;
 }
 
@@ -858,6 +865,7 @@ Json ToJson(const RefineRequest& v) {
            }));
   json.Set("k", Json::Uint(v.k));
   json.Set("deadline_ms", Json::Uint(v.deadline_ms));
+  if (v.trace) json.Set("trace", Json::Bool(true));
   return json;
 }
 
@@ -873,6 +881,7 @@ RefineRequest RefineRequestFromJson(const Json& json) {
   }
   v.k = UintField(json, "k");
   v.deadline_ms = UintField(json, "deadline_ms");
+  v.trace = BoolField(json, "trace");
   return v;
 }
 
@@ -884,6 +893,7 @@ Json ToJson(const CompleteRequest& v) {
   for (uint64_t index : v.connections) connections.Append(Json::Uint(index));
   json.Set("connections", std::move(connections));
   json.Set("deadline_ms", Json::Uint(v.deadline_ms));
+  if (v.trace) json.Set("trace", Json::Bool(true));
   return json;
 }
 
@@ -899,6 +909,7 @@ CompleteRequest CompleteRequestFromJson(const Json& json) {
     }
   }
   v.deadline_ms = UintField(json, "deadline_ms");
+  v.trace = BoolField(json, "trace");
   return v;
 }
 
@@ -911,6 +922,7 @@ Json ToJson(const CompleteResponseDto& v) {
   json.Set("twig_count", Json::Uint(v.twig_count));
   json.Set("cross_twig_joins", Json::Uint(v.cross_twig_joins));
   json.Set("stats", ToJson(v.stats));
+  if (!v.trace.name.empty()) json.Set("trace", ToJson(v.trace));
   return json;
 }
 
@@ -930,6 +942,8 @@ CompleteResponseDto CompleteResponseDtoFromJson(const Json& json) {
   v.cross_twig_joins = UintField(json, "cross_twig_joins");
   const Json* stats = json.Find("stats");
   if (stats != nullptr) v.stats = StatsDtoFromJson(*stats);
+  const Json* trace = json.Find("trace");
+  if (trace != nullptr) v.trace = SpanNodeFromJson(*trace);
   return v;
 }
 
@@ -945,6 +959,7 @@ Json ToJson(const CubeRequest& v) {
   json.Set("agg_fn", Json::Str(v.agg_fn));
   json.Set("measure", Json::Str(v.measure));
   json.Set("deadline_ms", Json::Uint(v.deadline_ms));
+  if (v.trace) json.Set("trace", Json::Bool(true));
   return json;
 }
 
@@ -961,6 +976,7 @@ CubeRequest CubeRequestFromJson(const Json& json) {
   if (v.agg_fn.empty()) v.agg_fn = "sum";
   v.measure = StringField(json, "measure");
   v.deadline_ms = UintField(json, "deadline_ms");
+  v.trace = BoolField(json, "trace");
   return v;
 }
 
@@ -1035,6 +1051,7 @@ Json ToJson(const CubeResponseDto& v) {
   }));
   json.Set("cell_total", Json::Double(v.cell_total));
   json.Set("stats", ToJson(v.stats));
+  if (!v.trace.name.empty()) json.Set("trace", ToJson(v.trace));
   return json;
 }
 
@@ -1056,6 +1073,8 @@ CubeResponseDto CubeResponseDtoFromJson(const Json& json) {
   }
   const Json* stats = json.Find("stats");
   if (stats != nullptr) v.stats = StatsDtoFromJson(*stats);
+  const Json* trace = json.Find("trace");
+  if (trace != nullptr) v.trace = SpanNodeFromJson(*trace);
   return v;
 }
 
@@ -1143,6 +1162,136 @@ StatzResponse StatzResponseFromJson(const Json& json) {
   return v;
 }
 
+Json ToJson(const obs::SpanNode& v) {
+  Json json = Json::Object();
+  json.Set("name", Json::Str(v.name));
+  json.Set("start_us", Json::Uint(v.start_us));
+  json.Set("elapsed_us", Json::Uint(v.elapsed_us));
+  if (v.unix_ms != 0) json.Set("unix_ms", Json::Uint(v.unix_ms));
+  if (!v.counters.empty()) {
+    // An array of name/value objects, not an object: keeps insertion order
+    // explicit and survives hypothetical duplicate counter names.
+    Json counters = Json::Array();
+    for (const auto& [name, value] : v.counters) {
+      Json counter = Json::Object();
+      counter.Set("name", Json::Str(name));
+      counter.Set("value", Json::Uint(value));
+      counters.Append(std::move(counter));
+    }
+    json.Set("counters", std::move(counters));
+  }
+  if (!v.children.empty()) {
+    json.Set("children", ListToJson(v.children, [](const obs::SpanNode& child) {
+      return ToJson(child);
+    }));
+  }
+  return json;
+}
+
+obs::SpanNode SpanNodeFromJson(const Json& json) {
+  obs::SpanNode v;
+  v.name = StringField(json, "name");
+  v.start_us = UintField(json, "start_us");
+  v.elapsed_us = UintField(json, "elapsed_us");
+  v.unix_ms = UintField(json, "unix_ms");
+  const Json* counters = json.Find("counters");
+  if (counters != nullptr) {
+    v.counters.reserve(counters->size());
+    for (size_t i = 0; i < counters->size(); ++i) {
+      const Json& counter = counters->at(i);
+      v.counters.emplace_back(StringField(counter, "name"),
+                              UintField(counter, "value"));
+    }
+  }
+  v.children = ListFromJson<obs::SpanNode>(json.Find("children"),
+                                           SpanNodeFromJson);
+  return v;
+}
+
+Json ToJson(const obs::SlowLogEntry& v) {
+  Json json = Json::Object();
+  json.Set("seq", Json::Uint(v.seq));
+  json.Set("unix_ms", Json::Uint(v.unix_ms));
+  json.Set("method", Json::Str(v.method));
+  json.Set("session_id", Json::Str(v.session_id));
+  json.Set("detail", Json::Str(v.detail));
+  json.Set("elapsed_ms", Json::Double(v.elapsed_ms));
+  json.Set("threshold_ms", Json::Uint(v.threshold_ms));
+  json.Set("status_code", Json::Str(v.status_code));
+  json.Set("deadline_exceeded", Json::Bool(v.deadline_exceeded));
+  json.Set("sampled", Json::Bool(v.sampled));
+  if (!v.trace.name.empty()) json.Set("trace", ToJson(v.trace));
+  return json;
+}
+
+obs::SlowLogEntry SlowLogEntryFromJson(const Json& json) {
+  obs::SlowLogEntry v;
+  v.seq = UintField(json, "seq");
+  v.unix_ms = UintField(json, "unix_ms");
+  v.method = StringField(json, "method");
+  v.session_id = StringField(json, "session_id");
+  v.detail = StringField(json, "detail");
+  v.elapsed_ms = DoubleField(json, "elapsed_ms");
+  v.threshold_ms = UintField(json, "threshold_ms");
+  v.status_code = StringField(json, "status_code");
+  v.deadline_exceeded = BoolField(json, "deadline_exceeded");
+  v.sampled = BoolField(json, "sampled");
+  const Json* trace = json.Find("trace");
+  if (trace != nullptr) v.trace = SpanNodeFromJson(*trace);
+  return v;
+}
+
+Json ToJson(const MetriczRequest&) { return Json::Object(); }
+
+MetriczRequest MetriczRequestFromJson(const Json&) { return MetriczRequest{}; }
+
+Json ToJson(const MetriczResponse& v) {
+  Json json = Json::Object();
+  json.Set("status", ToJson(v.status));
+  json.Set("text", Json::Str(v.text));
+  return json;
+}
+
+MetriczResponse MetriczResponseFromJson(const Json& json) {
+  MetriczResponse v;
+  const Json* status = json.Find("status");
+  if (status != nullptr) v.status = WireStatusFromJson(*status);
+  v.text = StringField(json, "text");
+  return v;
+}
+
+Json ToJson(const SlowlogRequest& v) {
+  Json json = Json::Object();
+  json.Set("limit", Json::Uint(v.limit));
+  return json;
+}
+
+SlowlogRequest SlowlogRequestFromJson(const Json& json) {
+  SlowlogRequest v;
+  v.limit = UintField(json, "limit");
+  return v;
+}
+
+Json ToJson(const SlowlogResponse& v) {
+  Json json = Json::Object();
+  json.Set("status", ToJson(v.status));
+  json.Set("total_logged", Json::Uint(v.total_logged));
+  json.Set("entries", ListToJson(v.entries, [](const obs::SlowLogEntry& e) {
+    return ToJson(e);
+  }));
+  return json;
+}
+
+SlowlogResponse SlowlogResponseFromJson(const Json& json) {
+  SlowlogResponse v;
+  const Json* status = json.Find("status");
+  if (status != nullptr) v.status = WireStatusFromJson(*status);
+  v.total_logged = UintField(json, "total_logged");
+  v.entries = ListFromJson<obs::SlowLogEntry>(json.Find("entries"),
+                                              SlowLogEntryFromJson);
+  return v;
+}
+
 // --- String-level wrappers ----------------------------------------------
 
 #define SEDA_API_STRING_CODEC(Type)                                         \
@@ -1177,6 +1326,10 @@ SEDA_API_STRING_CODEC(CubeResponseDto)
 SEDA_API_STRING_CODEC(MethodStatsDto)
 SEDA_API_STRING_CODEC(StatzRequest)
 SEDA_API_STRING_CODEC(StatzResponse)
+SEDA_API_STRING_CODEC(MetriczRequest)
+SEDA_API_STRING_CODEC(MetriczResponse)
+SEDA_API_STRING_CODEC(SlowlogRequest)
+SEDA_API_STRING_CODEC(SlowlogResponse)
 
 #undef SEDA_API_STRING_CODEC
 

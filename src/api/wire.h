@@ -100,6 +100,10 @@ std::string Encode(const CubeResponseDto& v);
 std::string Encode(const MethodStatsDto& v);
 std::string Encode(const StatzRequest& v);
 std::string Encode(const StatzResponse& v);
+std::string Encode(const MetriczRequest& v);
+std::string Encode(const MetriczResponse& v);
+std::string Encode(const SlowlogRequest& v);
+std::string Encode(const SlowlogResponse& v);
 
 Result<WireStatus> DecodeWireStatus(const std::string& json);
 Result<StatsDto> DecodeStatsDto(const std::string& json);
@@ -125,6 +129,10 @@ Result<CubeResponseDto> DecodeCubeResponseDto(const std::string& json);
 Result<MethodStatsDto> DecodeMethodStatsDto(const std::string& json);
 Result<StatzRequest> DecodeStatzRequest(const std::string& json);
 Result<StatzResponse> DecodeStatzResponse(const std::string& json);
+Result<MetriczRequest> DecodeMetriczRequest(const std::string& json);
+Result<MetriczResponse> DecodeMetriczResponse(const std::string& json);
+Result<SlowlogRequest> DecodeSlowlogRequest(const std::string& json);
+Result<SlowlogResponse> DecodeSlowlogResponse(const std::string& json);
 
 // Json-level converters, for composing DTOs into envelopes (the service's
 // Handle() dispatch uses these; the string Encode/Decode pairs above wrap
@@ -153,6 +161,13 @@ Json ToJson(const CubeResponseDto& v);
 Json ToJson(const MethodStatsDto& v);
 Json ToJson(const StatzRequest& v);
 Json ToJson(const StatzResponse& v);
+Json ToJson(const MetriczRequest& v);
+Json ToJson(const MetriczResponse& v);
+Json ToJson(const SlowlogRequest& v);
+Json ToJson(const SlowlogResponse& v);
+// obs plain-data types embedded in responses (span trees, slow-log rows).
+Json ToJson(const obs::SpanNode& v);
+Json ToJson(const obs::SlowLogEntry& v);
 
 WireStatus WireStatusFromJson(const Json& json);
 StatsDto StatsDtoFromJson(const Json& json);
@@ -178,6 +193,12 @@ CubeResponseDto CubeResponseDtoFromJson(const Json& json);
 MethodStatsDto MethodStatsDtoFromJson(const Json& json);
 StatzRequest StatzRequestFromJson(const Json& json);
 StatzResponse StatzResponseFromJson(const Json& json);
+MetriczRequest MetriczRequestFromJson(const Json& json);
+MetriczResponse MetriczResponseFromJson(const Json& json);
+SlowlogRequest SlowlogRequestFromJson(const Json& json);
+SlowlogResponse SlowlogResponseFromJson(const Json& json);
+obs::SpanNode SpanNodeFromJson(const Json& json);
+obs::SlowLogEntry SlowLogEntryFromJson(const Json& json);
 
 }  // namespace seda::api
 

@@ -1,5 +1,7 @@
 #include "core/session.h"
 
+#include "obs/trace.h"
+
 namespace seda::core {
 
 Result<SearchResponse> Session::Search(const query::Query& query) {
@@ -23,7 +25,9 @@ Result<SearchResponse> Session::Search(const std::string& query_text) {
 
 Result<SearchResponse> Session::Search(const std::string& query_text,
                                        const topk::TopKOptions& topk_options) {
+  obs::ScopedSpan parse_span(topk_options.trace, "parse");
   auto query = snapshot_->Parse(query_text);
+  parse_span.End();
   if (!query.ok()) return query.status();
   return Search(query.value(), topk_options);
 }

@@ -1,6 +1,7 @@
 #include "core/snapshot.h"
 
 #include "exec/candidates.h"
+#include "obs/trace.h"
 
 namespace seda::core {
 
@@ -187,9 +188,13 @@ Result<SearchResponse> Snapshot::Search(
 
   // One cursor-built candidate set per query, shared by the top-k engine and
   // the summary generators instead of re-evaluating the expressions.
+  obs::ScopedSpan candidates_span(topk_options.trace, "candidates");
   exec::CandidateSet candidates = exec::BuildCandidates(
       *index_, query, topk_options.max_candidates_per_term);
+  candidates_span.AddCounter("candidates_total", candidates.CandidatesTotal());
+  candidates_span.End();
 
+  obs::ScopedSpan topk_span(topk_options.trace, "topk");
   if (topk_options.shard_count > 1) {
     // Shard-by-DocId scatter-gather (the src/net/ serving mode): every shard
     // scans the same shared candidate set but scores only its own DocIds,
@@ -201,9 +206,13 @@ Result<SearchResponse> Snapshot::Search(
     std::vector<std::vector<topk::ScoredTuple>> shard_topk(shards);
     std::vector<topk::SearchStats> shard_stats(shards);
     std::vector<Status> shard_status(shards);
+    topk_span.AddCounter("shards", shards);
     RunParallel(query_pool_.get(), shards, [&](size_t s) {
       topk::TopKOptions shard_options = topk_options;
       shard_options.shard_index = s;
+      // Traces are single-threaded: the fan-out must not open spans from
+      // worker threads, so shards scan untraced under the one "topk" span.
+      shard_options.trace = nullptr;
       auto result =
           searcher_->Search(query, shard_options, candidates, &shard_stats[s]);
       if (result.ok()) {
@@ -242,13 +251,18 @@ Result<SearchResponse> Snapshot::Search(
       response.stats.deadline_exceeded |= stats.deadline_exceeded;
     }
   } else {
+    // The searcher nests its own group_docs/ta_scan spans under "topk".
+    topk::TopKOptions traced_options = topk_options;
+    traced_options.trace = topk_span.get();
     auto topk_result =
-        searcher_->Search(query, topk_options, candidates, &response.stats);
+        searcher_->Search(query, traced_options, candidates, &response.stats);
     if (!topk_result.ok()) return topk_result.status();
     response.topk = std::move(topk_result).value();
   }
+  topk_span.End();
   response.stats.epoch = epoch_;
 
+  obs::ScopedSpan context_span(topk_options.trace, "context_summary");
   summary::ContextSummaryGenerator context_gen(index_.get());
   std::vector<const std::vector<store::PathId>*> resolved_contexts;
   resolved_contexts.reserve(candidates.terms.size());
@@ -257,12 +271,15 @@ Result<SearchResponse> Snapshot::Search(
                                                         : nullptr);
   }
   response.contexts = context_gen.Generate(query, resolved_contexts);
+  context_span.End();
 
   // The connection summary consumes the engine's top-k tuples directly (the
   // §6.1 instance validation), so it inherits the shared candidate set too.
+  obs::ScopedSpan connection_span(topk_options.trace, "connection_summary");
   summary::ConnectionSummaryGenerator connection_gen(guides_.get(),
                                                      graph_.get());
   response.connections = connection_gen.Generate(response.topk);
+  connection_span.End();
   return response;
 }
 

@@ -60,6 +60,7 @@ Result<StarSchema> CubeBuilder::Build(const twig::CompleteResult& result,
   const size_t m = result.tuples.front().nodes.size();
 
   // ---- Step 1: matching ----
+  obs::ScopedSpan match_span(options.trace, "cube_match");
   std::vector<std::vector<std::string>> column_paths(m);
   for (size_t c = 0; c < m; ++c) {
     std::set<std::string> distinct;
@@ -125,7 +126,11 @@ Result<StarSchema> CubeBuilder::Build(const twig::CompleteResult& result,
     schema.matches.push_back(std::move(match));
   }
 
-  // ---- Step 2: augmentation (manual adds/removes) ----
+  match_span.End();
+
+  // ---- Step 2: augmentation (manual adds/removes) ---- (the spans close
+  // via RAII on the early-return error paths.)
+  obs::ScopedSpan augment_span(options.trace, "cube_augment");
   for (const std::string& name : options.add_facts) {
     const CatalogEntry* fact = catalog_->FindFact(name);
     if (fact == nullptr) return Status::NotFound("unknown fact '" + name + "'");
@@ -152,7 +157,10 @@ Result<StarSchema> CubeBuilder::Build(const twig::CompleteResult& result,
         "no fact identified in the result; define one from a result column");
   }
 
+  augment_span.End();
+
   // ---- Step 3: extraction ----
+  obs::ScopedSpan extract_span(options.trace, "cube_extract");
   struct BuiltFact {
     const CatalogEntry* fact;
     Table table;

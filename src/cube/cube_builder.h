@@ -6,6 +6,7 @@
 
 #include "common/status.h"
 #include "cube/catalog.h"
+#include "obs/trace.h"
 #include "twig/twig.h"
 
 namespace seda::cube {
@@ -62,6 +63,11 @@ class CubeBuilder {
     std::vector<std::string> remove_dimensions;
     /// Merge fact tables whose keys resolve to identical targets.
     bool merge_fact_tables = true;
+    /// Per-request trace span (obs/trace.h): when non-null, Build opens
+    /// child spans (cube_match / cube_augment / cube_extract) under it.
+    /// Single-threaded, per-request, never persisted — see
+    /// topk::TopKOptions::trace for the contract.
+    obs::TraceSpan* trace = nullptr;
   };
 
   Result<StarSchema> Build(const twig::CompleteResult& result,

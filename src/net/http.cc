@@ -1,0 +1,254 @@
+#include "net/http.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace seda::net {
+
+namespace {
+
+bool IsTokenChar(char c) {
+  // RFC 9110 token characters (method and header names).
+  if (c >= 'a' && c <= 'z') return true;
+  if (c >= 'A' && c <= 'Z') return true;
+  if (c >= '0' && c <= '9') return true;
+  return std::strchr("!#$%&'*+-.^_`|~", c) != nullptr;
+}
+
+bool IsToken(std::string_view s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!IsTokenChar(c)) return false;
+  }
+  return true;
+}
+
+std::string_view TrimSpace(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+}  // namespace
+
+std::string HttpRequest::Path() const {
+  const size_t query = target.find('?');
+  return query == std::string::npos ? target : target.substr(0, query);
+}
+
+HttpParse ParseHttpRequest(std::string_view data, HttpRequest* out) {
+  *out = HttpRequest{};
+  size_t pos = 0;
+  bool saw_request_line = false;
+  while (true) {
+    const size_t line_end = data.find('\n', pos);
+    if (line_end == std::string_view::npos) {
+      // No terminator yet: incomplete unless the head is already oversized
+      // (then it can never become valid within the cap).
+      return data.size() - pos > kMaxHttpHeadBytes || pos > kMaxHttpHeadBytes
+                 ? HttpParse::kBad
+                 : HttpParse::kIncomplete;
+    }
+    if (line_end > kMaxHttpHeadBytes) return HttpParse::kBad;
+    std::string_view line = data.substr(pos, line_end - pos);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    pos = line_end + 1;
+
+    if (!saw_request_line) {
+      // Request line: METHOD SP target SP HTTP/x.y — single spaces, no tabs.
+      const size_t sp1 = line.find(' ');
+      if (sp1 == std::string_view::npos) return HttpParse::kBad;
+      const size_t sp2 = line.find(' ', sp1 + 1);
+      if (sp2 == std::string_view::npos) return HttpParse::kBad;
+      std::string_view method = line.substr(0, sp1);
+      std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+      std::string_view version = line.substr(sp2 + 1);
+      if (!IsToken(method)) return HttpParse::kBad;
+      if (target.empty() || target.find(' ') != std::string_view::npos) {
+        return HttpParse::kBad;
+      }
+      if (target[0] != '/' && target != "*") return HttpParse::kBad;
+      if (version.substr(0, 5) != "HTTP/" || version.size() < 8) {
+        return HttpParse::kBad;
+      }
+      out->method = std::string(method);
+      out->target = std::string(target);
+      out->version = std::string(version);
+      saw_request_line = true;
+      continue;
+    }
+
+    if (line.empty()) {  // blank line: end of head
+      out->head_bytes = pos;
+      return HttpParse::kOk;
+    }
+    // Header field: name ":" OWS value OWS. Leading whitespace would be
+    // obsolete line folding — reject it rather than mis-join.
+    if (line.front() == ' ' || line.front() == '\t') return HttpParse::kBad;
+    const size_t colon = line.find(':');
+    if (colon == std::string_view::npos) return HttpParse::kBad;
+    std::string_view name = line.substr(0, colon);
+    if (!IsToken(name)) return HttpParse::kBad;
+    if (out->headers.size() >= kMaxHttpHeaders) return HttpParse::kBad;
+    out->headers.emplace_back(std::string(name),
+                              std::string(TrimSpace(line.substr(colon + 1))));
+  }
+}
+
+std::string HttpResponseText(int status_code, std::string_view reason,
+                             std::string_view content_type,
+                             std::string_view body, bool head_only) {
+  std::string out = "HTTP/1.0 " + std::to_string(status_code) + " ";
+  out.append(reason);
+  out += "\r\nContent-Type: ";
+  out.append(content_type);
+  out += "\r\nContent-Length: " + std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  if (!head_only) out.append(body);
+  return out;
+}
+
+// --- HttpMetricsListener ------------------------------------------------
+
+HttpMetricsListener::HttpMetricsListener(std::string host, uint16_t port,
+                                         Renderer render)
+    : host_(std::move(host)), requested_port_(port), render_(std::move(render)) {}
+
+HttpMetricsListener::~HttpMetricsListener() { Stop(); }
+
+Status HttpMetricsListener::Start() {
+  if (started_) {
+    return Status::FailedPrecondition("metrics listener already started");
+  }
+  listen_fd_ = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int enable = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(requested_port_);
+  if (inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad metrics bind address '" + host_ + "'");
+  }
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      listen(listen_fd_, 16) != 0) {
+    const Status status =
+        Status::IoError(std::string("metrics bind/listen: ") +
+                        std::strerror(errno));
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len) !=
+      0) {
+    const Status status =
+        Status::IoError(std::string("getsockname: ") + std::strerror(errno));
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  port_ = ntohs(addr.sin_port);
+  stop_.store(false, std::memory_order_relaxed);
+  thread_ = std::thread([this] { ThreadMain(); });
+  started_ = true;
+  return Status::OK();
+}
+
+void HttpMetricsListener::Stop() {
+  if (!started_) return;
+  stop_.store(true, std::memory_order_relaxed);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  started_ = false;
+}
+
+void HttpMetricsListener::ThreadMain() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int ready = poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready <= 0) continue;  // timeout (recheck stop) or transient error
+    const int fd = accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) continue;
+    HandleConnection(fd);
+  }
+}
+
+void HttpMetricsListener::HandleConnection(int fd) {
+  // A scrape is one small request; bound both directions so a stuck client
+  // cannot wedge the listener thread for more than a couple of seconds.
+  timeval timeout{};
+  timeout.tv_sec = 2;
+  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+  const int enable = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
+
+  std::string buffer;
+  HttpRequest request;
+  HttpParse parse = HttpParse::kIncomplete;
+  char chunk[1024];
+  while (parse == HttpParse::kIncomplete &&
+         buffer.size() <= kMaxHttpHeadBytes) {
+    const ssize_t n = recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;  // EOF, timeout or error: parse what we have
+    buffer.append(chunk, static_cast<size_t>(n));
+    parse = ParseHttpRequest(buffer, &request);
+  }
+
+  std::string response;
+  if (parse != HttpParse::kOk) {
+    response = HttpResponseText(400, "Bad Request", "text/plain",
+                                "bad request\n");
+  } else if (request.method != "GET" && request.method != "HEAD") {
+    response = HttpResponseText(405, "Method Not Allowed", "text/plain",
+                                "only GET and HEAD are supported\n");
+  } else {
+    const bool head_only = request.method == "HEAD";
+    const std::string path = request.Path();
+    if (path == "/metrics") {
+      response = HttpResponseText(
+          200, "OK", "text/plain; version=0.0.4; charset=utf-8",
+          render_ ? render_() : std::string(), head_only);
+      requests_served_.fetch_add(1, std::memory_order_relaxed);
+    } else if (path == "/healthz") {
+      response = HttpResponseText(200, "OK", "text/plain", "ok\n", head_only);
+      requests_served_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      response = HttpResponseText(404, "Not Found", "text/plain",
+                                  "not found; try /metrics\n", head_only);
+    }
+  }
+  // Best-effort blocking send (SO_SNDTIMEO bounds it); a scraper that went
+  // away mid-response just loses the response.
+  size_t sent = 0;
+  while (sent < response.size()) {
+    const ssize_t n = send(fd, response.data() + sent, response.size() - sent,
+                           MSG_NOSIGNAL);
+    if (n <= 0) break;
+    sent += static_cast<size_t>(n);
+  }
+  close(fd);
+}
+
+}  // namespace seda::net

@@ -1,0 +1,110 @@
+#ifndef SEDA_NET_HTTP_H_
+#define SEDA_NET_HTTP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace seda::net {
+
+/// A parsed HTTP/1.x request head. The metrics listener only ever needs the
+/// request line and (for completeness) the headers — bodies are ignored; a
+/// scrape is a bare GET.
+struct HttpRequest {
+  std::string method;   ///< "GET", "HEAD", ...
+  std::string target;   ///< request target as sent ("/metrics", "/metrics?x")
+  std::string version;  ///< "HTTP/1.0" or "HTTP/1.1"
+  std::vector<std::pair<std::string, std::string>> headers;
+  /// Bytes consumed through the blank line ending the head.
+  size_t head_bytes = 0;
+
+  /// `target` without any query string.
+  std::string Path() const;
+};
+
+enum class HttpParse {
+  kOk,          ///< a complete, well-formed head was parsed
+  kIncomplete,  ///< need more bytes (head not terminated yet)
+  kBad,         ///< malformed — answer 400 and close
+};
+
+/// Head-size cap: a scrape request head has no business being larger. Past
+/// it an unterminated head parses as kBad instead of kIncomplete, so a
+/// trickling client cannot hold buffer memory forever.
+inline constexpr size_t kMaxHttpHeadBytes = 8192;
+/// Header-count cap, same rationale.
+inline constexpr size_t kMaxHttpHeaders = 64;
+
+/// Incremental parser over the head of `data` (a prefix of a connection's
+/// byte stream). Tolerates both CRLF and bare-LF line endings (curl sends
+/// CRLF; test clients often do not). Never reads past the terminating blank
+/// line; on kOk, `out->head_bytes` says where a body (ignored) would start.
+/// This is the surface fuzz/http_fuzzer.cc drives.
+HttpParse ParseHttpRequest(std::string_view data, HttpRequest* out);
+
+/// Serializes a minimal HTTP/1.0 response (Connection: close, explicit
+/// Content-Length). `head_only` elides the body (HEAD requests) while
+/// keeping the Content-Length of the would-be body, per RFC 9110 §9.3.2.
+std::string HttpResponseText(int status_code, std::string_view reason,
+                             std::string_view content_type,
+                             std::string_view body, bool head_only = false);
+
+/// A deliberately minimal HTTP/1.0 responder for Prometheus scrapes, on its
+/// own listener port so the frame protocol stays the only thing on the main
+/// one. One thread, one connection at a time, connection closed after each
+/// response — exactly the traffic shape of a scraper hitting /metrics every
+/// few seconds. Not a general web server, on purpose.
+///
+/// Routes: GET/HEAD /metrics (render callback), GET/HEAD /healthz ("ok"),
+/// anything else 404; non-GET/HEAD methods 405; malformed heads 400.
+class HttpMetricsListener {
+ public:
+  using Renderer = std::function<std::string()>;
+
+  /// `render` produces the exposition text per scrape; it must be
+  /// thread-safe (it runs on the listener thread).
+  HttpMetricsListener(std::string host, uint16_t port, Renderer render);
+  ~HttpMetricsListener();
+  HttpMetricsListener(const HttpMetricsListener&) = delete;
+  HttpMetricsListener& operator=(const HttpMetricsListener&) = delete;
+
+  /// Binds, listens and spawns the listener thread.
+  Status Start();
+  /// Stops the thread and closes the socket; idempotent.
+  void Stop();
+
+  /// The bound port (after Start); useful with port = 0.
+  uint16_t port() const { return port_; }
+
+  /// Scrapes served (any 2xx response), for tests and statz.
+  uint64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void ThreadMain();
+  /// Reads one request head off `fd`, writes one response, closes `fd`.
+  void HandleConnection(int fd);
+
+  std::string host_;
+  uint16_t requested_port_;
+  Renderer render_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> requests_served_{0};
+  bool started_ = false;
+};
+
+}  // namespace seda::net
+
+#endif  // SEDA_NET_HTTP_H_

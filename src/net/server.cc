@@ -14,6 +14,7 @@
 #include <cstring>
 
 #include "common/check.h"
+#include "obs/metrics.h"
 
 namespace seda::net {
 
@@ -118,6 +119,18 @@ Status Server::Start() {
       loops_[0]->Add(listen_fd_, EPOLLIN, [this](uint32_t) { AcceptReady(); }));
 
   service_->set_transport_statz([this] { return TransportStatz(); });
+  RegisterMetrics();
+  if (options_.metrics_port >= 0) {
+    metrics_listener_ = std::make_unique<HttpMetricsListener>(
+        options_.host, static_cast<uint16_t>(options_.metrics_port),
+        [service = service_] { return service->RenderMetrics(); });
+    const Status listener_status = metrics_listener_->Start();
+    if (!listener_status.ok()) {
+      metrics_listener_.reset();
+      UnregisterMetrics();
+      return listener_status;
+    }
+  }
 
   size_t worker_threads = options_.worker_threads;
   if (worker_threads == 0) {
@@ -305,6 +318,71 @@ void Server::OnConnectionClosed(Connection*) {
   // The registry entry is compacted by the owning loop's next tick.
 }
 
+void Server::RegisterMetrics() {
+  obs::MetricsRegistry& registry = service_->metrics();
+  // Monotonic transport counters: the values live in stats_ (updated on the
+  // IO threads' hot paths with plain relaxed atomics), so the registry holds
+  // render-time callbacks instead of duplicating the accounting.
+  struct CounterSpec {
+    const char* name;
+    const char* help;
+    const std::atomic<uint64_t>* value;
+  };
+  const CounterSpec counters[] = {
+      {"seda_net_connections_accepted_total", "Connections accepted.",
+       &stats_.connections_accepted},
+      {"seda_net_connections_refused_total",
+       "Connections refused at accept (connection cap or draining).",
+       &stats_.connections_refused},
+      {"seda_net_frames_received_total", "Request frames decoded.",
+       &stats_.frames_received},
+      {"seda_net_responses_sent_total", "Response frames fully written.",
+       &stats_.responses_sent},
+      {"seda_net_requests_shed_total",
+       "Requests answered with an overloaded error frame.",
+       &stats_.requests_shed},
+      {"seda_net_protocol_errors_total", "Frame decoder failures.",
+       &stats_.protocol_errors},
+      {"seda_net_idle_closed_total", "Connections closed by the idle sweep.",
+       &stats_.idle_closed},
+      {"seda_net_bytes_read_total", "Bytes read off accepted sockets.",
+       &stats_.bytes_read},
+      {"seda_net_bytes_written_total", "Bytes written to accepted sockets.",
+       &stats_.bytes_written},
+  };
+  registered_metrics_.clear();
+  for (const CounterSpec& spec : counters) {
+    registry.AddCallbackCounter(spec.name, spec.help, {},
+                                [value = spec.value] {
+                                  return value->load(std::memory_order_relaxed);
+                                });
+    registered_metrics_.emplace_back(spec.name);
+  }
+  registry.AddGauge("seda_net_connections_active", "Open connections.", {},
+                    [this] {
+                      return static_cast<double>(admission_.connection_count());
+                    });
+  registered_metrics_.emplace_back("seda_net_connections_active");
+  registry.AddGauge("seda_net_queue_depth",
+                    "Requests waiting in the IO->worker queue.", {},
+                    [this] { return static_cast<double>(queue_.size()); });
+  registered_metrics_.emplace_back("seda_net_queue_depth");
+  registry.AddGauge(
+      "seda_net_inflight", "Requests queued or executing.", {}, [this] {
+        return static_cast<double>(
+            inflight_total_.load(std::memory_order_relaxed));
+      });
+  registered_metrics_.emplace_back("seda_net_inflight");
+}
+
+void Server::UnregisterMetrics() {
+  obs::MetricsRegistry& registry = service_->metrics();
+  for (const std::string& name : registered_metrics_) {
+    registry.Unregister(name);
+  }
+  registered_metrics_.clear();
+}
+
 std::vector<std::pair<std::string, uint64_t>> Server::TransportStatz() const {
   return {
       {"connections_active", admission_.connection_count()},
@@ -330,6 +408,11 @@ void Server::Stop() {
   std::lock_guard<std::mutex> lock(lifecycle_mu_);
   if (!started_ || stopped_) return;
   stopped_ = true;
+
+  // 0. Retire the scrape listener and the registry callbacks that read this
+  // server's state, so no render can observe a half-torn-down transport.
+  if (metrics_listener_ != nullptr) metrics_listener_->Stop();
+  UnregisterMetrics();
 
   // 1. Stop accepting; new frames on live connections shed with "draining".
   draining_.store(true, std::memory_order_relaxed);

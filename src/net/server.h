@@ -18,6 +18,7 @@
 #include "net/admission.h"
 #include "net/connection.h"
 #include "net/event_loop.h"
+#include "net/http.h"
 
 namespace seda::net {
 
@@ -48,6 +49,12 @@ struct ServerOptions {
   uint64_t drain_timeout_ms = 5000;
   /// Admission control (connection caps, in-flight caps, rate limits).
   AdmissionOptions admission;
+  /// Prometheus scrape port (`GET /metrics`, net/http.h) on the same host:
+  /// -1 = no HTTP listener (default), 0 = ephemeral (read back via
+  /// metrics_port()), >0 = fixed. Kept off the frame port so the exposition
+  /// needs no frame-speaking client — `curl` and a Prometheus scraper work
+  /// as-is (seda_server --metrics-port lands here).
+  int metrics_port = -1;
 };
 
 /// Transport counters, all monotonic. Exposed raw for tests and exported
@@ -100,6 +107,10 @@ class Server {
 
   /// The bound port (after Start); useful with port = 0.
   uint16_t port() const { return port_; }
+  /// The bound HTTP metrics port, or 0 when no listener was configured.
+  uint16_t metrics_port() const {
+    return metrics_listener_ != nullptr ? metrics_listener_->port() : 0;
+  }
 
   const ServerStats& stats() const { return stats_; }
   const ServerOptions& options() const { return options_; }
@@ -144,6 +155,11 @@ class Server {
 
   void AcceptReady();
   void WorkerMain();
+  /// Registers the transport's metric families (seda_net_*) with the
+  /// service's registry; Stop() unregisters them so the render-time
+  /// callbacks never outlive this server.
+  void RegisterMetrics();
+  void UnregisterMetrics();
   /// Builds the `overloaded` (or protocol-error) envelope for a refusal.
   static std::string RefusalPayload(AdmissionVerdict verdict,
                                     const api::Json* id);
@@ -173,6 +189,11 @@ class Server {
   bool started_ = false;
   bool stopped_ = false;
   std::mutex lifecycle_mu_;
+
+  /// HTTP scrape responder (only when options_.metrics_port >= 0).
+  std::unique_ptr<HttpMetricsListener> metrics_listener_;
+  /// Family names registered with the service registry, for teardown.
+  std::vector<std::string> registered_metrics_;
 };
 
 }  // namespace seda::net

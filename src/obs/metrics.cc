@@ -1,0 +1,279 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace seda::obs {
+
+namespace {
+
+/// HELP text escaping: backslash and newline (no quotes in HELP).
+std::string EscapeHelp(const std::string& help) {
+  std::string out;
+  out.reserve(help.size());
+  for (char c : help) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// `le` bound formatting: trimmed shortest form ("0.25", "5", "10000").
+/// %.6g is deterministic for the magnitudes histogram bounds use.
+std::string FormatBound(double bound) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", bound);
+  return buffer;
+}
+
+std::string RenderLabels(const LabelSet& labels) {
+  if (labels.empty()) return std::string();
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += key;
+    out += "=\"";
+    out += EscapeLabelValue(value);
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+/// Label text with one extra label appended (histogram `le`), reusing the
+/// precomputed label_text.
+std::string LabelsWith(const std::string& label_text, const std::string& key,
+                       const std::string& value) {
+  std::string out;
+  if (label_text.empty()) {
+    out = "{" + key + "=\"" + value + "\"}";
+  } else {
+    out = label_text.substr(0, label_text.size() - 1) + "," + key + "=\"" +
+          value + "\"}";
+  }
+  return out;
+}
+
+const char* TypeName(int type) {
+  switch (type) {
+    case 0: return "counter";
+    case 1: return "gauge";
+    default: return "histogram";
+  }
+}
+
+}  // namespace
+
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string FormatMetricValue(double value) {
+  char buffer[64];
+  if (std::floor(value) == value && std::fabs(value) < 9.007199254740992e15) {
+    std::snprintf(buffer, sizeof(buffer), "%lld",
+                  static_cast<long long>(value));
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.3f", value);
+  }
+  return buffer;
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  bins_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) bins_[i].store(0);
+}
+
+void Histogram::Observe(double value) {
+  size_t bin = 0;
+  while (bin < bounds_.size() && value > bounds_[bin]) ++bin;
+  bins_[bin].fetch_add(1, std::memory_order_relaxed);
+  const double scaled = value <= 0 ? 0.0 : value * 1000.0;
+  sum_thousandths_.fetch_add(static_cast<uint64_t>(std::llround(scaled)),
+                             std::memory_order_relaxed);
+}
+
+uint64_t Histogram::TotalCount() const {
+  uint64_t total = 0;
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    total += bins_[i].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+MetricsRegistry::Family* MetricsRegistry::FamilyFor(const std::string& name,
+                                                    Type type,
+                                                    const std::string& help) {
+  auto [it, inserted] = families_.try_emplace(name);
+  if (inserted) {
+    it->second.type = type;
+    it->second.help = help;
+  }
+  return &it->second;
+}
+
+MetricsRegistry::Series* MetricsRegistry::SeriesFor(Family* family,
+                                                    LabelSet labels) {
+  const std::string label_text = RenderLabels(labels);
+  for (const std::unique_ptr<Series>& series : family->series) {
+    if (series->label_text == label_text) return series.get();
+  }
+  auto series = std::make_unique<Series>();
+  series->labels = std::move(labels);
+  series->label_text = label_text;
+  family->series.push_back(std::move(series));
+  return family->series.back().get();
+}
+
+Counter* MetricsRegistry::AddCounter(const std::string& name,
+                                     const std::string& help,
+                                     LabelSet labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Series* series =
+      SeriesFor(FamilyFor(name, Type::kCounter, help), std::move(labels));
+  if (series->counter == nullptr) series->counter = std::make_unique<Counter>();
+  return series->counter.get();
+}
+
+Histogram* MetricsRegistry::AddHistogram(const std::string& name,
+                                         const std::string& help,
+                                         std::vector<double> bounds,
+                                         LabelSet labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Series* series =
+      SeriesFor(FamilyFor(name, Type::kHistogram, help), std::move(labels));
+  if (series->histogram == nullptr) {
+    series->histogram = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return series->histogram.get();
+}
+
+void MetricsRegistry::AddCallbackCounter(const std::string& name,
+                                         const std::string& help,
+                                         LabelSet labels,
+                                         std::function<uint64_t()> value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Series* series =
+      SeriesFor(FamilyFor(name, Type::kCounter, help), std::move(labels));
+  series->callback_u64 = std::move(value);
+}
+
+void MetricsRegistry::AddGauge(const std::string& name, const std::string& help,
+                               LabelSet labels,
+                               std::function<double()> value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Series* series =
+      SeriesFor(FamilyFor(name, Type::kGauge, help), std::move(labels));
+  series->callback_double = std::move(value);
+}
+
+void MetricsRegistry::Unregister(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  families_.erase(name);
+}
+
+std::string MetricsRegistry::RenderText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  out.reserve(4096);
+  for (const auto& [name, family] : families_) {
+    out += "# HELP " + name + " " + EscapeHelp(family.help) + "\n";
+    out += "# TYPE " + name + " ";
+    out += TypeName(static_cast<int>(family.type));
+    out += "\n";
+    // Series sorted by rendered label text; registration order is
+    // deterministic in this codebase but sorting makes rendering
+    // independent of it.
+    std::vector<const Series*> ordered;
+    ordered.reserve(family.series.size());
+    for (const std::unique_ptr<Series>& series : family.series) {
+      ordered.push_back(series.get());
+    }
+    std::sort(ordered.begin(), ordered.end(),
+              [](const Series* a, const Series* b) {
+                return a->label_text < b->label_text;
+              });
+    for (const Series* series : ordered) {
+      if (family.type == Type::kHistogram && series->histogram != nullptr) {
+        const Histogram& histogram = *series->histogram;
+        uint64_t cumulative = 0;
+        for (size_t i = 0; i < histogram.bounds().size(); ++i) {
+          cumulative += histogram.BinCount(i);
+          out += name + "_bucket" +
+                 LabelsWith(series->label_text, "le",
+                            FormatBound(histogram.bounds()[i])) +
+                 " " + std::to_string(cumulative) + "\n";
+        }
+        cumulative += histogram.BinCount(histogram.bounds().size());
+        out += name + "_bucket" +
+               LabelsWith(series->label_text, "le", "+Inf") + " " +
+               std::to_string(cumulative) + "\n";
+        out += name + "_sum" + series->label_text + " " +
+               FormatMetricValue(histogram.Sum()) + "\n";
+        out += name + "_count" + series->label_text + " " +
+               std::to_string(cumulative) + "\n";
+        continue;
+      }
+      double value = 0;
+      if (series->counter != nullptr) {
+        value = static_cast<double>(series->counter->Value());
+      } else if (series->callback_u64) {
+        value = static_cast<double>(series->callback_u64());
+      } else if (series->callback_double) {
+        value = series->callback_double();
+      }
+      out += name + series->label_text + " " + FormatMetricValue(value) + "\n";
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, double>> out;
+  for (const auto& [name, family] : families_) {
+    for (const std::unique_ptr<Series>& series : family.series) {
+      if (family.type == Type::kHistogram && series->histogram != nullptr) {
+        out.emplace_back(name + "_sum" + series->label_text,
+                         series->histogram->Sum());
+        out.emplace_back(
+            name + "_count" + series->label_text,
+            static_cast<double>(series->histogram->TotalCount()));
+        continue;
+      }
+      double value = 0;
+      if (series->counter != nullptr) {
+        value = static_cast<double>(series->counter->Value());
+      } else if (series->callback_u64) {
+        value = static_cast<double>(series->callback_u64());
+      } else if (series->callback_double) {
+        value = series->callback_double();
+      }
+      out.emplace_back(name + series->label_text, value);
+    }
+  }
+  return out;
+}
+
+}  // namespace seda::obs

@@ -1,0 +1,150 @@
+#ifndef SEDA_OBS_METRICS_H_
+#define SEDA_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace seda::obs {
+
+/// Label set of one time series, in render order. Values are escaped at
+/// render time — callers pass raw strings.
+using LabelSet = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonic counter. Inc() is a single relaxed fetch_add — safe from any
+/// thread, no lock, no false ordering against the work being counted.
+class Counter {
+ public:
+  void Inc(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Fixed-bucket histogram over non-negative samples. Buckets are defined by
+/// strictly increasing upper bounds plus an implicit overflow (+Inf) bucket;
+/// each Observe() increments exactly one per-bin count (rendering converts
+/// to Prometheus cumulative form). The sum is kept in integer thousandths of
+/// the observed unit (for latency-in-ms that is microseconds) so it stays a
+/// plain atomic — no atomic<double> CAS loop on the hot path.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double value);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Number of bins including the overflow bucket.
+  size_t BucketCount() const { return bounds_.size() + 1; }
+  /// Per-bin (non-cumulative) count of bin `i`.
+  uint64_t BinCount(size_t i) const {
+    return bins_[i].load(std::memory_order_relaxed);
+  }
+  uint64_t TotalCount() const;
+  /// Sum of observed values (thousandth-resolution, see class comment).
+  double Sum() const {
+    return static_cast<double>(
+               sum_thousandths_.load(std::memory_order_relaxed)) /
+           1000.0;
+  }
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> bins_;
+  std::atomic<uint64_t> sum_thousandths_{0};
+};
+
+/// A process-wide registry of named metric families with byte-stable
+/// Prometheus text-exposition rendering (format 0.0.4):
+///
+///   - families render sorted by name, series within a family sorted by
+///     their rendered label string, label values escaped (\\, \", \n) — the
+///     same registry state always renders the same bytes;
+///   - counters and histograms hand out stable pointers whose updates are
+///     lock-free relaxed atomics (the registration-time mutex is never taken
+///     on the update path);
+///   - gauges and callback counters sample a thread-safe callback at render
+///     time, for values owned elsewhere (session registry size, queue
+///     depth, transport counters).
+///
+/// Registering an existing (name, labels) series returns the existing
+/// handle (counters/histograms) or replaces the callback — so a restarted
+/// net::Server re-registering its transport series is idempotent.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The returned pointers stay valid for the registry's lifetime.
+  Counter* AddCounter(const std::string& name, const std::string& help,
+                      LabelSet labels = {});
+  Histogram* AddHistogram(const std::string& name, const std::string& help,
+                          std::vector<double> bounds, LabelSet labels = {});
+  /// Monotonic counter whose value lives elsewhere; `value` must be
+  /// thread-safe and non-blocking (it runs inside every render).
+  void AddCallbackCounter(const std::string& name, const std::string& help,
+                          LabelSet labels, std::function<uint64_t()> value);
+  /// Instantaneous gauge, same callback contract.
+  void AddGauge(const std::string& name, const std::string& help,
+                LabelSet labels, std::function<double()> value);
+
+  /// Drops a whole family (every series under `name`); no-op when absent.
+  /// Lets a transport unregister its callbacks before it is destroyed.
+  void Unregister(const std::string& name);
+
+  /// Prometheus text exposition of every family. Byte-stable: two calls
+  /// with the same underlying values return identical bytes.
+  std::string RenderText() const;
+
+  /// Flattened `name{labels}` -> value snapshot of every non-histogram
+  /// series plus histogram `_sum`/`_count`, for tests and round-trip checks.
+  std::vector<std::pair<std::string, double>> Snapshot() const;
+
+ private:
+  enum class Type { kCounter, kGauge, kHistogram };
+
+  struct Series {
+    LabelSet labels;
+    std::string label_text;  ///< rendered `{a="b",...}` or empty
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Histogram> histogram;
+    std::function<uint64_t()> callback_u64;
+    std::function<double()> callback_double;
+  };
+
+  struct Family {
+    Type type = Type::kCounter;
+    std::string help;
+    /// unique_ptr: handle addresses survive vector growth.
+    std::vector<std::unique_ptr<Series>> series;
+  };
+
+  Family* FamilyFor(const std::string& name, Type type,
+                    const std::string& help);
+  Series* SeriesFor(Family* family, LabelSet labels);
+
+  mutable std::mutex mu_;
+  /// std::map: deterministic name order for free.
+  std::map<std::string, Family> families_;
+};
+
+/// Escapes a label value per the exposition format: backslash, double quote
+/// and newline. Exposed for tests.
+std::string EscapeLabelValue(const std::string& value);
+
+/// Formats a sample value deterministically: integers (the common case for
+/// counters) render without a decimal point, everything else with three
+/// decimals — enough for millisecond sums kept at microsecond resolution.
+std::string FormatMetricValue(double value);
+
+}  // namespace seda::obs
+
+#endif  // SEDA_OBS_METRICS_H_

@@ -1,0 +1,41 @@
+#include "obs/slowlog.h"
+
+#include <algorithm>
+
+namespace seda::obs {
+
+uint64_t SlowLogOptions::ThresholdFor(const std::string& method) const {
+  for (const auto& [name, threshold] : method_threshold_ms) {
+    if (name == method) return threshold;
+  }
+  return default_threshold_ms;
+}
+
+void SlowLog::Add(SlowLogEntry entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entry.seq = next_seq_++;
+  ++total_;
+  ring_.push_back(std::move(entry));
+  while (options_.capacity > 0 && ring_.size() > options_.capacity) {
+    ring_.pop_front();
+  }
+}
+
+std::vector<SlowLogEntry> SlowLog::Entries(size_t limit) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SlowLogEntry> out;
+  const size_t count =
+      limit == 0 ? ring_.size() : std::min(limit, ring_.size());
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    out.push_back(ring_[ring_.size() - 1 - i]);  // newest first
+  }
+  return out;
+}
+
+uint64_t SlowLog::TotalLogged() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+}  // namespace seda::obs

@@ -1,0 +1,75 @@
+#ifndef SEDA_OBS_SLOWLOG_H_
+#define SEDA_OBS_SLOWLOG_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace seda::obs {
+
+/// Slow-query log policy. A request lands in the log when its latency meets
+/// the method's threshold (the slow path) or when the sampling knob picked
+/// it regardless of latency (the every-Nth-request path — compiled in,
+/// disabled by default; see api::ServiceOptions::trace_sample_every_n).
+struct SlowLogOptions {
+  /// Ring capacity: the newest `capacity` entries are retained.
+  size_t capacity = 128;
+  /// Latency threshold in ms for methods without an override. 0 = the
+  /// threshold path is off for those methods (sampling still works).
+  uint64_t default_threshold_ms = 1000;
+  /// Per-method overrides ("search", "cube", ...); 0 disables that method.
+  std::vector<std::pair<std::string, uint64_t>> method_threshold_ms;
+
+  uint64_t ThresholdFor(const std::string& method) const;
+};
+
+/// One logged request: summary + the detached span tree (empty when the
+/// service runs with tracing disabled).
+struct SlowLogEntry {
+  uint64_t seq = 0;      ///< monotonic id, stamped by Add()
+  uint64_t unix_ms = 0;  ///< wall clock at completion
+  std::string method;
+  std::string session_id;
+  std::string detail;  ///< query text / request summary
+  double elapsed_ms = 0;
+  uint64_t threshold_ms = 0;  ///< threshold in force when logged
+  std::string status_code;
+  bool deadline_exceeded = false;
+  bool sampled = false;  ///< captured by the sampling knob, not the threshold
+  SpanNode trace;
+};
+
+/// Bounded in-memory ring of slow/sampled requests. Add() is O(1) amortized
+/// under a mutex taken only for logged requests — the common (fast, not
+/// sampled) request never touches it.
+class SlowLog {
+ public:
+  explicit SlowLog(SlowLogOptions options) : options_(std::move(options)) {}
+
+  /// Stamps `seq` and appends, evicting the oldest entry past capacity.
+  void Add(SlowLogEntry entry);
+
+  /// Entries newest-first; `limit` caps the result (0 = all retained).
+  std::vector<SlowLogEntry> Entries(size_t limit = 0) const;
+
+  /// Total entries ever logged (including evicted ones).
+  uint64_t TotalLogged() const;
+
+  const SlowLogOptions& options() const { return options_; }
+
+ private:
+  SlowLogOptions options_;
+  mutable std::mutex mu_;
+  std::deque<SlowLogEntry> ring_;
+  uint64_t next_seq_ = 1;
+  uint64_t total_ = 0;
+};
+
+}  // namespace seda::obs
+
+#endif  // SEDA_OBS_SLOWLOG_H_

@@ -1,0 +1,91 @@
+#include "obs/trace.h"
+
+namespace seda::obs {
+
+namespace {
+
+uint64_t DiffUs(std::chrono::steady_clock::time_point from,
+                std::chrono::steady_clock::time_point to) {
+  if (to <= from) return 0;
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(to - from)
+          .count());
+}
+
+}  // namespace
+
+uint64_t SpanNode::SelfUs() const {
+  uint64_t child_total = 0;
+  for (const SpanNode& child : children) child_total += child.elapsed_us;
+  return child_total >= elapsed_us ? 0 : elapsed_us - child_total;
+}
+
+Trace::Trace(const char* root_name) {
+  wall_unix_ms_ = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+  NewSpan(root_name);
+}
+
+TraceSpan* Trace::NewSpan(const char* name) {
+  spans_.emplace_back(TraceSpan(this, name, std::chrono::steady_clock::now()));
+  return &spans_.back();
+}
+
+TraceSpan* TraceSpan::StartChild(const char* name) {
+  TraceSpan* child = trace_->NewSpan(name);
+  children_.push_back(child);
+  return child;
+}
+
+void TraceSpan::AddCounter(const char* name, uint64_t value) {
+  counters_.emplace_back(name, value);
+}
+
+void TraceSpan::End() {
+  if (ended_) return;
+  ended_ = true;
+  end_ = std::chrono::steady_clock::now();
+}
+
+SpanNode Trace::Detach() {
+  SpanNode root;
+  if (spans_.empty()) return root;
+  // Close leftovers (normally just the root): a span forgotten open would
+  // otherwise report a zero end time and wreck the tree's arithmetic.
+  for (TraceSpan& span : spans_) span.End();
+
+  const std::chrono::steady_clock::time_point origin = spans_.front().start_;
+  // Recursive conversion without recursion: an explicit stack of
+  // (source span, destination node) pairs keeps deep trees safe.
+  struct Frame {
+    const TraceSpan* span;
+    SpanNode* node;
+  };
+  std::vector<Frame> stack;
+  root.unix_ms = wall_unix_ms_;
+  stack.push_back({&spans_.front(), &root});
+  while (!stack.empty()) {
+    Frame frame = stack.back();
+    stack.pop_back();
+    const TraceSpan& span = *frame.span;
+    SpanNode& node = *frame.node;
+    node.name = span.name_;
+    node.start_us = DiffUs(origin, span.start_);
+    node.elapsed_us = DiffUs(span.start_, span.end_);
+    node.counters.reserve(span.counters_.size());
+    for (const auto& [name, value] : span.counters_) {
+      node.counters.emplace_back(name, value);
+    }
+    node.children.resize(span.children_.size());
+    for (size_t i = 0; i < span.children_.size(); ++i) {
+      stack.push_back({span.children_[i], &node.children[i]});
+    }
+  }
+  spans_.clear();
+  wall_unix_ms_ = 0;
+  return root;
+}
+
+}  // namespace seda::obs

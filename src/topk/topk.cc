@@ -108,9 +108,11 @@ Result<std::vector<ScoredTuple>> TopKSearcher::SearchImpl(
   exec::CandidateSet local_candidates;
   const exec::CandidateSet* candidates = shared_candidates;
   if (candidates == nullptr) {
+    obs::ScopedSpan span(options.trace, "candidates");
     local_candidates =
         exec::BuildCandidates(*index_, query, options.max_candidates_per_term);
     candidates = &local_candidates;
+    span.AddCounter("candidates_total", local_candidates.CandidatesTotal());
   }
 
   SearchStats local_stats;
@@ -118,6 +120,7 @@ Result<std::vector<ScoredTuple>> TopKSearcher::SearchImpl(
   local_stats.postings_advanced = candidates->stats.postings_advanced;
   local_stats.docs_skipped = candidates->stats.docs_skipped;
 
+  obs::ScopedSpan group_span(options.trace, "group_docs");
   // Document-at-a-time alignment: the per-term score-sorted streams are
   // regrouped by candidate document, remembering each term's best content
   // score inside the document for the TA upper bound. Per-document buckets
@@ -232,6 +235,16 @@ Result<std::vector<ScoredTuple>> TopKSearcher::SearchImpl(
     return a.second < b.second;
   });
   local_stats.docs_considered = order.size();
+  group_span.AddCounter("docs_considered", order.size());
+  group_span.End();
+
+  obs::ScopedSpan scan_span(options.trace, "ta_scan");
+  // Wall time spent inside connection scoring (the RunParallel batches),
+  // accumulated on the coordinating thread only — span-level attribution of
+  // "TA scan vs. connection scoring" without touching the trace from
+  // workers. Two extra clock reads per scored document, and only when the
+  // request is traced.
+  uint64_t scoring_us = 0;
 
   TupleHeap best(options.k, TupleRankLess);
   // Per-document scratch, reused across the scan: the tuples awaiting
@@ -362,6 +375,9 @@ Result<std::vector<ScoredTuple>> TopKSearcher::SearchImpl(
     ThreadPool* pool =
         !sharded && batch.size() >= options.parallel_batch_min ? pool_
                                                                : nullptr;
+    const auto score_start = options.trace != nullptr
+                                 ? std::chrono::steady_clock::now()
+                                 : std::chrono::steady_clock::time_point{};
     RunParallel(pool, batch.size(), [&](size_t i) {
       std::vector<store::NodeId> node_ids;
       node_ids.reserve(m);
@@ -370,6 +386,12 @@ Result<std::vector<ScoredTuple>> TopKSearcher::SearchImpl(
                                         options.max_connect_visits,
                                         &kernel_stats[i]);
     });
+    if (options.trace != nullptr) {
+      scoring_us += static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - score_start)
+              .count());
+    }
     for (const graph::GraphStats& ks : kernel_stats) {
       local_stats.bfs_expansions += ks.bfs_expansions;
       local_stats.intersection_probes += ks.intersection_probes;
@@ -383,6 +405,11 @@ Result<std::vector<ScoredTuple>> TopKSearcher::SearchImpl(
       best.Insert(std::move(tuple), &local_stats.heap_evictions);
     }
   }
+
+  scan_span.AddCounter("docs_scored", local_stats.docs_scored);
+  scan_span.AddCounter("tuples_scored", local_stats.tuples_scored);
+  scan_span.AddCounter("connection_scoring_us", scoring_us);
+  scan_span.End();
 
   if (stats != nullptr) *stats = local_stats;
   return best.TakeSorted();

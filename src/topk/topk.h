@@ -9,6 +9,7 @@
 #include "common/status.h"
 #include "exec/candidates.h"
 #include "graph/data_graph.h"
+#include "obs/trace.h"
 #include "query/query.h"
 #include "text/inverted_index.h"
 
@@ -114,6 +115,14 @@ struct TopKOptions {
   size_t shard_count = 0;
   /// Which shard this scan serves; must be < shard_count when sharded.
   size_t shard_index = 0;
+  /// Per-request trace span (obs/trace.h): when non-null, the scan opens
+  /// child spans (candidates / group_docs / ta_scan) under it and attaches
+  /// its counters at close. Spans are touched only on the coordinating
+  /// thread — the RunParallel scoring fan-out reports through counters, and
+  /// the sharded serving mode clears this per shard (core::Snapshot::Search
+  /// owns the one sharded-scan span). Like deadline_ms this is a per-request
+  /// field, deliberately NOT persisted in snapshot images.
+  obs::TraceSpan* trace = nullptr;
   /// Per-request wall-clock budget for the scan, in milliseconds (0 = none).
   /// Checked cooperatively once per candidate document: when it fires, the
   /// scan stops, SearchStats::deadline_exceeded is set, and the tuples scored

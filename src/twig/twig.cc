@@ -366,7 +366,9 @@ Result<CompleteResult> CompleteResultGenerator::Execute(
   const Plan& plan = plan_result.value();
   const size_t m = terms.size();
   DeadlineGuard guard(options.deadline_ms);
+  obs::ScopedSpan streams_span(options.trace, "term_streams");
   auto streams = TermStreams(terms);
+  streams_span.End();
   const store::PathDictionary& dict = index_->store().paths();
 
   // ---- Per-twig pattern construction ----
@@ -392,6 +394,8 @@ Result<CompleteResult> CompleteResultGenerator::Execute(
   };
   std::vector<TwigResult> twig_results(plan.twig_count);
 
+  obs::ScopedSpan match_span(options.trace, "twig_match");
+  match_span.AddCounter("twigs", plan.twig_count);
   for (size_t twig_id = 0; twig_id < plan.twig_count; ++twig_id) {
     if (guard.Expired()) break;  // remaining twigs yield no tuples
     std::vector<size_t> twig_terms;
@@ -621,8 +625,11 @@ Result<CompleteResult> CompleteResultGenerator::Execute(
     };
     assign(assign, 0);
   }
+  match_span.End();
 
-  // ---- Cross-twig joins ----
+  // ---- Cross-twig joins ---- (the span closes on whichever return path
+  // ends the join phase; RAII keeps partial/deadline exits covered.)
+  obs::ScopedSpan join_span(options.trace, "cross_twig_join");
   CompleteResult result;
   result.twig_count = plan.twig_count;
 

@@ -10,6 +10,7 @@
 #include "common/status.h"
 #include "dataguide/dataguide.h"
 #include "graph/data_graph.h"
+#include "obs/trace.h"
 #include "text/inverted_index.h"
 
 namespace seda::twig {
@@ -67,6 +68,11 @@ struct ExecuteOptions {
   /// checks the clock cooperatively inside the matching, enumeration and
   /// join loops and returns a well-formed partial result on expiry.
   uint64_t deadline_ms = 0;
+  /// Per-request trace span (obs/trace.h): when non-null, Execute opens
+  /// child spans (term_streams / twig_match / cross_twig_join) under it.
+  /// Single-threaded, per-request, never persisted — see
+  /// topk::TopKOptions::trace for the contract.
+  obs::TraceSpan* trace = nullptr;
 };
 
 /// The complete-result generator (paper §7): partitions the connection graph

@@ -709,7 +709,7 @@ TEST(ServiceTest, StatzAccountsForEveryRequestPath) {
   EXPECT_GT(statz.uptime_ms, 0.0);
   ASSERT_FALSE(statz.bucket_bounds_ms.empty());
 
-  ASSERT_EQ(statz.methods.size(), 7u);
+  ASSERT_EQ(statz.methods.size(), 9u);
   uint64_t histogram_total = 0;
   for (const MethodStatsDto& method : statz.methods) {
     ASSERT_EQ(method.latency_buckets.size(),

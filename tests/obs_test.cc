@@ -1,0 +1,277 @@
+// Unit tests for src/obs/: the metrics registry (including a byte-golden
+// Prometheus exposition), trace spans, and the slow-query log ring.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/slowlog.h"
+#include "obs/trace.h"
+
+namespace seda::obs {
+namespace {
+
+// --- MetricsRegistry ----------------------------------------------------
+
+TEST(MetricsRegistry, CounterIncrementsAndRenders) {
+  MetricsRegistry registry;
+  Counter* counter = registry.AddCounter("seda_test_total", "A test counter.");
+  counter->Inc();
+  counter->Inc(41);
+  EXPECT_EQ(counter->Value(), 42u);
+  EXPECT_NE(registry.RenderText().find("seda_test_total 42\n"),
+            std::string::npos);
+}
+
+TEST(MetricsRegistry, ReregistrationReturnsSameHandle) {
+  MetricsRegistry registry;
+  Counter* first = registry.AddCounter("seda_idem_total", "Idempotent.");
+  first->Inc(7);
+  Counter* second = registry.AddCounter("seda_idem_total", "Idempotent.");
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(second->Value(), 7u);
+}
+
+TEST(MetricsRegistry, LabeledSeriesAreDistinct) {
+  MetricsRegistry registry;
+  Counter* a =
+      registry.AddCounter("seda_labeled_total", "Labeled.", {{"method", "a"}});
+  Counter* b =
+      registry.AddCounter("seda_labeled_total", "Labeled.", {{"method", "b"}});
+  EXPECT_NE(a, b);
+  a->Inc(1);
+  b->Inc(2);
+  const std::string text = registry.RenderText();
+  EXPECT_NE(text.find("seda_labeled_total{method=\"a\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("seda_labeled_total{method=\"b\"} 2\n"),
+            std::string::npos);
+}
+
+TEST(MetricsRegistry, UnregisterDropsFamily) {
+  MetricsRegistry registry;
+  registry.AddCallbackCounter("seda_gone_total", "Doomed.", {},
+                              [] { return 9u; });
+  ASSERT_NE(registry.RenderText().find("seda_gone_total"), std::string::npos);
+  registry.Unregister("seda_gone_total");
+  EXPECT_EQ(registry.RenderText().find("seda_gone_total"), std::string::npos);
+  registry.Unregister("seda_gone_total");  // idempotent on absent families
+}
+
+TEST(MetricsRegistry, HistogramBinsAndSum) {
+  Histogram histogram({1.0, 10.0});
+  histogram.Observe(0.5);   // bin 0
+  histogram.Observe(1.0);   // bin 0 (le is inclusive)
+  histogram.Observe(5.0);   // bin 1
+  histogram.Observe(99.0);  // overflow bin
+  EXPECT_EQ(histogram.BucketCount(), 3u);
+  EXPECT_EQ(histogram.BinCount(0), 2u);
+  EXPECT_EQ(histogram.BinCount(1), 1u);
+  EXPECT_EQ(histogram.BinCount(2), 1u);
+  EXPECT_EQ(histogram.TotalCount(), 4u);
+  EXPECT_DOUBLE_EQ(histogram.Sum(), 105.5);
+}
+
+TEST(MetricsRegistry, EscapeLabelValue) {
+  EXPECT_EQ(EscapeLabelValue("plain"), "plain");
+  EXPECT_EQ(EscapeLabelValue("a\\b"), "a\\\\b");
+  EXPECT_EQ(EscapeLabelValue("a\"b"), "a\\\"b");
+  EXPECT_EQ(EscapeLabelValue("a\nb"), "a\\nb");
+}
+
+TEST(MetricsRegistry, FormatMetricValue) {
+  EXPECT_EQ(FormatMetricValue(0), "0");
+  EXPECT_EQ(FormatMetricValue(42), "42");
+  EXPECT_EQ(FormatMetricValue(1.5), "1.500");
+}
+
+// The byte-golden exposition: families in name order, series in label order,
+// histograms in cumulative form with +Inf/_sum/_count, label values escaped.
+// If this test breaks, a scraper's view of the server changed — update the
+// golden deliberately, not incidentally.
+TEST(MetricsRegistry, GoldenExposition) {
+  MetricsRegistry registry;
+  // Registered intentionally out of name order to prove rendering sorts.
+  registry.AddGauge("seda_test_gauge", "An instantaneous value.", {},
+                    [] { return 2.5; });
+  Counter* plain = registry.AddCounter("seda_test_alpha_total", "Alpha.");
+  plain->Inc(3);
+  Counter* weird = registry.AddCounter(
+      "seda_test_labels_total", "Label escaping.",
+      {{"query", "(name, \"a\\b\")"}, {"note", "line1\nline2"}});
+  weird->Inc();
+  Histogram* latency = registry.AddHistogram(
+      "seda_test_latency_ms", "Latency.", {0.25, 1.0, 10.0}, {{"method", "x"}});
+  latency->Observe(0.1);
+  latency->Observe(0.5);
+  latency->Observe(100.0);
+
+  const std::string expected =
+      "# HELP seda_test_alpha_total Alpha.\n"
+      "# TYPE seda_test_alpha_total counter\n"
+      "seda_test_alpha_total 3\n"
+      "# HELP seda_test_gauge An instantaneous value.\n"
+      "# TYPE seda_test_gauge gauge\n"
+      "seda_test_gauge 2.500\n"
+      "# HELP seda_test_labels_total Label escaping.\n"
+      "# TYPE seda_test_labels_total counter\n"
+      "seda_test_labels_total{query=\"(name, \\\"a\\\\b\\\")\","
+      "note=\"line1\\nline2\"} 1\n"
+      "# HELP seda_test_latency_ms Latency.\n"
+      "# TYPE seda_test_latency_ms histogram\n"
+      "seda_test_latency_ms_bucket{method=\"x\",le=\"0.25\"} 1\n"
+      "seda_test_latency_ms_bucket{method=\"x\",le=\"1\"} 2\n"
+      "seda_test_latency_ms_bucket{method=\"x\",le=\"10\"} 2\n"
+      "seda_test_latency_ms_bucket{method=\"x\",le=\"+Inf\"} 3\n"
+      "seda_test_latency_ms_sum{method=\"x\"} 100.600\n"
+      "seda_test_latency_ms_count{method=\"x\"} 3\n";
+  EXPECT_EQ(registry.RenderText(), expected);
+  // Byte-stable: rendering twice with unchanged values is identical.
+  EXPECT_EQ(registry.RenderText(), expected);
+}
+
+TEST(MetricsRegistry, ConcurrentIncrementsAreLossless) {
+  MetricsRegistry registry;
+  Counter* counter = registry.AddCounter("seda_race_total", "Raced.");
+  Histogram* histogram =
+      registry.AddHistogram("seda_race_ms", "Raced.", {1.0, 10.0});
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter->Inc();
+        histogram->Observe(0.5);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter->Value(), uint64_t{kThreads} * kPerThread);
+  EXPECT_EQ(histogram->TotalCount(), uint64_t{kThreads} * kPerThread);
+}
+
+// --- Trace --------------------------------------------------------------
+
+TEST(Trace, DisabledTraceIsInert) {
+  Trace trace;
+  EXPECT_FALSE(trace.enabled());
+  EXPECT_EQ(trace.root(), nullptr);
+  const SpanNode node = trace.Detach();
+  EXPECT_TRUE(node.name.empty());
+  // ScopedSpan over a null parent is the always-on engine path.
+  ScopedSpan span(nullptr, "never");
+  EXPECT_EQ(span.get(), nullptr);
+  span.AddCounter("ignored", 1);
+}
+
+TEST(Trace, SpanTreeStructure) {
+  Trace trace("request");
+  TraceSpan* root = trace.root();
+  ASSERT_NE(root, nullptr);
+  {
+    ScopedSpan parse(root, "parse");
+    parse.AddCounter("terms", 2);
+  }
+  {
+    ScopedSpan scan(root, "scan");
+    ScopedSpan inner(scan.get(), "score");
+  }
+  const SpanNode node = trace.Detach();
+  EXPECT_EQ(node.name, "request");
+  EXPECT_GT(node.unix_ms, 0u);  // root carries the wall-clock anchor
+  ASSERT_EQ(node.children.size(), 2u);
+  EXPECT_EQ(node.children[0].name, "parse");
+  ASSERT_EQ(node.children[0].counters.size(), 1u);
+  EXPECT_EQ(node.children[0].counters[0].first, "terms");
+  EXPECT_EQ(node.children[0].counters[0].second, 2u);
+  EXPECT_EQ(node.children[0].unix_ms, 0u);  // children are offset-positioned
+  EXPECT_EQ(node.children[1].name, "scan");
+  ASSERT_EQ(node.children[1].children.size(), 1u);
+  EXPECT_EQ(node.children[1].children[0].name, "score");
+}
+
+TEST(Trace, ChildTimesNestWithinParent) {
+  Trace trace("request");
+  {
+    ScopedSpan child(trace.root(), "child");
+    ScopedSpan grandchild(child.get(), "grandchild");
+  }
+  const SpanNode node = trace.Detach();
+  ASSERT_EQ(node.children.size(), 1u);
+  const SpanNode& child = node.children[0];
+  // Single-threaded trace invariant: each child starts within the parent
+  // and the sum of direct children never exceeds the parent's elapsed time.
+  EXPECT_GE(child.start_us, node.start_us);
+  uint64_t children_us = 0;
+  for (const SpanNode& c : node.children) children_us += c.elapsed_us;
+  EXPECT_LE(children_us, node.elapsed_us);
+  EXPECT_EQ(node.SelfUs(), node.elapsed_us - children_us);
+}
+
+TEST(Trace, DetachClosesOpenSpans) {
+  Trace trace("request");
+  TraceSpan* open = trace.root()->StartChild("left_open");
+  (void)open;
+  const SpanNode node = trace.Detach();
+  ASSERT_EQ(node.children.size(), 1u);
+  EXPECT_EQ(node.children[0].name, "left_open");
+}
+
+TEST(Trace, EndIsIdempotent) {
+  Trace trace("request");
+  ScopedSpan span(trace.root(), "once");
+  span.End();
+  span.End();
+  const SpanNode node = trace.Detach();
+  ASSERT_EQ(node.children.size(), 1u);
+}
+
+// --- SlowLog ------------------------------------------------------------
+
+SlowLogEntry MakeEntry(const std::string& method, double elapsed_ms) {
+  SlowLogEntry entry;
+  entry.method = method;
+  entry.elapsed_ms = elapsed_ms;
+  return entry;
+}
+
+TEST(SlowLog, ThresholdResolution) {
+  SlowLogOptions options;
+  options.default_threshold_ms = 500;
+  options.method_threshold_ms = {{"search", 50}, {"cube", 0}};
+  EXPECT_EQ(options.ThresholdFor("search"), 50u);
+  EXPECT_EQ(options.ThresholdFor("cube"), 0u);  // explicit off
+  EXPECT_EQ(options.ThresholdFor("statz"), 500u);
+}
+
+TEST(SlowLog, RingEvictsOldestAndCountsTotal) {
+  SlowLogOptions options;
+  options.capacity = 2;
+  SlowLog log(options);
+  log.Add(MakeEntry("a", 1));
+  log.Add(MakeEntry("b", 2));
+  log.Add(MakeEntry("c", 3));
+  EXPECT_EQ(log.TotalLogged(), 3u);
+  const std::vector<SlowLogEntry> entries = log.Entries();
+  ASSERT_EQ(entries.size(), 2u);
+  // Newest first; seq keeps counting across evictions.
+  EXPECT_EQ(entries[0].method, "c");
+  EXPECT_EQ(entries[0].seq, 3u);
+  EXPECT_EQ(entries[1].method, "b");
+}
+
+TEST(SlowLog, EntriesLimit) {
+  SlowLog log(SlowLogOptions{});
+  for (int i = 0; i < 5; ++i) log.Add(MakeEntry("m", i));
+  EXPECT_EQ(log.Entries(2).size(), 2u);
+  EXPECT_EQ(log.Entries(0).size(), 5u);
+  EXPECT_EQ(log.Entries(99).size(), 5u);
+}
+
+}  // namespace
+}  // namespace seda::obs

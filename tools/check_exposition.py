@@ -1,0 +1,261 @@
+#!/usr/bin/env python3
+"""Prometheus text-exposition (version 0.0.4) linter for CI scrapes.
+
+Reads an exposition payload from stdin (or a file argument) and exits
+non-zero on any format violation, so the CI server-smoke step can gate a
+live `GET /metrics` scrape without installing a real Prometheus:
+
+    curl -s http://127.0.0.1:$PORT/metrics | tools/check_exposition.py
+
+Checked invariants (the subset a scraper actually depends on):
+  - every non-empty line is a `# HELP`, `# TYPE`, or sample line;
+  - each family has at most one HELP and one TYPE, HELP before TYPE,
+    both before the family's first sample, TYPE value is a known kind;
+  - sample names are valid metric identifiers and belong to the family
+    announced by the preceding TYPE (histograms may append `_bucket`,
+    `_sum`, `_count`);
+  - label blocks parse (quoted values, `\\` `\"` `\n` escapes only)
+    and no series (name + label set) appears twice;
+  - sample values parse as floats (including +Inf/-Inf/NaN);
+  - histograms have cumulative, monotonically non-decreasing buckets
+    ending in `le="+Inf"`, and carry `_sum` and `_count` samples with
+    `_count` equal to the +Inf bucket.
+
+Stdlib only; no third-party deps.
+"""
+
+import re
+import sys
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+class Lint:
+    def __init__(self):
+        self.errors = []
+
+    def error(self, lineno, message):
+        self.errors.append(f"line {lineno}: {message}")
+
+
+def parse_value(text):
+    if text in ("+Inf", "Inf"):
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    if text == "NaN":
+        return float("nan")
+    return float(text)  # raises ValueError on garbage
+
+
+def parse_labels(block, lineno, lint):
+    """Parse `name="value",...` (no surrounding braces). Returns a dict or
+    None on malformed input. Only \\\\, \\" and \\n escapes are legal."""
+    labels = {}
+    i = 0
+    while i < len(block):
+        eq = block.find("=", i)
+        if eq < 0:
+            lint.error(lineno, f"label block missing '=': {block[i:]!r}")
+            return None
+        name = block[i:eq]
+        if not LABEL_NAME.match(name):
+            lint.error(lineno, f"bad label name {name!r}")
+            return None
+        if eq + 1 >= len(block) or block[eq + 1] != '"':
+            lint.error(lineno, f"label {name!r} value is not quoted")
+            return None
+        value = []
+        j = eq + 2
+        while j < len(block):
+            ch = block[j]
+            if ch == "\\":
+                if j + 1 >= len(block) or block[j + 1] not in ('\\', '"', 'n'):
+                    lint.error(lineno, f"bad escape in label {name!r}")
+                    return None
+                value.append({"\\": "\\", '"': '"', "n": "\n"}[block[j + 1]])
+                j += 2
+            elif ch == '"':
+                break
+            else:
+                value.append(ch)
+                j += 1
+        else:
+            lint.error(lineno, f"unterminated label value for {name!r}")
+            return None
+        if name in labels:
+            lint.error(lineno, f"duplicate label name {name!r}")
+            return None
+        labels[name] = "".join(value)
+        i = j + 1
+        if i < len(block):
+            if block[i] != ",":
+                lint.error(lineno, f"expected ',' after label {name!r}")
+                return None
+            i += 1
+    return labels
+
+
+def family_of(sample_name, families):
+    """Map a sample name to its announced family, honoring histogram
+    suffixes. Longest match wins so `a_bucket` prefers family `a_bucket`
+    over histogram family `a`."""
+    if sample_name in families:
+        return sample_name
+    for suffix in ("_bucket", "_sum", "_count"):
+        if sample_name.endswith(suffix):
+            base = sample_name[: -len(suffix)]
+            if base in families and families[base]["type"] == "histogram":
+                return base
+    return None
+
+
+def main():
+    if len(sys.argv) > 2:
+        print("usage: check_exposition.py [exposition-file]", file=sys.stderr)
+        return 2
+    if len(sys.argv) == 2:
+        with open(sys.argv[1], "r", encoding="utf-8") as fh:
+            text = fh.read()
+    else:
+        text = sys.stdin.read()
+
+    lint = Lint()
+    # family name -> {"help": bool, "type": str|None, "samples": int}
+    families = {}
+    seen_series = set()
+    # histogram family -> list of (labels-without-le, le, value, lineno)
+    buckets = {}
+    hist_sum = set()
+    hist_count = {}
+    samples_total = 0
+
+    for lineno, line in enumerate(text.split("\n"), start=1):
+        if line == "":
+            continue
+        if line.startswith("#"):
+            parts = line.split(" ", 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                # Arbitrary comments are legal exposition; only malformed
+                # HELP/TYPE-looking lines are errors.
+                if len(parts) >= 2 and parts[1] in ("HELP", "TYPE"):
+                    lint.error(lineno, f"truncated # {parts[1]} line")
+                continue
+            kind, name = parts[1], parts[2]
+            if not METRIC_NAME.match(name):
+                lint.error(lineno, f"bad metric name in # {kind}: {name!r}")
+                continue
+            family = families.setdefault(
+                name, {"help": False, "type": None, "samples": 0})
+            if kind == "HELP":
+                if family["help"]:
+                    lint.error(lineno, f"duplicate # HELP for {name}")
+                if family["type"] is not None or family["samples"]:
+                    lint.error(lineno, f"# HELP for {name} after TYPE/samples")
+                family["help"] = True
+            else:
+                value = parts[3] if len(parts) > 3 else ""
+                if value not in TYPES:
+                    lint.error(lineno, f"unknown TYPE {value!r} for {name}")
+                if family["type"] is not None:
+                    lint.error(lineno, f"duplicate # TYPE for {name}")
+                if family["samples"]:
+                    lint.error(lineno, f"# TYPE for {name} after samples")
+                family["type"] = value
+            continue
+
+        # Sample line: name[{labels}] value
+        match = re.match(r"^([^\s{]+)(\{([^}]*)\})? (\S+)$", line)
+        if not match:
+            lint.error(lineno, f"unparseable sample line: {line!r}")
+            continue
+        sample_name, _, label_block, value_text = match.groups()
+        if not METRIC_NAME.match(sample_name):
+            lint.error(lineno, f"bad sample name {sample_name!r}")
+            continue
+        labels = parse_labels(label_block, lineno, lint) if label_block else {}
+        if labels is None:
+            continue
+        try:
+            value = parse_value(value_text)
+        except ValueError:
+            lint.error(lineno, f"bad sample value {value_text!r}")
+            continue
+
+        series = (sample_name, tuple(sorted(labels.items())))
+        if series in seen_series:
+            lint.error(lineno, f"duplicate series {sample_name}{labels}")
+        seen_series.add(series)
+        samples_total += 1
+
+        base = family_of(sample_name, families)
+        if base is None:
+            lint.error(lineno, f"sample {sample_name!r} has no # TYPE family")
+            continue
+        families[base]["samples"] += 1
+
+        if families[base]["type"] == "histogram":
+            rest = tuple(sorted((k, v) for k, v in labels.items()
+                                if k != "le"))
+            if sample_name.endswith("_bucket"):
+                if "le" not in labels:
+                    lint.error(lineno, f"{sample_name} bucket without le")
+                    continue
+                try:
+                    bound = parse_value(labels["le"])
+                except ValueError:
+                    lint.error(lineno, f"bad le bound {labels['le']!r}")
+                    continue
+                buckets.setdefault((base, rest), []).append(
+                    (bound, value, lineno))
+            elif sample_name.endswith("_sum"):
+                hist_sum.add((base, rest))
+            elif sample_name.endswith("_count"):
+                hist_count[(base, rest)] = (value, lineno)
+
+    for name, family in families.items():
+        if family["type"] is None:
+            lint.error(0, f"family {name} has samples but no # TYPE")
+        if not family["help"]:
+            lint.error(0, f"family {name} has no # HELP")
+        if family["samples"] == 0:
+            lint.error(0, f"family {name} announced but has no samples")
+
+    for (base, rest), entries in buckets.items():
+        bounds = [bound for bound, _, _ in entries]
+        if bounds != sorted(bounds):
+            lint.error(entries[0][2],
+                       f"{base} buckets not in ascending le order")
+        if bounds[-1] != float("inf"):
+            lint.error(entries[-1][2], f"{base} missing le=\"+Inf\" bucket")
+        counts = [count for _, count, _ in entries]
+        if any(b > a for a, b in zip(counts[1:], counts)):
+            lint.error(entries[0][2],
+                       f"{base} bucket counts are not cumulative")
+        if (base, rest) not in hist_sum:
+            lint.error(0, f"histogram {base} missing _sum sample")
+        if (base, rest) not in hist_count:
+            lint.error(0, f"histogram {base} missing _count sample")
+        elif bounds[-1] == float("inf") and \
+                hist_count[(base, rest)][0] != counts[-1]:
+            lint.error(hist_count[(base, rest)][1],
+                       f"{base}_count != +Inf bucket count")
+
+    if samples_total == 0:
+        lint.error(0, "exposition contains no samples")
+
+    if lint.errors:
+        for err in lint.errors:
+            print(f"check_exposition: {err}", file=sys.stderr)
+        print(f"check_exposition: FAIL ({len(lint.errors)} error(s), "
+              f"{samples_total} sample(s))", file=sys.stderr)
+        return 1
+    print(f"check_exposition: OK ({len(families)} families, "
+          f"{samples_total} samples)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Validate a traced search response's span tree for CI.
+
+Reads the JSON response envelope (one object, possibly surrounded by other
+stdout lines) from stdin and checks the structural invariants the tracing
+layer promises:
+
+  - the envelope carries a "trace" object whose root span is named after
+    the request method (default: search);
+  - every span has a string name and non-negative integer elapsed_us;
+  - only the root span carries a wall-clock anchor (unix_ms > 0);
+  - at every node, the children's elapsed_us sum to at most the parent's
+    elapsed_us (children time nests within the parent; monotonic clock);
+  - each child's [start_us, start_us + elapsed_us] window lies within its
+    parent's window;
+  - counters, when present, are {name, value} with integer values >= 0.
+
+Usage (CI server smoke):
+    echo '{"method":"search","query":"...","k":3,"trace":true}' \\
+      | ./explore_cli --connect 127.0.0.1:$PORT \\
+      | tools/check_trace.py
+
+Exits non-zero with a diagnostic on any violation. Stdlib only.
+"""
+
+import json
+import sys
+
+
+def fail(message):
+    print(f"check_trace: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_span(span, path, is_root):
+    if not isinstance(span, dict):
+        fail(f"{path}: span is not an object")
+    name = span.get("name")
+    if not isinstance(name, str) or not name:
+        fail(f"{path}: missing or empty span name")
+    path = f"{path}/{name}"
+    elapsed = span.get("elapsed_us")
+    if not isinstance(elapsed, int) or elapsed < 0:
+        fail(f"{path}: elapsed_us {elapsed!r} is not a non-negative int")
+    start = span.get("start_us", 0)
+    if not isinstance(start, int) or start < 0:
+        fail(f"{path}: start_us {start!r} is not a non-negative int")
+    unix_ms = span.get("unix_ms", 0)
+    if is_root:
+        if not isinstance(unix_ms, int) or unix_ms <= 0:
+            fail(f"{path}: root span missing wall-clock anchor unix_ms")
+    elif unix_ms != 0:
+        fail(f"{path}: non-root span carries unix_ms {unix_ms!r}")
+
+    for counter in span.get("counters", []):
+        cname = counter.get("name") if isinstance(counter, dict) else None
+        cvalue = counter.get("value") if isinstance(counter, dict) else None
+        if not isinstance(cname, str) or not cname:
+            fail(f"{path}: counter without a name")
+        if not isinstance(cvalue, int) or cvalue < 0:
+            fail(f"{path}: counter {cname} value {cvalue!r} is not a "
+                 f"non-negative int")
+
+    spans = 1
+    child_total = 0
+    for child in span.get("children", []):
+        spans += check_span(child, path, is_root=False)
+        child_total += child.get("elapsed_us", 0)
+        child_start = child.get("start_us", 0)
+        child_end = child_start + child.get("elapsed_us", 0)
+        if child_start < start or child_end > start + elapsed:
+            fail(f"{path}: child {child.get('name')!r} window "
+                 f"[{child_start},{child_end}]us escapes parent "
+                 f"[{start},{start + elapsed}]us")
+    if child_total > elapsed:
+        fail(f"{path}: children sum {child_total}us exceeds span "
+             f"elapsed {elapsed}us")
+    return spans
+
+
+def main():
+    root_name = sys.argv[1] if len(sys.argv) > 1 else "search"
+    envelope = None
+    for line in sys.stdin:
+        line = line.strip()
+        if not line.startswith("{"):
+            continue
+        try:
+            candidate = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(candidate, dict) and "trace" in candidate:
+            envelope = candidate
+            break
+    if envelope is None:
+        fail("no JSON line with a \"trace\" field on stdin")
+
+    status = envelope.get("status", {})
+    if isinstance(status, dict) and status.get("code") not in (None, "OK"):
+        fail(f"response status is {status.get('code')!r}, not OK")
+
+    trace = envelope["trace"]
+    if trace.get("name") != root_name:
+        fail(f"root span is {trace.get('name')!r}, expected {root_name!r}")
+    spans = check_span(trace, "", is_root=True)
+    print(f"check_trace: OK ({spans} spans, root {trace['elapsed_us']}us)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

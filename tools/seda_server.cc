@@ -23,6 +23,11 @@
 //   --idle-timeout-ms N close idle connections, 0 = never      (default 60000)
 //   --request-timeout-ms N  transport deadline injected into deadline_ms
 //   --max-frame-bytes N frame payload cap          (default 16 MiB)
+//   --metrics-port N    HTTP GET /metrics listener; 0 = ephemeral,
+//                       omit = no listener
+//   --metrics-port-file PATH  write the bound metrics port
+//   --slow-ms N         slow-query log threshold, 0 = off      (default 1000)
+//   --trace-sample N    trace + slow-log every Nth request, 0 = off
 
 #include <csignal>
 #include <cstdio>
@@ -56,7 +61,10 @@ uint64_t UintFlag(const char* value, const char* flag) {
 int main(int argc, char** argv) {
   std::string image_path;
   std::string port_file;
+  std::string metrics_port_file;
   double factbook_scale = 0.15;
+  uint64_t slow_ms = 1000;
+  uint64_t trace_sample = 0;
   seda::net::ServerOptions options;
   options.port = 7474;
   options.io_threads = 2;
@@ -89,6 +97,10 @@ int main(int argc, char** argv) {
     else if (flag == "--idle-timeout-ms") options.idle_timeout_ms = UintFlag(next(), "--idle-timeout-ms");
     else if (flag == "--request-timeout-ms") options.request_timeout_ms = UintFlag(next(), "--request-timeout-ms");
     else if (flag == "--max-frame-bytes") options.max_frame_bytes = static_cast<uint32_t>(UintFlag(next(), "--max-frame-bytes"));
+    else if (flag == "--metrics-port") options.metrics_port = static_cast<int>(UintFlag(next(), "--metrics-port"));
+    else if (flag == "--metrics-port-file") metrics_port_file = next();
+    else if (flag == "--slow-ms") slow_ms = UintFlag(next(), "--slow-ms");
+    else if (flag == "--trace-sample") trace_sample = UintFlag(next(), "--trace-sample");
     else {
       std::fprintf(stderr, "unknown flag '%s'\n", flag.c_str());
       return 2;
@@ -119,6 +131,8 @@ int main(int argc, char** argv) {
 
   seda::api::ServiceOptions service_options;
   service_options.topk_shards = shards;
+  service_options.slowlog.default_threshold_ms = slow_ms;
+  service_options.trace_sample_every_n = trace_sample;
   seda::api::SedaService service(&seda, service_options);
   seda::net::Server server(&service, options);
   if (seda::Status started = server.Start(); !started.ok()) {
@@ -134,6 +148,19 @@ int main(int argc, char** argv) {
     std::fprintf(out, "%u\n", server.port());
     std::fclose(out);
   }
+  if (!metrics_port_file.empty()) {
+    std::FILE* out = std::fopen(metrics_port_file.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", metrics_port_file.c_str());
+      return 1;
+    }
+    std::fprintf(out, "%u\n", server.metrics_port());
+    std::fclose(out);
+  }
+  if (server.metrics_port() != 0) {
+    std::fprintf(stderr, "metrics on http://%s:%u/metrics\n",
+                 options.host.c_str(), server.metrics_port());
+  }
   // Scripts (CI smoke, bench) wait for this exact line.
   std::fprintf(stderr, "listening on %s:%u (shards=%zu)\n",
                options.host.c_str(), server.port(), shards);
@@ -147,6 +174,25 @@ int main(int argc, char** argv) {
   }
   std::fprintf(stderr, "draining...\n");
   server.Stop();
+  // Dump the slow-query log on the way out: the last place those entries
+  // exist once the process dies, and exactly when an operator wants them.
+  const seda::obs::SlowLog& slowlog = service.slow_log();
+  const auto entries = slowlog.Entries();
+  if (!entries.empty()) {
+    std::fprintf(stderr, "slow-query log (%llu logged, %zu retained):\n",
+                 static_cast<unsigned long long>(slowlog.TotalLogged()),
+                 entries.size());
+    for (const seda::obs::SlowLogEntry& entry : entries) {
+      std::fprintf(stderr,
+                   "  #%llu %s %.3fms (threshold %llums)%s%s %s\n",
+                   static_cast<unsigned long long>(entry.seq),
+                   entry.method.c_str(), entry.elapsed_ms,
+                   static_cast<unsigned long long>(entry.threshold_ms),
+                   entry.sampled ? " [sampled]" : "",
+                   entry.deadline_exceeded ? " [deadline]" : "",
+                   entry.detail.c_str());
+    }
+  }
   const auto& stats = server.stats();
   std::fprintf(stderr,
                "served %llu frames (%llu shed, %llu protocol errors) over "
