@@ -23,6 +23,8 @@
 //   --statz     after the queries, pretty-print the statz envelope
 //   --slowlog   sample every request into the slow-query log (in-process
 //               only) and pretty-print it after the queries
+//   --columns   print the schema-inferred columnar projections of the
+//               loaded snapshot (path, type, support, null fraction)
 //
 // Every query below flows through SedaService::Handle() — parse, execute,
 // encode — exactly the path a network frontend would use.
@@ -41,6 +43,27 @@
 #include "net/client.h"
 
 namespace {
+
+/// Pretty-prints the snapshot's schema-inferred columnar projections
+/// (src/column/): one line per column with its inferred type, document
+/// support and null fraction (documents without a value for the path).
+void PrintColumns(const seda::core::Snapshot& snap) {
+  const seda::column::ColumnStore& columns = snap.columns();
+  std::printf("--- columnar projections: %zu columns over %zu docs ---\n",
+              columns.size(), columns.doc_count());
+  std::printf("  %-60s %-7s %5s %7s %6s %s\n", "path", "type", "rows",
+              "support", "nulls", "dict");
+  for (const auto& col : columns.columns()) {
+    const double support = columns.doc_count() == 0
+                               ? 0.0
+                               : static_cast<double>(col.docs_present()) /
+                                     static_cast<double>(columns.doc_count());
+    std::printf("  %-60s %-7s %5zu %6.1f%% %5.1f%% %zu\n", col.path().c_str(),
+                seda::column::ValueTypeName(col.type()), col.rows(),
+                100.0 * support, 100.0 * (1.0 - support), col.dict_size());
+  }
+  std::printf("\n");
+}
 
 /// Renders the service's JSON search response like the paper's three panels.
 void PrintPanels(const seda::api::SearchResponseDto& response) {
@@ -209,6 +232,7 @@ int main(int argc, char** argv) {
   bool trace = false;
   bool show_statz = false;
   bool show_slowlog = false;
+  bool show_columns = false;
   std::vector<std::string> queries;
   bool pipe_mode = false;
   for (int i = 1; i < argc; ++i) {
@@ -217,6 +241,7 @@ int main(int argc, char** argv) {
     else if (arg == "--trace") trace = true;
     else if (arg == "--statz") show_statz = true;
     else if (arg == "--slowlog") show_slowlog = true;
+    else if (arg == "--columns") show_columns = true;
     else queries.push_back(arg);
   }
   if (!pipe_mode) std::printf("loading synthetic World Factbook...\n");
@@ -254,6 +279,7 @@ int main(int argc, char** argv) {
   std::printf("loaded %zu docs; session '%s' pinned to epoch %llu\n\n",
               seda.store().DocumentCount(), created.session_id.c_str(),
               static_cast<unsigned long long>(created.epoch));
+  if (show_columns) PrintColumns(*seda.snapshot());
 
   if (queries.empty()) {
     queries = {

@@ -58,6 +58,10 @@ struct StatsDto {
   uint64_t bfs_expansions = 0;
   uint64_t intersection_probes = 0;
   uint64_t sketch_hits = 0;
+  // Columnar cube-extraction counters (cube requests only; see
+  // topk::SearchStats):
+  uint64_t column_rows_scanned = 0;
+  uint64_t column_fallback_docs = 0;
 };
 
 /// Stable node reference: document id + Dewey id ("1.2.2.1"), plus the

@@ -64,6 +64,10 @@ constexpr EngineCounterSpec kEngineCounters[] = {
     {"seda_engine_intersection_probes_total",
      "Adjacency intersection probes (graph kernels)."},
     {"seda_engine_sketch_hits_total", "2-hop sketch hits (graph kernels)."},
+    {"seda_engine_column_rows_scanned_total",
+     "Columnar row lookups during cube extraction."},
+    {"seda_engine_column_fallback_docs_total",
+     "Cube result tuples extracted via the tree-walk fallback."},
 };
 constexpr size_t kEngineCounterCount =
     sizeof(kEngineCounters) / sizeof(*kEngineCounters);
@@ -95,6 +99,8 @@ StatsDto MakeStats(const topk::SearchStats& stats, double elapsed_ms,
   dto.bfs_expansions = stats.bfs_expansions;
   dto.intersection_probes = stats.intersection_probes;
   dto.sketch_hits = stats.sketch_hits;
+  dto.column_rows_scanned = stats.column_rows_scanned;
+  dto.column_fallback_docs = stats.column_fallback_docs;
   return dto;
 }
 
@@ -586,6 +592,8 @@ CubeResponseDto SedaService::DoCube(const CubeRequest& request,
   }
   response.stats = MakeServiceStats(state.session.epoch(), ElapsedMs(start),
                                     deadline_ms);
+  response.stats.column_rows_scanned = schema.value().column_rows_scanned;
+  response.stats.column_fallback_docs = schema.value().column_fallback_docs;
   return response;
 }
 
@@ -615,7 +623,8 @@ void SedaService::FinishRequest(Method method, double elapsed_ms,
         stats->postings_advanced, stats->docs_skipped,
         stats->heap_evictions,   stats->hub_links_skipped,
         stats->tuples_trimmed,   stats->bfs_expansions,
-        stats->intersection_probes, stats->sketch_hits};
+        stats->intersection_probes, stats->sketch_hits,
+        stats->column_rows_scanned, stats->column_fallback_docs};
     for (size_t i = 0; i < kEngineCounterCount; ++i) {
       if (values[i] > 0) engine_counters_[i]->Inc(values[i]);
     }
@@ -762,7 +771,8 @@ StatzResponse SedaService::Statz(const StatzRequest&) {
       &cumulative.postings_advanced, &cumulative.docs_skipped,
       &cumulative.heap_evictions,   &cumulative.hub_links_skipped,
       &cumulative.tuples_trimmed,   &cumulative.bfs_expansions,
-      &cumulative.intersection_probes, &cumulative.sketch_hits};
+      &cumulative.intersection_probes, &cumulative.sketch_hits,
+      &cumulative.column_rows_scanned, &cumulative.column_fallback_docs};
   for (size_t i = 0; i < kEngineCounterCount; ++i) {
     *fields[i] = engine_counters_[i]->Value();
   }

@@ -606,6 +606,8 @@ Json ToJson(const StatsDto& v) {
   json.Set("bfs_expansions", Json::Uint(v.bfs_expansions));
   json.Set("intersection_probes", Json::Uint(v.intersection_probes));
   json.Set("sketch_hits", Json::Uint(v.sketch_hits));
+  json.Set("column_rows_scanned", Json::Uint(v.column_rows_scanned));
+  json.Set("column_fallback_docs", Json::Uint(v.column_fallback_docs));
   return json;
 }
 
@@ -628,6 +630,8 @@ StatsDto StatsDtoFromJson(const Json& json) {
   v.bfs_expansions = UintField(json, "bfs_expansions");
   v.intersection_probes = UintField(json, "intersection_probes");
   v.sketch_hits = UintField(json, "sketch_hits");
+  v.column_rows_scanned = UintField(json, "column_rows_scanned");
+  v.column_fallback_docs = UintField(json, "column_fallback_docs");
   return v;
 }
 

@@ -18,6 +18,50 @@ constexpr size_t kMaxWitnesses = 8;
 
 std::string NodeRef(const store::NodeId& id) { return id.ToString(); }
 
+/// Independent tree-walk recompute of the columnar projections: collects, for
+/// every path that has a materialized column, the document's leaf occurrences
+/// in preorder (== per-document Dewey order, the column's row order). A
+/// column-path node that is not a leaf breaks the leaf-purity qualification
+/// and is reported directly.
+void WalkForColumns(
+    const column::ColumnStore& columns, const xml::Node* node,
+    store::DocId doc, std::string* path,
+    std::unordered_map<const column::Column*, std::vector<const xml::Node*>>*
+        hits,
+    AuditReport* report) {
+  const size_t base = path->size();
+  path->push_back('/');
+  if (node->kind() == xml::NodeKind::kAttribute) path->push_back('@');
+  path->append(node->name());
+
+  bool leaf = true;
+  for (const auto& child : node->children()) {
+    if (child->kind() != xml::NodeKind::kText) {
+      leaf = false;
+      break;
+    }
+  }
+  if (const column::Column* col = columns.Find(*path); col != nullptr) {
+    ++report->checks_run;
+    if (leaf) {
+      (*hits)[col].push_back(node);
+    } else {
+      report->Add("column.coverage",
+                  "column " + *path + " has a non-leaf occurrence at node " +
+                      node->dewey().ToString() + " of document " +
+                      std::to_string(doc));
+    }
+  }
+  if (!leaf) {
+    for (const auto& child : node->children()) {
+      if (child->kind() != xml::NodeKind::kText) {
+        WalkForColumns(columns, child.get(), doc, path, hits, report);
+      }
+    }
+  }
+  path->resize(base);
+}
+
 }  // namespace
 
 void AuditReport::Add(const std::string& invariant, const std::string& detail) {
@@ -64,6 +108,7 @@ AuditReport SnapshotAuditor::AuditAll() const {
   AuditIndex(&report);
   AuditGraph(&report);
   AuditDataguides(&report);
+  AuditColumns(&report);
   return report;
 }
 
@@ -565,6 +610,105 @@ void SnapshotAuditor::AuditDataguides(AuditReport* report) const {
   }
 }
 
+void SnapshotAuditor::AuditColumns(AuditReport* report) const {
+  if (columns_ == nullptr) return;
+
+  const size_t doc_count = store_->DocumentCount();
+  ++report->checks_run;
+  if (columns_->doc_count() != doc_count) {
+    report->Add("column.coverage",
+                "column store covers " + std::to_string(columns_->doc_count()) +
+                    " documents, store holds " + std::to_string(doc_count));
+    return;  // Row-range indexing below would read out of bounds.
+  }
+
+  // column.values / column.coverage: every document's column rows must match
+  // an independent tree-walk recompute node for node — same Dewey IDs, same
+  // decoded content, exactly-once coverage, presence bit agreement.
+  for (store::DocId d = 0; d < doc_count; ++d) {
+    std::unordered_map<const column::Column*, std::vector<const xml::Node*>>
+        hits;
+    std::string path;
+    if (const xml::Node* root = store_->document(d).root(); root != nullptr) {
+      WalkForColumns(*columns_, root, d, &path, &hits, report);
+    }
+    for (const column::Column& col : columns_->columns()) {
+      auto it = hits.find(&col);
+      const std::vector<const xml::Node*>* nodes =
+          it == hits.end() ? nullptr : &it->second;
+      const size_t expected = nodes == nullptr ? 0 : nodes->size();
+      const uint32_t begin = col.DocRowBegin(d);
+      const uint32_t end = col.DocRowEnd(d);
+      ++report->checks_run;
+      if (end - begin != expected) {
+        report->Add("column.coverage",
+                    "column " + col.path() + " holds " +
+                        std::to_string(end - begin) + " rows for document " +
+                        std::to_string(d) + ", tree walk finds " +
+                        std::to_string(expected));
+        continue;
+      }
+      ++report->checks_run;
+      if (col.DocPresent(d) != (expected > 0)) {
+        report->Add("column.coverage",
+                    "column " + col.path() + " presence bit disagrees with " +
+                        std::to_string(expected) + " occurrences in document " +
+                        std::to_string(d));
+      }
+      for (size_t i = 0; i < expected; ++i) {
+        const xml::Node* node = (*nodes)[i];
+        const uint32_t row = begin + static_cast<uint32_t>(i);
+        const std::vector<uint32_t>& want = node->dewey().components();
+        ++report->checks_run;
+        if (want.size() != col.depth() ||
+            !std::equal(want.begin(), want.end(), col.RowDewey(row))) {
+          report->Add("column.coverage",
+                      "column " + col.path() + " row " + std::to_string(row) +
+                          " does not cover node " + node->dewey().ToString() +
+                          " of document " + std::to_string(d));
+          continue;
+        }
+        ++report->checks_run;
+        if (col.RowValue(row) != node->ContentString()) {
+          report->Add("column.values",
+                      "column " + col.path() + " row " + std::to_string(row) +
+                          " decodes '" + std::string(col.RowValue(row)) +
+                          "', node " + node->dewey().ToString() +
+                          " of document " + std::to_string(d) + " holds '" +
+                          node->ContentString() + "'");
+        }
+      }
+    }
+  }
+
+  // Per-column structure: declared support vs bitmap popcount, and a sorted,
+  // duplicate-free dictionary (what makes code comparisons value comparisons).
+  for (const column::Column& col : columns_->columns()) {
+    uint64_t present_docs = 0;
+    for (size_t d = 0; d < doc_count; ++d) {
+      if (col.DocPresent(static_cast<store::DocId>(d))) ++present_docs;
+    }
+    ++report->checks_run;
+    if (present_docs != col.docs_present()) {
+      report->Add("column.coverage",
+                  "column " + col.path() + " declares " +
+                      std::to_string(col.docs_present()) +
+                      " supporting documents, bitmap holds " +
+                      std::to_string(present_docs));
+    }
+    for (uint32_t c = 1; c < col.dict_size(); ++c) {
+      ++report->checks_run;
+      if (col.DictValue(c - 1) >= col.DictValue(c)) {
+        report->Add("column.values",
+                    "column " + col.path() +
+                        " dictionary is not strictly increasing at code " +
+                        std::to_string(c));
+        break;
+      }
+    }
+  }
+}
+
 void SnapshotAuditor::AuditImage(const persist::MappedImage& image,
                                  uint64_t expected_epoch,
                                  AuditReport* report) const {
@@ -582,7 +726,7 @@ void SnapshotAuditor::AuditImage(const persist::MappedImage& image,
     const char* name = persist::SectionName(static_cast<SectionId>(entry.id));
     ++report->checks_run;
     if (entry.id < static_cast<uint32_t>(SectionId::kOptions) ||
-        entry.id > static_cast<uint32_t>(SectionId::kGraphCsr)) {
+        entry.id > static_cast<uint32_t>(SectionId::kColumns)) {
       report->Add("image.section_id",
                   "unknown section id " + std::to_string(entry.id));
     }
@@ -664,6 +808,15 @@ void SnapshotAuditor::AuditImage(const persist::MappedImage& image,
     uint64_t declared = cursor->GetU64();
     check_count(SectionId::kDataguides, "image.dataguide_count",
                 guides_->size(), declared, !cursor->failed());
+  }
+  if (auto cursor = persist::OpenSection(image, SectionId::kColumns);
+      cursor.ok() && columns_ != nullptr) {
+    uint64_t declared_docs = cursor->GetU64();
+    uint64_t declared_columns = cursor->GetU64();
+    check_count(SectionId::kColumns, "image.column_doc_count",
+                columns_->doc_count(), declared_docs, !cursor->failed());
+    check_count(SectionId::kColumns, "image.column_count", columns_->size(),
+                declared_columns, !cursor->failed());
   }
 }
 

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "column/column_store.h"
 #include "dataguide/dataguide.h"
 #include "graph/data_graph.h"
 #include "persist/reader.h"
@@ -60,6 +61,11 @@ struct AuditReport {
 ///                symmetry + sketch bitmaps vs exact 2-hop recomputation).
 ///   dataguide.*  sorted guide paths, exactly-once member coverage, guide
 ///                path sets covering their members' documents.
+///   column.*     columnar projections vs a tree-walk recompute
+///                (column.values: every decoded row value equals its node's
+///                content and every column is ordered/leaf-pure;
+///                column.coverage: the row index covers each qualifying
+///                document's occurrences exactly once, bitmap included).
 ///   image.*      persisted-image section table sanity and agreement between
 ///                section headers and the decoded structures.
 ///
@@ -71,8 +77,13 @@ class SnapshotAuditor {
   SnapshotAuditor(const store::DocumentStore* store,
                   const text::InvertedIndex* index,
                   const graph::DataGraph* graph,
-                  const dataguide::DataguideCollection* guides)
-      : store_(store), index_(index), graph_(graph), guides_(guides) {}
+                  const dataguide::DataguideCollection* guides,
+                  const column::ColumnStore* columns = nullptr)
+      : store_(store),
+        index_(index),
+        graph_(graph),
+        guides_(guides),
+        columns_(columns) {}
 
   /// Runs every component audit below (not AuditImage, which needs the
   /// image the epoch was loaded from).
@@ -82,6 +93,8 @@ class SnapshotAuditor {
   void AuditIndex(AuditReport* report) const;
   void AuditGraph(AuditReport* report) const;
   void AuditDataguides(AuditReport* report) const;
+  /// No-op when the auditor was built without a column store.
+  void AuditColumns(AuditReport* report) const;
 
   /// Verifies the persisted image agrees with the structures decoded from
   /// it: known/unique section ids, 64-byte alignment, in-file bounds, and
@@ -95,6 +108,7 @@ class SnapshotAuditor {
   const text::InvertedIndex* index_;
   const graph::DataGraph* graph_;
   const dataguide::DataguideCollection* guides_;
+  const column::ColumnStore* columns_;
 };
 
 }  // namespace seda::audit

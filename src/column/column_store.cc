@@ -1,0 +1,580 @@
+#include "column/column_store.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <utility>
+
+#include "common/check.h"
+#include "persist/format.h"
+#include "persist/reader.h"
+#include "persist/writer.h"
+#include "xml/document.h"
+
+namespace seda::column {
+namespace {
+
+/// A value is int64-typed only when the text is exactly the canonical decimal
+/// rendering (full consume + to_string round trip), so the typed array and
+/// the authoritative dictionary string carry the same information.
+bool ParseCanonicalInt64(std::string_view text, int64_t* out) {
+  if (text.empty()) return false;
+  int64_t value = 0;
+  const char* end = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(text.data(), end, value);
+  if (ec != std::errc() || ptr != end) return false;
+  if (std::to_string(value) != text) return false;
+  *out = value;
+  return true;
+}
+
+/// Double typing requires a full-consume finite parse. No round-trip demand:
+/// the dictionary string stays the output representation; the double is a
+/// computational view (aggregations, range scans).
+bool ParseFiniteDouble(std::string_view text, double* out) {
+  if (text.empty()) return false;
+  std::string buffer(text);
+  errno = 0;
+  char* end = nullptr;
+  double value = std::strtod(buffer.c_str(), &end);
+  if (end != buffer.c_str() + buffer.size()) return false;
+  if (errno == ERANGE || !std::isfinite(value)) return false;
+  *out = value;
+  return true;
+}
+
+/// Strings are u32-length-prefixed (4 + len bytes); the pad keeps every
+/// subsequent read 4-byte aligned so the u32 spans stay zero-copy mappable.
+size_t StringPadding(size_t len) { return (4 - len % 4) % 4; }
+
+void PutPaddedString(persist::ImageWriter* writer, const std::string& s) {
+  writer->PutString(s);
+  for (size_t pad = StringPadding(s.size()); pad > 0; --pad) writer->PutU8(0);
+}
+
+std::string GetPaddedString(persist::SectionCursor* cursor) {
+  std::string s = cursor->GetString();
+  for (size_t pad = StringPadding(s.size()); pad > 0; --pad) cursor->GetU8();
+  return s;
+}
+
+/// Per-path aggregation for one inference pass.
+struct PathAgg {
+  bool leaf_pure = true;
+  uint64_t docs = 0;
+  store::DocId last_doc = 0;
+  bool seen = false;
+  /// Leaf occurrences in (doc, preorder) order == (doc, Dewey) order.
+  std::vector<std::pair<store::DocId, const xml::Node*>> occurrences;
+};
+
+void WalkNode(const xml::Node* node, store::DocId doc, std::string* path,
+              std::map<std::string, PathAgg>* aggs) {
+  const size_t base = path->size();
+  path->push_back('/');
+  if (node->kind() == xml::NodeKind::kAttribute) path->push_back('@');
+  path->append(node->name());
+
+  PathAgg& agg = (*aggs)[*path];
+  if (!agg.seen || agg.last_doc != doc) {
+    agg.seen = true;
+    agg.last_doc = doc;
+    ++agg.docs;
+  }
+  bool leaf = true;
+  for (const auto& child : node->children()) {
+    if (child->kind() != xml::NodeKind::kText) {
+      leaf = false;
+      break;
+    }
+  }
+  if (leaf) {
+    agg.occurrences.emplace_back(doc, node);
+  } else {
+    agg.leaf_pure = false;
+    for (const auto& child : node->children()) {
+      if (child->kind() != xml::NodeKind::kText) {
+        WalkNode(child.get(), doc, path, aggs);
+      }
+    }
+  }
+  path->resize(base);
+}
+
+uint32_t PathDepth(const std::string& path) {
+  uint32_t depth = 0;
+  for (char c : path) {
+    if (c == '/') ++depth;
+  }
+  return depth;
+}
+
+ValueType InferType(const std::vector<std::string_view>& dict,
+                    std::vector<int64_t>* ints, std::vector<double>* doubles) {
+  if (dict.empty()) return ValueType::kString;
+  ints->reserve(dict.size());
+  bool all_int = true;
+  for (std::string_view value : dict) {
+    int64_t parsed = 0;
+    if (!ParseCanonicalInt64(value, &parsed)) {
+      all_int = false;
+      break;
+    }
+    ints->push_back(parsed);
+  }
+  if (all_int) return ValueType::kInt64;
+  ints->clear();
+  doubles->reserve(dict.size());
+  for (std::string_view value : dict) {
+    double parsed = 0;
+    if (!ParseFiniteDouble(value, &parsed)) {
+      doubles->clear();
+      return ValueType::kString;
+    }
+    doubles->push_back(parsed);
+  }
+  return ValueType::kDouble;
+}
+
+Status SectionError(const std::string& message) {
+  return Status::ParseError("image section 'columns' " + message);
+}
+
+}  // namespace
+
+const char* ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kString:
+      return "string";
+    case ValueType::kInt64:
+      return "int64";
+    case ValueType::kDouble:
+      return "double";
+  }
+  return "unknown";
+}
+
+Column::Presence Column::DocSingleton(store::DocId doc,
+                                      uint32_t* row_out) const {
+  if (size_t{doc} + 1 >= doc_offsets_.size()) return Presence::kMissing;
+  const uint32_t lo = doc_offsets_[doc];
+  const uint32_t hi = doc_offsets_[doc + 1];
+  if (lo == hi) return Presence::kMissing;
+  if (hi - lo > 1) return Presence::kDuplicate;
+  *row_out = lo;
+  return Presence::kValue;
+}
+
+std::pair<uint32_t, uint32_t> Column::PrefixRange(store::DocId doc,
+                                                  const uint32_t* prefix,
+                                                  size_t len) const {
+  uint32_t lo = doc_offsets_[doc];
+  uint32_t hi = doc_offsets_[doc + 1];
+  auto less_than_prefix = [&](uint32_t row) {
+    const uint32_t* d = RowDewey(row);
+    return std::lexicographical_compare(d, d + len, prefix, prefix + len);
+  };
+  auto greater_than_prefix = [&](uint32_t row) {
+    const uint32_t* d = RowDewey(row);
+    return std::lexicographical_compare(prefix, prefix + len, d, d + len);
+  };
+  // First row whose leading `len` components are >= prefix.
+  uint32_t first = lo;
+  for (uint32_t count = hi - lo; count > 0;) {
+    uint32_t step = count / 2;
+    uint32_t mid = first + step;
+    if (less_than_prefix(mid)) {
+      first = mid + 1;
+      count -= step + 1;
+    } else {
+      count = step;
+    }
+  }
+  // First row whose leading `len` components are > prefix.
+  uint32_t last = first;
+  for (uint32_t count = hi - last; count > 0;) {
+    uint32_t step = count / 2;
+    uint32_t mid = last + step;
+    if (!greater_than_prefix(mid)) {
+      last = mid + 1;
+      count -= step + 1;
+    } else {
+      count = step;
+    }
+  }
+  return {first, last};
+}
+
+bool Column::FindRow(store::DocId doc, const uint32_t* dewey, size_t len,
+                     uint32_t* row_out) const {
+  if (size_t{doc} + 1 >= doc_offsets_.size()) return false;
+  if (len != depth_) return false;
+  auto [lo, hi] = PrefixRange(doc, dewey, len);
+  if (hi - lo != 1) return false;  // 0: absent; >1 impossible (Deweys unique)
+  *row_out = lo;
+  return true;
+}
+
+Column::Presence Column::PrefixSingleton(store::DocId doc,
+                                         const uint32_t* prefix, size_t len,
+                                         uint32_t* row_out) const {
+  if (size_t{doc} + 1 >= doc_offsets_.size()) return Presence::kMissing;
+  SEDA_DCHECK(len < depth_) << "prefix probe with a full-length Dewey";
+  auto [lo, hi] = PrefixRange(doc, prefix, len);
+  if (lo == hi) return Presence::kMissing;
+  if (hi - lo > 1) return Presence::kDuplicate;
+  *row_out = lo;
+  return Presence::kValue;
+}
+
+std::unique_ptr<ColumnStore> ColumnStore::Build(
+    const store::DocumentStore& store, const InferenceOptions& options) {
+  auto result = std::unique_ptr<ColumnStore>(new ColumnStore());
+  const size_t doc_count = store.DocumentCount();
+  result->doc_count_ = doc_count;
+  if (!options.enabled || doc_count == 0) return result;
+
+  // std::map keys iterate in path order, giving the sorted column order (and
+  // thus byte-stable images) for free.
+  std::map<std::string, PathAgg> aggs;
+  std::string path;
+  for (store::DocId doc = 0; doc < doc_count; ++doc) {
+    const xml::Node* root = store.document(doc).root();
+    if (root != nullptr) WalkNode(root, doc, &path, &aggs);
+  }
+
+  const uint64_t support_floor = std::max<uint64_t>(
+      options.min_docs,
+      static_cast<uint64_t>(
+          std::ceil(options.min_doc_support * static_cast<double>(doc_count))));
+  std::vector<const std::pair<const std::string, PathAgg>*> qualified;
+  for (const auto& entry : aggs) {
+    const PathAgg& agg = entry.second;
+    if (!agg.leaf_pure || agg.occurrences.empty()) continue;
+    if (agg.docs < std::max<uint64_t>(support_floor, 1)) continue;
+    if (static_cast<double>(agg.occurrences.size()) >
+        options.max_avg_occurrences * static_cast<double>(agg.docs)) {
+      continue;
+    }
+    qualified.push_back(&entry);
+  }
+  if (qualified.size() > options.max_columns) {
+    std::stable_sort(qualified.begin(), qualified.end(),
+                     [](const auto* a, const auto* b) {
+                       if (a->second.docs != b->second.docs) {
+                         return a->second.docs > b->second.docs;
+                       }
+                       return a->first < b->first;
+                     });
+    qualified.resize(options.max_columns);
+    std::sort(qualified.begin(), qualified.end(),
+              [](const auto* a, const auto* b) { return a->first < b->first; });
+  }
+
+  result->columns_.reserve(qualified.size());
+  for (const auto* entry : qualified) {
+    const std::string& col_path = entry->first;
+    const PathAgg& agg = entry->second;
+    Column col;
+    col.path_ = col_path;
+    col.path_id_ = store.paths().Find(col_path);
+    SEDA_DCHECK(col.path_id_ != store::kInvalidPathId)
+        << "walked path missing from the dictionary";
+    col.depth_ = PathDepth(col_path);
+    col.docs_present_ = agg.docs;
+
+    const size_t rows = agg.occurrences.size();
+    std::vector<std::string> values;
+    values.reserve(rows);
+    for (const auto& occ : agg.occurrences) {
+      values.push_back(occ.second->ContentString());
+    }
+    std::vector<std::string_view> dict(values.begin(), values.end());
+    std::sort(dict.begin(), dict.end());
+    dict.erase(std::unique(dict.begin(), dict.end()), dict.end());
+
+    std::vector<uint32_t> codes(rows);
+    for (size_t i = 0; i < rows; ++i) {
+      codes[i] = static_cast<uint32_t>(
+          std::lower_bound(dict.begin(), dict.end(), values[i]) -
+          dict.begin());
+    }
+    std::vector<uint32_t> doc_offsets(doc_count + 1, 0);
+    for (const auto& occ : agg.occurrences) ++doc_offsets[occ.first + 1];
+    for (size_t d = 0; d < doc_count; ++d) doc_offsets[d + 1] += doc_offsets[d];
+    std::vector<uint32_t> deweys;
+    deweys.reserve(rows * col.depth_);
+    for (const auto& occ : agg.occurrences) {
+      const auto& components = occ.second->dewey().components();
+      SEDA_DCHECK_EQ(components.size(), size_t{col.depth_})
+          << "Dewey depth diverges from label depth for " << col_path;
+      deweys.insert(deweys.end(), components.begin(), components.end());
+    }
+    std::vector<uint32_t> present((doc_count + 31) / 32, 0);
+    for (size_t d = 0; d < doc_count; ++d) {
+      if (doc_offsets[d + 1] > doc_offsets[d]) {
+        present[d / 32] |= 1u << (d % 32);
+      }
+    }
+    std::vector<uint32_t> dict_offsets;
+    dict_offsets.reserve(dict.size() + 1);
+    dict_offsets.push_back(0);
+    std::string pool;
+    for (std::string_view value : dict) {
+      pool.append(value);
+      dict_offsets.push_back(static_cast<uint32_t>(pool.size()));
+    }
+    col.type_ = InferType(dict, &col.ints_, &col.doubles_);
+
+    col.doc_offsets_.Own(std::move(doc_offsets));
+    col.codes_.Own(std::move(codes));
+    col.deweys_.Own(std::move(deweys));
+    col.present_.Own(std::move(present));
+    col.dict_offsets_.Own(std::move(dict_offsets));
+    col.owned_pool_ = std::move(pool);
+    col.pool_size_ = col.owned_pool_.size();
+    result->columns_.push_back(std::move(col));
+    // Point at the pool only after the move above: a short std::string keeps
+    // its bytes inline (SSO), so a pointer taken before the move would dangle.
+    result->columns_.back().pool_ = result->columns_.back().owned_pool_.data();
+  }
+  for (size_t i = 0; i < result->columns_.size(); ++i) {
+    result->by_path_id_.emplace(result->columns_[i].path_id(), i);
+  }
+  return result;
+}
+
+Status ColumnStore::SaveTo(persist::ImageWriter* writer) const {
+  writer->PutU64(doc_count_);
+  writer->PutU64(columns_.size());
+  for (const Column& col : columns_) {
+    PutPaddedString(writer, col.path_);
+    writer->PutU8(static_cast<uint8_t>(col.type_));
+    writer->PutU8(0);
+    writer->PutU8(0);
+    writer->PutU8(0);
+    writer->PutU32(col.depth_);
+    writer->PutU32Span(col.doc_offsets_.data(), col.doc_offsets_.size());
+    writer->PutU32Span(col.codes_.data(), col.codes_.size());
+    writer->PutU32Span(col.deweys_.data(), col.deweys_.size());
+    writer->PutU32Span(col.present_.data(), col.present_.size());
+    writer->PutU32Span(col.dict_offsets_.data(), col.dict_offsets_.size());
+    // Value pool as a skippable blob, padded so later reads stay 4-aligned.
+    writer->BeginBlob();
+    PutPaddedString(writer, std::string(col.pool_, col.pool_size_));
+    writer->EndBlob();
+    for (int64_t v : col.ints_) {
+      uint64_t bits = 0;
+      std::memcpy(&bits, &v, sizeof(bits));
+      writer->PutU64(bits);
+    }
+    for (double v : col.doubles_) writer->PutDouble(v);
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<ColumnStore>> ColumnStore::LoadFrom(
+    std::shared_ptr<const persist::MappedImage> image,
+    const store::DocumentStore& store) {
+  SEDA_ASSIGN_OR_RETURN(
+      persist::SectionCursor cursor,
+      persist::OpenSection(*image, persist::SectionId::kColumns));
+  auto result = std::unique_ptr<ColumnStore>(new ColumnStore());
+  result->image_ = image;
+
+  const uint64_t doc_count = cursor.GetU64();
+  if (doc_count != store.DocumentCount()) {
+    return SectionError("document count disagrees with the store");
+  }
+  result->doc_count_ = static_cast<size_t>(doc_count);
+  const uint64_t column_count = cursor.GetU64();
+  result->columns_.reserve(cursor.BoundedCount(column_count, 32));
+
+  for (uint64_t i = 0; i < column_count && !cursor.failed(); ++i) {
+    Column col;
+    col.path_ = GetPaddedString(&cursor);
+    if (!result->columns_.empty() &&
+        result->columns_.back().path_ >= col.path_) {
+      return SectionError("column paths out of order");
+    }
+    col.path_id_ = store.paths().Find(col.path_);
+    if (col.path_id_ == store::kInvalidPathId) {
+      if (cursor.failed()) break;  // truncated read, not a real path miss
+      return SectionError("column path '" + col.path_ +
+                          "' unknown to the path dictionary");
+    }
+    const uint8_t type = cursor.GetU8();
+    cursor.GetU8();
+    cursor.GetU8();
+    cursor.GetU8();
+    if (type > static_cast<uint8_t>(ValueType::kDouble)) {
+      return SectionError("column value type out of range");
+    }
+    col.type_ = static_cast<ValueType>(type);
+    col.depth_ = cursor.GetU32();
+    if (col.depth_ != PathDepth(col.path_)) {
+      return SectionError("column depth disagrees with its path");
+    }
+
+    auto [doc_offsets, doc_offsets_count] = cursor.GetU32Span();
+    auto [codes, codes_count] = cursor.GetU32Span();
+    auto [deweys, deweys_count] = cursor.GetU32Span();
+    auto [present, present_count] = cursor.GetU32Span();
+    auto [dict_offsets, dict_offsets_count] = cursor.GetU32Span();
+    persist::SectionCursor pool_cursor = cursor.GetBlob();
+    const uint32_t pool_size = pool_cursor.GetU32();
+    if (pool_size > pool_cursor.remaining()) {
+      return SectionError("value pool overruns its blob");
+    }
+    if (cursor.failed() || pool_cursor.failed()) break;
+
+    if (doc_offsets_count != doc_count + 1 || doc_offsets[0] != 0) {
+      return SectionError("row index has a ragged document range");
+    }
+    for (uint64_t d = 0; d < doc_count; ++d) {
+      if (doc_offsets[d] > doc_offsets[d + 1]) {
+        return SectionError("row index has a ragged document range");
+      }
+    }
+    const uint32_t rows = doc_offsets[doc_count];
+    if (codes_count != rows) {
+      return SectionError("code array disagrees with the row index");
+    }
+    if (col.depth_ == 0 ||
+        deweys_count != uint64_t{rows} * col.depth_) {
+      return SectionError("Dewey array disagrees with the row index");
+    }
+    if (present_count != (doc_count + 31) / 32) {
+      return SectionError("presence bitmap has the wrong size");
+    }
+    uint64_t docs_present = 0;
+    for (uint64_t d = 0; d < doc_count; ++d) {
+      const bool has_rows = doc_offsets[d + 1] > doc_offsets[d];
+      const bool bit = (present[d / 32] >> (d % 32)) & 1u;
+      if (bit != has_rows) {
+        return SectionError("presence bitmap disagrees with the row index");
+      }
+      docs_present += has_rows ? 1 : 0;
+    }
+    for (uint64_t w = doc_count; w < uint64_t{present_count} * 32; ++w) {
+      if ((present[w / 32] >> (w % 32)) & 1u) {
+        return SectionError("presence bitmap has bits past the last document");
+      }
+    }
+    col.docs_present_ = docs_present;
+    if (dict_offsets_count == 0 || dict_offsets[0] != 0) {
+      return SectionError("dictionary offsets malformed");
+    }
+    const uint32_t dict_size = dict_offsets_count - 1;
+    for (uint32_t e = 0; e < dict_size; ++e) {
+      if (dict_offsets[e] > dict_offsets[e + 1]) {
+        return SectionError("dictionary offsets malformed");
+      }
+    }
+    if (dict_offsets[dict_size] != pool_size) {
+      return SectionError("dictionary offsets disagree with the value pool");
+    }
+    const char* pool = reinterpret_cast<const char*>(pool_cursor.data());
+    for (uint32_t e = 0; e + 1 < dict_size; ++e) {
+      std::string_view a(pool + dict_offsets[e],
+                         dict_offsets[e + 1] - dict_offsets[e]);
+      std::string_view b(pool + dict_offsets[e + 1],
+                         dict_offsets[e + 2] - dict_offsets[e + 1]);
+      if (a >= b) {
+        return SectionError("dictionary values out of order");
+      }
+    }
+    for (uint32_t r = 0; r < rows; ++r) {
+      if (codes[r] >= dict_size) {
+        return SectionError("row code out of dictionary range");
+      }
+    }
+    // Per-document Dewey rows must be strictly increasing (binary-search
+    // soundness) — also proves row Deweys are unique within a document.
+    for (uint64_t d = 0; d < doc_count; ++d) {
+      for (uint32_t r = doc_offsets[d]; r + 1 < doc_offsets[d + 1]; ++r) {
+        const uint32_t* a = deweys + size_t{r} * col.depth_;
+        const uint32_t* b = a + col.depth_;
+        if (!std::lexicographical_compare(a, b, b, b + col.depth_)) {
+          return SectionError("row Dewey IDs out of order");
+        }
+      }
+    }
+
+    if (col.type_ == ValueType::kInt64) {
+      col.ints_.resize(dict_size);
+      for (uint32_t e = 0; e < dict_size; ++e) {
+        const uint64_t bits = cursor.GetU64();
+        std::memcpy(&col.ints_[e], &bits, sizeof(bits));
+      }
+    } else if (col.type_ == ValueType::kDouble) {
+      col.doubles_.resize(dict_size);
+      for (uint32_t e = 0; e < dict_size; ++e) {
+        col.doubles_[e] = cursor.GetDouble();
+      }
+    }
+    if (cursor.failed()) break;
+    // The typed view must agree with the authoritative dictionary strings.
+    for (uint32_t e = 0; e < dict_size; ++e) {
+      std::string_view value(pool + dict_offsets[e],
+                             dict_offsets[e + 1] - dict_offsets[e]);
+      if (col.type_ == ValueType::kInt64) {
+        int64_t parsed = 0;
+        if (!ParseCanonicalInt64(value, &parsed) || parsed != col.ints_[e]) {
+          return SectionError("int64 view disagrees with the dictionary");
+        }
+      } else if (col.type_ == ValueType::kDouble) {
+        double parsed = 0;
+        uint64_t want = 0;
+        uint64_t got = 0;
+        std::memcpy(&got, &col.doubles_[e], sizeof(got));
+        if (!ParseFiniteDouble(value, &parsed)) {
+          return SectionError("double view disagrees with the dictionary");
+        }
+        std::memcpy(&want, &parsed, sizeof(want));
+        if (want != got) {
+          return SectionError("double view disagrees with the dictionary");
+        }
+      }
+    }
+
+    col.doc_offsets_.Borrow(doc_offsets, doc_offsets_count);
+    col.codes_.Borrow(codes, codes_count);
+    col.deweys_.Borrow(deweys, deweys_count);
+    col.present_.Borrow(present, present_count);
+    col.dict_offsets_.Borrow(dict_offsets, dict_offsets_count);
+    col.pool_ = pool;
+    col.pool_size_ = pool_size;
+    result->columns_.push_back(std::move(col));
+  }
+  SEDA_RETURN_IF_ERROR(cursor.status());
+  if (result->columns_.size() != column_count) {
+    return SectionError("truncated column list");
+  }
+  if (cursor.remaining() != 0) {
+    return SectionError("has trailing bytes");
+  }
+  for (size_t i = 0; i < result->columns_.size(); ++i) {
+    result->by_path_id_.emplace(result->columns_[i].path_id(), i);
+  }
+  return result;
+}
+
+const Column* ColumnStore::Find(std::string_view path) const {
+  auto it = std::lower_bound(
+      columns_.begin(), columns_.end(), path,
+      [](const Column& col, std::string_view p) { return col.path() < p; });
+  if (it == columns_.end() || it->path() != path) return nullptr;
+  return &*it;
+}
+
+const Column* ColumnStore::FindByPathId(store::PathId id) const {
+  auto it = by_path_id_.find(id);
+  if (it == by_path_id_.end()) return nullptr;
+  return &columns_[it->second];
+}
+
+}  // namespace seda::column

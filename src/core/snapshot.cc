@@ -7,13 +7,13 @@ namespace seda::core {
 
 audit::AuditReport Snapshot::Audit() const {
   return audit::SnapshotAuditor(store_.get(), index_.get(), graph_.get(),
-                                guides_.get())
+                                guides_.get(), columns_.get())
       .AuditAll();
 }
 
 audit::AuditReport Snapshot::Audit(const persist::MappedImage& image) const {
   audit::SnapshotAuditor auditor(store_.get(), index_.get(), graph_.get(),
-                                 guides_.get());
+                                 guides_.get(), columns_.get());
   audit::AuditReport report = auditor.AuditAll();
   auditor.AuditImage(image, epoch_, &report);
   return report;
@@ -73,6 +73,12 @@ std::shared_ptr<const Snapshot> Snapshot::Build(
           : dataguide::DataguideCollection::Build(*snap->store_, dg_options));
   snap->guides_->AddLinksFromGraph(*snap->graph_);
 
+  // Stage 5: columnar projections — rebuilt per epoch from the full store
+  // (inference is deterministic in the store contents, so an incremental
+  // commit infers exactly the columns a cold build over the same documents
+  // would, keeping epochs bit-identical either way).
+  snap->columns_ = column::ColumnStore::Build(*snap->store_, options.columns);
+
   snap->query_pool_ = std::move(query_pool);
   snap->searcher_ = std::make_unique<topk::TopKSearcher>(
       snap->index_.get(), snap->graph_.get(), snap->query_pool_.get());
@@ -101,6 +107,13 @@ void WriteSedaOptions(persist::ImageWriter* writer, const SedaOptions& options) 
     writer->PutString(edge.fk_path);
     writer->PutString(edge.label);
   }
+  // Column-inference thresholds (appended; absent on pre-column images, see
+  // the remaining() guard in ReadSedaOptions).
+  writer->PutU8(options.columns.enabled ? 1 : 0);
+  writer->PutDouble(options.columns.min_doc_support);
+  writer->PutU64(options.columns.min_docs);
+  writer->PutDouble(options.columns.max_avg_occurrences);
+  writer->PutU64(options.columns.max_columns);
 }
 
 Result<SedaOptions> ReadSedaOptions(const persist::MappedImage& image) {
@@ -130,6 +143,15 @@ Result<SedaOptions> ReadSedaOptions(const persist::MappedImage& image) {
     edge.label = cursor.GetString();
     options.value_edges.push_back(std::move(edge));
   }
+  // Pre-column images end here; the defaults then reproduce the inference a
+  // contemporary commit would have run.
+  if (cursor.remaining() > 0) {
+    options.columns.enabled = cursor.GetU8() != 0;
+    options.columns.min_doc_support = cursor.GetDouble();
+    options.columns.min_docs = cursor.GetU64();
+    options.columns.max_avg_occurrences = cursor.GetDouble();
+    options.columns.max_columns = cursor.GetU64();
+  }
   SEDA_RETURN_IF_ERROR(cursor.status());
   return options;
 }
@@ -144,6 +166,11 @@ Status Snapshot::Save(const std::string& path) const {
   SEDA_RETURN_IF_ERROR(graph_->SaveTo(&writer));
   SEDA_RETURN_IF_ERROR(index_->SaveTo(&writer));
   SEDA_RETURN_IF_ERROR(guides_->SaveTo(&writer));
+  if (options_.columns.enabled) {
+    writer.BeginSection(persist::SectionId::kColumns);
+    SEDA_RETURN_IF_ERROR(columns_->SaveTo(&writer));
+    SEDA_RETURN_IF_ERROR(writer.EndSection());
+  }
   return writer.Finish(epoch_);
 }
 
@@ -163,6 +190,15 @@ Result<std::shared_ptr<const Snapshot>> Snapshot::Load(
                                          *image, snap->store_.get()));
   snap->guides_ = std::make_unique<dataguide::DataguideCollection>(
       std::move(guides));
+  // Columns map zero-copy when the image carries them; a pre-column image is
+  // still a full epoch — the projections rebuild from the loaded trees.
+  if (image->HasSection(persist::SectionId::kColumns)) {
+    SEDA_ASSIGN_OR_RETURN(snap->columns_,
+                          column::ColumnStore::LoadFrom(image, *snap->store_));
+  } else {
+    snap->columns_ =
+        column::ColumnStore::Build(*snap->store_, snap->options_.columns);
+  }
   snap->query_pool_ = std::move(query_pool);
   snap->searcher_ = std::make_unique<topk::TopKSearcher>(
       snap->index_.get(), snap->graph_.get(), snap->query_pool_.get());
@@ -337,7 +373,7 @@ Result<twig::CompleteResult> Snapshot::CompleteResults(
 Result<cube::StarSchema> Snapshot::BuildCube(
     const twig::CompleteResult& result, const cube::Catalog& catalog,
     const cube::CubeBuilder::Options& options) const {
-  cube::CubeBuilder builder(store_.get(), &catalog);
+  cube::CubeBuilder builder(store_.get(), &catalog, columns_.get());
   return builder.Build(result, options);
 }
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "audit/auditor.h"
+#include "column/column_store.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "persist/reader.h"
@@ -62,6 +63,10 @@ struct SedaOptions {
     std::string label;
   };
   std::vector<ValueEdge> value_edges;
+  /// Commit-time schema-inference thresholds for the columnar projections
+  /// (src/column/) the cube layer scans; `columns.enabled = false` turns the
+  /// subsystem off and every cube takes the tree walk.
+  column::InferenceOptions columns;
 };
 
 /// One immutable, atomically-published epoch of the query side: the store
@@ -120,6 +125,9 @@ class Snapshot {
   const graph::DataGraph& data_graph() const { return *graph_; }
   const text::InvertedIndex& index() const { return *index_; }
   const dataguide::DataguideCollection& dataguides() const { return *guides_; }
+  /// Schema-inferred columnar projections of this epoch (never null; empty
+  /// when inference is disabled or nothing qualified).
+  const column::ColumnStore& columns() const { return *columns_; }
 
   /// Parses the paper's query syntax, e.g.
   ///   (*, "United States") AND (trade_country, *) AND (percentage, *)
@@ -181,6 +189,7 @@ class Snapshot {
   std::unique_ptr<graph::DataGraph> graph_;
   std::unique_ptr<text::InvertedIndex> index_;
   std::unique_ptr<dataguide::DataguideCollection> guides_;
+  std::unique_ptr<column::ColumnStore> columns_;
   /// Query-time pool (tuple scoring); co-owned with the writer and every
   /// other live epoch, so a Session that outlives the writer keeps a working
   /// searcher. Outlives searcher_, which borrows it.

@@ -15,6 +15,106 @@ std::string LastLabel(const std::string& path) {
   return slash == std::string::npos ? path : path.substr(slash + 1);
 }
 
+/// How one key component evaluates under the columnar scan. The planner only
+/// assigns a column kind when the column probe provably reproduces the tree
+/// walk — same value, same single-valued/missing trichotomy, same error
+/// string — so extraction stays byte-identical with columns on or off.
+struct ComponentPlan {
+  enum class Kind {
+    kTree,      ///< no covering column; per-node tree walk
+    kAbsolute,  ///< absolute path with a column: whole-document singleton
+    kSelf,      ///< pure "." at a columnized context: the context row itself
+    kStep,      ///< "..^k name" at a columnized context: Dewey-prefix probe
+  };
+  Kind kind = Kind::kTree;
+  const column::Column* col = nullptr;  ///< target column (kAbsolute/kStep)
+  size_t prefix_len = 0;                ///< kStep: context components kept
+  const KeyPath* kp = nullptr;
+  std::string step_name;                ///< kStep: final name (error strings)
+};
+
+struct KeyPlan {
+  /// Column over the binding's context path; a per-tuple row hit here both
+  /// proves the context node exists (so the relative probes are sound) and
+  /// supplies the measure value. Null => relative components walk the tree.
+  const column::Column* ctx_col = nullptr;
+  std::vector<ComponentPlan> components;
+};
+
+/// Compiles one (context, key) binding against the column set. Guards that
+/// force kTree, in declaration order: no columns at all; no column over the
+/// component's target path; a relative form other than "..^k name" (inner
+/// name steps carry their own uniqueness checks); ".." underflow past the
+/// root; a step name starting with '@' (the tree walk
+/// matches children by element/attribute *name*, which never carries '@');
+/// and an attribute-shadow path (parent + "/@" + name exists somewhere in
+/// the collection — such attribute children are counted by the tree walk's
+/// duplicate check but are not rows of the element column).
+KeyPlan PlanKey(const column::ColumnStore* columns,
+                const store::PathDictionary& dict,
+                const ContextBinding& binding) {
+  KeyPlan plan;
+  const column::Column* ctx_col =
+      columns != nullptr ? columns->Find(binding.context) : nullptr;
+  plan.ctx_col = ctx_col;
+  const std::vector<std::string> ctx_labels =
+      SplitSkipEmpty(binding.context, '/');
+  plan.components.reserve(binding.key.paths().size());
+  for (const KeyPath& kp : binding.key.paths()) {
+    ComponentPlan cp;
+    cp.kp = &kp;
+    plan.components.push_back(cp);
+    ComponentPlan& out = plan.components.back();
+    if (columns == nullptr) continue;
+    if (kp.absolute) {
+      const column::Column* col = columns->Find(kp.text);
+      if (col != nullptr) {
+        out.kind = ComponentPlan::Kind::kAbsolute;
+        out.col = col;
+      }
+      continue;
+    }
+    if (ctx_col == nullptr) continue;
+    size_t ups = 0;
+    std::string name;
+    bool plain = true;
+    for (const std::string& step : SplitSkipEmpty(kp.text, '/')) {
+      if (step == ".") continue;
+      if (!name.empty()) {  // anything after the name step
+        plain = false;
+        break;
+      }
+      if (step == "..") {
+        ++ups;
+      } else {
+        name = step;
+      }
+    }
+    if (!plain || ups >= ctx_labels.size()) continue;
+    if (name.empty()) {
+      // "..^k" alone: k == 0 is the context node itself; k > 0 targets an
+      // ancestor, whose concatenated content no leaf column carries.
+      if (ups == 0) out.kind = ComponentPlan::Kind::kSelf;
+      continue;
+    }
+    if (name[0] == '@') continue;
+    std::string parent_path;
+    for (size_t i = 0; i + ups < ctx_labels.size(); ++i) {
+      parent_path += "/" + ctx_labels[i];
+    }
+    if (dict.Find(parent_path + "/@" + name) != store::kInvalidPathId) {
+      continue;
+    }
+    const column::Column* col = columns->Find(parent_path + "/" + name);
+    if (col == nullptr) continue;
+    out.kind = ComponentPlan::Kind::kStep;
+    out.col = col;
+    out.prefix_len = ctx_labels.size() - ups;
+    out.step_name = name;
+  }
+  return plan;
+}
+
 }  // namespace
 
 std::string Table::ToString() const {
@@ -161,6 +261,16 @@ Result<StarSchema> CubeBuilder::Build(const twig::CompleteResult& result,
 
   // ---- Step 3: extraction ----
   obs::ScopedSpan extract_span(options.trace, "cube_extract");
+  const column::ColumnStore* cols =
+      options.use_columns ? columns_ : nullptr;
+  std::map<const ContextBinding*, KeyPlan> plans;
+  auto plan_for = [&](const ContextBinding* binding) -> const KeyPlan& {
+    auto it = plans.find(binding);
+    if (it == plans.end()) {
+      it = plans.emplace(binding, PlanKey(cols, dict, *binding)).first;
+    }
+    return it->second;
+  };
   struct BuiltFact {
     const CatalogEntry* fact;
     Table table;
@@ -224,14 +334,112 @@ Result<StarSchema> CubeBuilder::Build(const twig::CompleteResult& result,
                              : dict.PathString(tuple.paths[fc.column]);
       const ContextBinding* binding = fc.fact->BindingFor(path);
       if (binding == nullptr) continue;  // ignored heterogeneous leftover
-      auto key_values = binding->key.Evaluate(*store_, node);
-      if (!key_values.ok()) {
+      const KeyPlan& plan = plan_for(binding);
+
+      // Per-tuple context-row verification, shared by every relative probe
+      // and the measure: a hit in the context column proves the tuple's node
+      // exists with this Dewey ID and yields its content; a miss (stale or
+      // foreign NodeId) routes the whole tuple through the tree walk, whose
+      // error handling is authoritative.
+      bool ctx_checked = false;
+      bool ctx_ok = false;
+      uint32_t ctx_row = 0;
+      const std::vector<uint32_t>& dewey = node.dewey.components();
+      auto ensure_ctx = [&]() {
+        if (!ctx_checked) {
+          ctx_checked = true;
+          if (plan.ctx_col != nullptr) {
+            ++schema.column_rows_scanned;
+            ctx_ok = plan.ctx_col->FindRow(node.doc, dewey.data(),
+                                           dewey.size(), &ctx_row);
+          }
+        }
+        return ctx_ok;
+      };
+
+      bool used_tree = false;
+      Status row_error = Status::OK();
+      std::vector<std::string> row;
+      row.reserve(plan.components.size() + 1);
+      for (const ComponentPlan& cp : plan.components) {
+        Result<std::string> value = std::string();
+        switch (cp.kind) {
+          case ComponentPlan::Kind::kAbsolute: {
+            uint32_t r = 0;
+            ++schema.column_rows_scanned;
+            switch (cp.col->DocSingleton(node.doc, &r)) {
+              case column::Column::Presence::kDuplicate:
+                value = Status::FailedPrecondition(
+                    "key component " + cp.kp->text +
+                    " is not single-valued in document " +
+                    store_->document(node.doc).name());
+                break;
+              case column::Column::Presence::kMissing:
+                value = Status::NotFound("key component " + cp.kp->text +
+                                         " missing in document " +
+                                         store_->document(node.doc).name());
+                break;
+              case column::Column::Presence::kValue:
+                value = std::string(cp.col->RowValue(r));
+                break;
+            }
+            break;
+          }
+          case ComponentPlan::Kind::kSelf:
+            if (ensure_ctx()) {
+              value = std::string(plan.ctx_col->RowValue(ctx_row));
+            } else {
+              used_tree = true;
+              value = EvaluateKeyComponent(*store_, node, *cp.kp);
+            }
+            break;
+          case ComponentPlan::Kind::kStep:
+            if (ensure_ctx()) {
+              uint32_t r = 0;
+              ++schema.column_rows_scanned;
+              switch (cp.col->PrefixSingleton(node.doc, dewey.data(),
+                                              cp.prefix_len, &r)) {
+                case column::Column::Presence::kDuplicate:
+                  value = Status::FailedPrecondition(
+                      "relative key step '" + cp.step_name +
+                      "' is not single-valued");
+                  break;
+                case column::Column::Presence::kMissing:
+                  value = Status::NotFound("relative key step '" +
+                                           cp.step_name + "' has no match");
+                  break;
+                case column::Column::Presence::kValue:
+                  value = std::string(cp.col->RowValue(r));
+                  break;
+              }
+            } else {
+              used_tree = true;
+              value = EvaluateKeyComponent(*store_, node, *cp.kp);
+            }
+            break;
+          case ComponentPlan::Kind::kTree:
+            used_tree = true;
+            value = EvaluateKeyComponent(*store_, node, *cp.kp);
+            break;
+        }
+        if (!value.ok()) {
+          row_error = value.status();
+          break;
+        }
+        row.push_back(std::move(value).value());
+      }
+      if (used_tree) ++schema.column_fallback_docs;
+      if (!row_error.ok()) {
         schema.warnings.push_back("row skipped for fact '" + fc.fact->name +
-                                  "': " + key_values.status().ToString());
+                                  "': " + row_error.ToString());
         continue;
       }
-      std::vector<std::string> row = std::move(key_values).value();
-      row.push_back(store_->GetContent(node));
+      if (ensure_ctx()) {
+        row.push_back(std::string(plan.ctx_col->RowValue(ctx_row)));
+      } else {
+        if (!used_tree) ++schema.column_fallback_docs;
+        row.push_back(store_->GetContent(node));
+      }
       // The same (fact node) may appear in many result tuples when other
       // columns fan out; fact rows are deduplicated on all values.
       if (!row_dedup.insert(row).second) continue;
@@ -313,13 +521,30 @@ Result<StarSchema> CubeBuilder::Build(const twig::CompleteResult& result,
     auto source = dim_source_column.find(dim_name);
     if (source != dim_source_column.end()) {
       for (const twig::ResultTuple& tuple : result.tuples) {
-        values.insert(store_->GetContent(tuple.nodes[source->second]));
+        const store::NodeId& node = tuple.nodes[source->second];
+        const store::PathId pid = tuple.paths[source->second];
+        const column::Column* col =
+            cols != nullptr && pid != store::kInvalidPathId
+                ? cols->FindByPathId(pid)
+                : nullptr;
+        uint32_t row = 0;
+        if (col != nullptr) {
+          ++schema.column_rows_scanned;
+          const std::vector<uint32_t>& dewey = node.dewey.components();
+          if (col->FindRow(node.doc, dewey.data(), dewey.size(), &row)) {
+            values.insert(std::string(col->RowValue(row)));
+            continue;
+          }
+        }
+        values.insert(store_->GetContent(node));
       }
     }
     for (const std::string& value : values) table.rows.push_back({value});
     schema.dimension_tables.push_back(std::move(table));
   }
 
+  extract_span.AddCounter("column_rows_scanned", schema.column_rows_scanned);
+  extract_span.AddCounter("column_fallback_docs", schema.column_fallback_docs);
   return schema;
 }
 

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "column/column_store.h"
 #include "common/status.h"
 #include "cube/catalog.h"
 #include "obs/trace.h"
@@ -41,6 +42,12 @@ struct StarSchema {
   std::vector<ColumnMatch> matches;
   std::vector<std::string> warnings;
 
+  /// Columnar-scan observability (not part of ToString(), so response bytes
+  /// stay identical with columns on or off): column row lookups performed,
+  /// and result tuples whose extraction touched the tree walk.
+  uint64_t column_rows_scanned = 0;
+  uint64_t column_fallback_docs = 0;
+
   std::string ToString() const;
 };
 
@@ -51,8 +58,13 @@ struct StarSchema {
 /// key components through relative-key evaluation.
 class CubeBuilder {
  public:
-  CubeBuilder(const store::DocumentStore* store, const Catalog* catalog)
-      : store_(store), catalog_(catalog) {}
+  /// `columns` (optional) enables the vectorized extraction path: key
+  /// components and values resolve against the epoch's schema-inferred
+  /// columns (src/column/) where one covers the path, falling back to the
+  /// per-node tree walk elsewhere — byte-identical output either way.
+  CubeBuilder(const store::DocumentStore* store, const Catalog* catalog,
+              const column::ColumnStore* columns = nullptr)
+      : store_(store), catalog_(catalog), columns_(columns) {}
 
   struct Options {
     /// Step 2 manual augmentation: extra facts/dimensions by name, and
@@ -68,6 +80,9 @@ class CubeBuilder {
     /// Single-threaded, per-request, never persisted — see
     /// topk::TopKOptions::trace for the contract.
     obs::TraceSpan* trace = nullptr;
+    /// Scan the columnar projections where possible (no effect on output
+    /// bytes; false forces the tree walk everywhere — the bench baseline).
+    bool use_columns = true;
   };
 
   Result<StarSchema> Build(const twig::CompleteResult& result,
@@ -79,6 +94,7 @@ class CubeBuilder {
  private:
   const store::DocumentStore* store_;
   const Catalog* catalog_;
+  const column::ColumnStore* columns_;
 };
 
 }  // namespace seda::cube

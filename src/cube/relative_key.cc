@@ -94,14 +94,19 @@ Result<std::string> EvaluateRelative(const store::DocumentStore& store,
 
 }  // namespace
 
+Result<std::string> EvaluateKeyComponent(const store::DocumentStore& store,
+                                         const store::NodeId& node,
+                                         const KeyPath& component) {
+  return component.absolute ? EvaluateAbsolute(store, node.doc, component.text)
+                            : EvaluateRelative(store, node, component.text);
+}
+
 Result<std::vector<std::string>> RelativeKey::Evaluate(
     const store::DocumentStore& store, const store::NodeId& node) const {
   std::vector<std::string> values;
   values.reserve(paths_.size());
   for (const KeyPath& kp : paths_) {
-    Result<std::string> value =
-        kp.absolute ? EvaluateAbsolute(store, node.doc, kp.text)
-                    : EvaluateRelative(store, node, kp.text);
+    Result<std::string> value = EvaluateKeyComponent(store, node, kp);
     if (!value.ok()) return value.status();
     values.push_back(std::move(value).value());
   }

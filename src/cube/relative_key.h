@@ -65,6 +65,14 @@ class RelativeKey {
   std::vector<KeyPath> paths_;
 };
 
+/// Evaluates a single key component at `node` — the per-component primitive
+/// RelativeKey::Evaluate() iterates. Exposed so the columnar cube scan
+/// (cube_builder.cc) can resolve some components from columns and fall back
+/// to this tree walk per component, with identical values and error strings.
+Result<std::string> EvaluateKeyComponent(const store::DocumentStore& store,
+                                         const store::NodeId& node,
+                                         const KeyPath& component);
+
 /// Verifies that `key` uniquely identifies every node whose context is
 /// `context_path` (the system-side key check the paper performs when a user
 /// defines a new fact or dimension). Returns OK when unique; a

@@ -23,6 +23,8 @@ const char* SectionName(SectionId id) {
       return "dataguides";
     case SectionId::kGraphCsr:
       return "graph-csr";
+    case SectionId::kColumns:
+      return "columns";
   }
   return "unknown";
 }

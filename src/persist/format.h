@@ -50,6 +50,10 @@ enum class SectionId : uint32_t {
   kGraphCsr = 8,    ///< CSR graph-kernel arrays (all-u32, mapped zero-copy);
                     ///< optional — absent sections are rebuilt from the edge
                     ///< log, so pre-CSR images load unchanged
+  kColumns = 9,     ///< schema-inferred columnar projections (src/column/):
+                    ///< flat row/dictionary arrays mapped zero-copy; optional
+                    ///< — absent sections are rebuilt from the document
+                    ///< trees, so pre-column images load unchanged
 };
 
 const char* SectionName(SectionId id);

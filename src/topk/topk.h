@@ -49,6 +49,10 @@ struct SearchStats {
   uint64_t bfs_expansions = 0;       ///< nodes expanded by BFS (legacy or CSR)
   uint64_t intersection_probes = 0;  ///< sorted-row elements examined
   uint64_t sketch_hits = 0;          ///< distance queries answered by a sketch
+  // Columnar cube-extraction counters (column/column_store.h; populated by
+  // the cube endpoint only — searches leave them 0):
+  uint64_t column_rows_scanned = 0;   ///< column row lookups performed
+  uint64_t column_fallback_docs = 0;  ///< result tuples that touched the tree
   /// The per-request deadline (TopKOptions::deadline_ms) fired and the scan
   /// stopped with unexamined documents remaining: the returned top-k is the
   /// best of what was scored in time, not the full TA fixpoint. Surfaced in
